@@ -1,0 +1,71 @@
+//! Experiment E6 (§5.2): the cost of verifying the global correctness
+//! condition.
+//!
+//! Cyclist re-verifies candidate proofs from scratch as they grow, which the
+//! paper identifies as a dominant cost. We compare three regimes on the
+//! edge lists of real proofs produced by the search:
+//!
+//! - `batch_once`: one closure computation over the finished proof (the
+//!   checker's job; a lower bound);
+//! - `recheck_per_step`: a fresh batch closure after every added edge — the
+//!   naive search-time discipline;
+//! - `incremental`: the trail-based incremental closure the search actually
+//!   uses, extended edge by edge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycleq::{NodeId, Session};
+use cycleq_benchsuite::{MUTUAL_PRELUDE, PRELUDE};
+use cycleq_sizechange::{Closure, IncrementalClosure, ScGraph};
+use cycleq_term::VarId;
+
+type Edges = Vec<(NodeId, NodeId, ScGraph<VarId>)>;
+
+fn proof_edges(prelude: &str, goal: &str) -> Edges {
+    let src = format!("{prelude}\ngoal g: {goal}\n");
+    let session = Session::from_source(&src).unwrap();
+    let v = session.prove("g").unwrap();
+    assert!(v.is_proved(), "{goal}: {:?}", v.result.outcome);
+    cycleq::global_edges(&v.result.proof)
+}
+
+fn bench(c: &mut Criterion) {
+    let cases: Vec<(&str, Edges)> = vec![
+        ("add_comm", proof_edges(PRELUDE, "add x y === add y x")),
+        ("butlast_take", proof_edges(PRELUDE, "butlast xs === take (sub (len xs) (S Z)) xs")),
+        ("mapE_id", proof_edges(MUTUAL_PRELUDE, "mapE id e === e")),
+    ];
+    let mut group = c.benchmark_group("cycle_verification");
+    for (name, edges) in &cases {
+        group.bench_with_input(BenchmarkId::new("batch_once", name), edges, |b, edges| {
+            b.iter(|| Closure::from_edges(edges.iter().cloned()).check())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("recheck_per_step", name),
+            edges,
+            |b, edges| {
+                b.iter(|| {
+                    let mut verdict = None;
+                    for i in 1..=edges.len() {
+                        verdict =
+                            Some(Closure::from_edges(edges[..i].iter().cloned()).check());
+                    }
+                    verdict
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("incremental", name), edges, |b, edges| {
+            b.iter(|| {
+                let mut inc = IncrementalClosure::new();
+                let mut verdict = None;
+                for (a, bb, g) in edges {
+                    verdict = Some(inc.add_edge(*a, *bb, g.clone()));
+                }
+                verdict
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

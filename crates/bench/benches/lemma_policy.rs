@@ -1,0 +1,53 @@
+//! Experiment E7 (§5.1): the lemma restriction ablation.
+//!
+//! The paper restricts `(Subst)` lemmas to `(Case)`-justified nodes,
+//! arguing the other candidates are redundant (in the commutativity proof:
+//! 3 candidates instead of 16 vertices). This bench proves the same goals
+//! under `LemmaPolicy::CaseOnly` and `LemmaPolicy::AllNodes`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycleq::{LemmaPolicy, SearchConfig, Session};
+use cycleq_benchsuite::PRELUDE;
+
+fn session(goal: &str, policy: LemmaPolicy) -> Session {
+    let src = format!("{PRELUDE}\ngoal g: {goal}\n");
+    Session::from_source(&src)
+        .unwrap()
+        .with_config(SearchConfig {
+            lemma_policy: policy,
+            timeout: Some(Duration::from_secs(30)),
+            ..SearchConfig::default()
+        })
+        .without_recheck()
+}
+
+fn bench(c: &mut Criterion) {
+    let goals = [
+        ("add_comm", "add x y === add y x"),
+        ("add_assoc", "add (add x y) z === add x (add y z)"),
+        ("take_drop", "app (take n xs) (drop n xs) === xs"),
+        ("butlast_take", "butlast xs === take (sub (len xs) (S Z)) xs"),
+    ];
+    let mut group = c.benchmark_group("lemma_policy");
+    group.sample_size(10);
+    for (name, goal) in goals {
+        for (policy_name, policy) in
+            [("case_only", LemmaPolicy::CaseOnly), ("all_nodes", LemmaPolicy::AllNodes)]
+        {
+            let s = session(goal, policy);
+            group.bench_with_input(BenchmarkId::new(policy_name, name), &s, |b, s| {
+                b.iter(|| {
+                    let v = s.prove("g").unwrap();
+                    assert!(v.is_proved(), "{name}/{policy_name}: {:?}", v.result.outcome);
+                    v.result.stats.nodes_created
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

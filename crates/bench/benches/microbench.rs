@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the substrate operations the prover performs
+//! constantly: normalisation, matching, unification and size-change graph
+//! composition/closure (with deterministic randomised workloads).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cycleq_rewrite::fixtures::nat_list_program;
+use cycleq_rewrite::Rewriter;
+use cycleq_sizechange::{Closure, Label, ScGraph};
+use cycleq_term::{match_term, unify, Term, VarStore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_normalize(c: &mut Criterion) {
+    let p = nat_list_program();
+    let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+    // A balanced add-tree with 64 leaves of S^8 Z.
+    fn tree(p: &cycleq_rewrite::fixtures::ProgramFixture, depth: usize) -> Term {
+        if depth == 0 {
+            p.f.num(8)
+        } else {
+            Term::apps(p.f.add, vec![tree(p, depth - 1), tree(p, depth - 1)])
+        }
+    }
+    let t = tree(&p, 6);
+    c.bench_function("normalize_add_tree_64x8", |b| {
+        b.iter(|| {
+            let n = rw.normalize(&t);
+            assert!(n.in_normal_form);
+            n.steps
+        })
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let p = nat_list_program();
+    let mut vars = VarStore::new();
+    let xs: Vec<_> = (0..6).map(|i| vars.fresh(&format!("x{i}"), p.f.nat_ty())).collect();
+    // A pattern with 6 distinct variables over a deep term.
+    fn pat(p: &cycleq_rewrite::fixtures::ProgramFixture, vs: &[cycleq_term::VarId]) -> Term {
+        vs.iter().fold(Term::sym(p.f.zero), |acc, v| {
+            Term::apps(p.f.add, vec![acc, Term::var(*v)])
+        })
+    }
+    let pattern = pat(&p, &xs);
+    let subject = {
+        let mut s = cycleq_term::Subst::new();
+        for (i, v) in xs.iter().enumerate() {
+            s.insert(*v, p.f.num(i));
+        }
+        s.apply(&pattern)
+    };
+    c.bench_function("match_6_vars", |b| {
+        b.iter(|| match_term(&pattern, &subject).expect("matches"))
+    });
+    c.bench_function("unify_with_instance", |b| {
+        b.iter(|| unify(&pattern, &subject).expect("unifies"))
+    });
+}
+
+fn bench_closure(c: &mut Criterion) {
+    // Deterministic random call-graph of 6 nodes, 12 edges, 4 variables.
+    let mut rng = StdRng::seed_from_u64(0xC1C1E);
+    let mut edges = Vec::new();
+    for _ in 0..12 {
+        let a = rng.gen_range(0..6usize);
+        let b = rng.gen_range(0..6usize);
+        let mut g = ScGraph::new();
+        for _ in 0..rng.gen_range(1..5) {
+            let x = rng.gen_range(0..4u32);
+            let y = rng.gen_range(0..4u32);
+            let l = if rng.gen_bool(0.4) { Label::Strict } else { Label::NonStrict };
+            g.insert(x, y, l);
+        }
+        edges.push((a, b, g));
+    }
+    c.bench_function("closure_random_12_edges", |b| {
+        b.iter(|| {
+            let cl = Closure::from_edges(edges.iter().cloned());
+            (cl.num_graphs(), cl.check())
+        })
+    });
+}
+
+criterion_group!(benches, bench_normalize, bench_matching, bench_closure);
+criterion_main!(benches);

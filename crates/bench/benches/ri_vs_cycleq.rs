@@ -1,0 +1,42 @@
+//! Experiment E8 (§4): rewriting induction vs. cyclic search on orientable
+//! structural goals (where both succeed), showing the relative cost of the
+//! two proof strategies on the same program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cycleq::Session;
+use cycleq_benchsuite::PRELUDE;
+use cycleq_ri::RiProver;
+
+fn bench(c: &mut Criterion) {
+    let goals = [
+        ("add_zero_right", "add x Z === x"),
+        ("add_succ_right", "add x (S y) === S (add x y)"),
+        ("add_assoc", "add (add x y) z === add x (add y z)"),
+        ("app_assoc", "app (app xs ys) zs === app xs (app ys zs)"),
+        ("len_app", "len (app xs ys) === add (len xs) (len ys)"),
+    ];
+    let mut group = c.benchmark_group("ri_vs_cycleq");
+    for (name, goal) in goals {
+        let src = format!("{PRELUDE}\ngoal g: {goal}\n");
+        let session = Session::from_source(&src).unwrap().without_recheck();
+        let module = session.module().clone();
+        group.bench_with_input(BenchmarkId::new("cycleq", name), &session, |b, s| {
+            b.iter(|| {
+                let v = s.prove("g").unwrap();
+                assert!(v.is_proved(), "{name}: {:?}", v.result.outcome);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ri", name), &module, |b, m| {
+            let prover = RiProver::new(&m.program).unwrap();
+            let g = m.goal("g").unwrap();
+            b.iter(|| {
+                let res = prover.prove(g.eq.clone(), g.vars.clone());
+                assert!(res.outcome.is_proved(), "{name}: {:?}", res.outcome);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Regenerates Figure 7 and the §6.1 summary statistics.
+//!
+//! Figure 7 plots the number of IsaPlanner problems solved within a given
+//! time bound. This binary runs the 85-problem suite (averaging over
+//! `--runs N` repetitions, default 3, as the paper averages over 10),
+//! prints the cumulative series as a text plot plus a data table, and the
+//! summary row reported in the text: problems solved, solved under 100 ms,
+//! and mean time.
+//!
+//! Usage: `fig7 [--runs N] [--timeout-ms N] [--csv]`
+
+use std::time::Duration;
+
+use cycleq::SearchConfig;
+use cycleq_benchsuite::{
+    cactus_series, run_suite, summarize, RunConfig, RunStatus, ISAPLANNER,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut runs = 3usize;
+    let mut timeout_ms = 2000u64;
+    let mut as_csv = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" => {
+                i += 1;
+                runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(3);
+            }
+            "--timeout-ms" => {
+                i += 1;
+                timeout_ms = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(2000);
+            }
+            "--csv" => as_csv = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let problems: Vec<_> = ISAPLANNER.iter().collect();
+    let config = RunConfig {
+        search: SearchConfig {
+            timeout: Some(Duration::from_millis(timeout_ms)),
+            ..SearchConfig::default()
+        },
+        with_hints: false,
+        recheck: true,
+    };
+
+    // Average solve times across runs (status taken from the first run;
+    // statuses are deterministic).
+    let mut batches = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        batches.push(run_suite(&problems, &config));
+    }
+    let mut averaged = batches[0].clone();
+    for out in &mut averaged {
+        let times: Vec<Duration> = batches
+            .iter()
+            .map(|b| {
+                b.iter()
+                    .find(|o| o.problem.id == out.problem.id)
+                    .expect("same problem set")
+                    .time
+            })
+            .collect();
+        let total: Duration = times.iter().sum();
+        out.time = total / (times.len() as u32);
+    }
+
+    let series = cactus_series(&averaged);
+    if as_csv {
+        println!("time_ms,solved");
+        for (t, n) in &series {
+            println!("{t:.3},{n}");
+        }
+        return;
+    }
+
+    println!("Figure 7 — cumulative IsaPlanner problems solved vs. time ({runs} run average)");
+    println!();
+    // Text plot: logarithmic time buckets matching the paper's axis.
+    let buckets = [0.01, 0.1, 1.0, 10.0, 100.0, 1000.0, 10000.0];
+    for b in buckets {
+        let solved = series.iter().filter(|(t, _)| *t <= b).count();
+        let bar = "#".repeat(solved);
+        println!("{b:>9.2} ms | {bar} {solved}");
+    }
+    println!();
+    println!("{:>10}  {:>6}", "time(ms)", "solved");
+    for (t, n) in &series {
+        println!("{t:>10.3}  {n:>6}");
+    }
+    println!();
+    let s = summarize(&averaged);
+    println!("== Summary (paper §6.1: 44 solved, 13 out of scope, 40 under 100 ms, mean 129 ms) ==");
+    println!(
+        "solved {} / {} in scope | out-of-scope {} | <100ms {} | mean {:.2} ms | max {:.2} ms",
+        s.proved, s.attempted, s.out_of_scope, s.proved_under_100ms, s.mean_proved_ms,
+        s.max_proved_ms
+    );
+    let failures: Vec<&str> = averaged
+        .iter()
+        .filter(|o| {
+            !o.status.is_proved() && o.status != RunStatus::OutOfScope
+        })
+        .map(|o| o.problem.id)
+        .collect();
+    println!("unsolved (in scope): {}", failures.join(" "));
+}

@@ -1,0 +1,29 @@
+//! Developer probe: run one suite problem with a chosen timeout/depth and
+//! print the outcome and statistics. Usage: `probe IP79 [timeout_ms] [depth]`.
+
+use std::time::Duration;
+
+use cycleq::{SearchConfig, Session};
+use cycleq_benchsuite::all_problems;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let id = args.first().map(String::as_str).unwrap_or("IP79");
+    let timeout: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let depth: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(24);
+    let p = all_problems()
+        .into_iter()
+        .find(|p| p.id == id)
+        .unwrap_or_else(|| panic!("unknown problem {id}"));
+    let src = p.source().expect("problem in scope");
+    let session = Session::from_source(&src)
+        .unwrap()
+        .with_config(SearchConfig {
+            timeout: Some(Duration::from_millis(timeout)),
+            max_depth: depth,
+            ..SearchConfig::default()
+        });
+    let v = session.prove(&p.goal_name()).unwrap();
+    println!("{id}: {:?}", v.result.outcome);
+    println!("stats: {:#?}", v.result.stats);
+}

@@ -1,0 +1,83 @@
+//! Full benchmark-suite runner: prints the per-problem table, the §6.1
+//! summary statistics, and (with `--csv`) machine-readable output.
+//!
+//! Usage:
+//!
+//! ```text
+//! suite [--category isaplanner|mutual|figure] [--hints] [--csv] [--timeout-ms N]
+//! ```
+
+use std::time::Duration;
+
+use cycleq::SearchConfig;
+use cycleq_benchsuite::{
+    all_problems, csv, run_suite, summarize, text_table, Category, RunConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut category: Option<Category> = None;
+    let mut with_hints = false;
+    let mut as_csv = false;
+    let mut timeout_ms: u64 = 2000;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--category" => {
+                i += 1;
+                category = match args.get(i).map(String::as_str) {
+                    Some("isaplanner") => Some(Category::IsaPlanner),
+                    Some("mutual") => Some(Category::Mutual),
+                    Some("figure") => Some(Category::Figure),
+                    other => {
+                        eprintln!("unknown category {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--hints" => with_hints = true,
+            "--csv" => as_csv = true,
+            "--timeout-ms" => {
+                i += 1;
+                timeout_ms = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--timeout-ms needs a number");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let problems: Vec<_> = all_problems()
+        .into_iter()
+        .filter(|p| category.is_none_or(|c| p.category == c))
+        .collect();
+    let config = RunConfig {
+        search: SearchConfig {
+            timeout: Some(Duration::from_millis(timeout_ms)),
+            ..SearchConfig::default()
+        },
+        with_hints,
+        recheck: true,
+    };
+    let outcomes = run_suite(&problems, &config);
+    if as_csv {
+        print!("{}", csv(&outcomes));
+    } else {
+        print!("{}", text_table(&outcomes));
+        let s = summarize(&outcomes);
+        println!();
+        println!(
+            "attempted {} | proved {} | out-of-scope {} | <100ms {} | mean {:.2}ms | max {:.2}ms",
+            s.attempted, s.proved, s.out_of_scope, s.proved_under_100ms, s.mean_proved_ms,
+            s.max_proved_ms
+        );
+    }
+}

@@ -1,0 +1,1 @@
+//! Benchmark helpers for the CycleQ reproduction.

@@ -1,0 +1,26 @@
+//! Benchmark suites for the CycleQ reproduction (§6.1).
+//!
+//! Contains:
+//!
+//! - [`PRELUDE`]: the standard IsaPlanner program (naturals, booleans,
+//!   lists, pairs, trees and ~35 defined functions);
+//! - [`MUTUAL_PRELUDE`]: the annotated-syntax-tree program from the paper's
+//!   introduction, for mutual-induction problems;
+//! - [`ISAPLANNER`]: the 85 IsaPlanner properties with per-problem
+//!   expectations (in scope / conditional / needs-lemma);
+//! - [`MUTUAL`] and [`FIGURES`]: the mutual-induction suite and the goals
+//!   shown as figures;
+//! - a [`runner`](run_suite) with text/CSV reporters, the Figure 7
+//!   cumulative series ([`cactus_series`]) and §6.1 summary statistics
+//!   ([`summarize`]).
+
+mod prelude;
+mod problems;
+mod runner;
+
+pub use prelude::{MUTUAL_PRELUDE, PRELUDE};
+pub use problems::{all_problems, Category, Expectation, Problem, FIGURES, ISAPLANNER, MUTUAL};
+pub use runner::{
+    by_expectation, cactus_series, csv, run_problem, run_suite, summarize, text_table,
+    RunConfig, RunOutcome, RunStatus, Summary,
+};

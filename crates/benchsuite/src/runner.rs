@@ -1,0 +1,338 @@
+//! Suite runner and reporting: regenerates the evaluation artifacts of §6.1
+//! (Figure 7 and the in-text statistics).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use cycleq::{Outcome, SearchConfig, SearchStats, Session};
+
+use crate::problems::{Category, Expectation, Problem};
+
+/// How to run the suite.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Per-problem search configuration (timeout lives here).
+    pub search: SearchConfig,
+    /// Supply the registered hint lemmas for `NeedsLemma` problems.
+    pub with_hints: bool,
+    /// Re-check proofs with the independent checker.
+    pub recheck: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> RunConfig {
+        RunConfig {
+            search: SearchConfig {
+                timeout: Some(Duration::from_secs(2)),
+                ..SearchConfig::default()
+            },
+            with_hints: false,
+            recheck: true,
+        }
+    }
+}
+
+/// The status of one run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunStatus {
+    /// Proved (and, if configured, re-checked).
+    Proved,
+    /// Refuted with a ground counterexample — indicates a mis-encoded
+    /// property.
+    Refuted,
+    /// Search space exhausted within bounds.
+    Exhausted,
+    /// Timed out.
+    Timeout,
+    /// Node budget exceeded.
+    NodeBudget,
+    /// Conditional property: out of scope (§6.2).
+    OutOfScope,
+    /// A hint lemma failed to prove first.
+    HintFailed,
+    /// Frontend or checker error.
+    Error(String),
+}
+
+impl RunStatus {
+    /// Whether the run produced a proof.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, RunStatus::Proved)
+    }
+}
+
+/// The outcome of running one problem.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The problem.
+    pub problem: &'static Problem,
+    /// What happened.
+    pub status: RunStatus,
+    /// Wall-clock search time (excluding parsing).
+    pub time: Duration,
+    /// Search statistics, when a search ran.
+    pub stats: Option<SearchStats>,
+}
+
+/// Runs a single problem.
+pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome {
+    let Some(src) = problem.source() else {
+        return RunOutcome {
+            problem,
+            status: RunStatus::OutOfScope,
+            time: Duration::ZERO,
+            stats: None,
+        };
+    };
+    let session = match Session::from_source(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            return RunOutcome {
+                problem,
+                status: RunStatus::Error(e.to_string()),
+                time: Duration::ZERO,
+                stats: None,
+            }
+        }
+    };
+    let mut session = session.with_config(config.search.clone());
+    if !config.recheck {
+        session = session.without_recheck();
+    }
+    let goal_name = problem.goal_name();
+    let hints: Vec<&str> = if config.with_hints { problem.hint_names() } else { Vec::new() };
+    let verdict = match session.prove_with_hints(&goal_name, &hints) {
+        Ok(v) => v,
+        Err(e) => {
+            return RunOutcome {
+                problem,
+                status: RunStatus::Error(e.to_string()),
+                time: Duration::ZERO,
+                stats: None,
+            }
+        }
+    };
+    let status = match verdict.result.outcome {
+        Outcome::Proved { .. } => RunStatus::Proved,
+        Outcome::Refuted => RunStatus::Refuted,
+        Outcome::Exhausted => RunStatus::Exhausted,
+        Outcome::Timeout => RunStatus::Timeout,
+        Outcome::NodeBudget => RunStatus::NodeBudget,
+        Outcome::HintFailed { .. } => RunStatus::HintFailed,
+    };
+    RunOutcome {
+        problem,
+        status,
+        time: verdict.result.stats.elapsed,
+        stats: Some(verdict.result.stats),
+    }
+}
+
+/// Runs a set of problems sequentially.
+pub fn run_suite(problems: &[&'static Problem], config: &RunConfig) -> Vec<RunOutcome> {
+    problems.iter().map(|p| run_problem(p, config)).collect()
+}
+
+/// Aggregate statistics matching the numbers reported in §6.1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Problems attempted (in-scope).
+    pub attempted: usize,
+    /// Problems proved.
+    pub proved: usize,
+    /// Out-of-scope (conditional) problems.
+    pub out_of_scope: usize,
+    /// Proved in under 100 ms.
+    pub proved_under_100ms: usize,
+    /// Mean time over proved problems, in milliseconds.
+    pub mean_proved_ms: f64,
+    /// Maximum time over proved problems, in milliseconds.
+    pub max_proved_ms: f64,
+}
+
+/// Summarises a batch of outcomes.
+pub fn summarize(outcomes: &[RunOutcome]) -> Summary {
+    let out_of_scope = outcomes
+        .iter()
+        .filter(|o| o.status == RunStatus::OutOfScope)
+        .count();
+    let attempted = outcomes.len() - out_of_scope;
+    let proved: Vec<&RunOutcome> =
+        outcomes.iter().filter(|o| o.status.is_proved()).collect();
+    let times_ms: Vec<f64> = proved
+        .iter()
+        .map(|o| o.time.as_secs_f64() * 1000.0)
+        .collect();
+    Summary {
+        attempted,
+        proved: proved.len(),
+        out_of_scope,
+        proved_under_100ms: times_ms.iter().filter(|t| **t < 100.0).count(),
+        mean_proved_ms: if times_ms.is_empty() {
+            0.0
+        } else {
+            times_ms.iter().sum::<f64>() / times_ms.len() as f64
+        },
+        max_proved_ms: times_ms.iter().copied().fold(0.0, f64::max),
+    }
+}
+
+/// The cumulative-solved series of Figure 7: for each proved problem, its
+/// solve time in milliseconds paired with the cumulative count, sorted by
+/// time.
+pub fn cactus_series(outcomes: &[RunOutcome]) -> Vec<(f64, usize)> {
+    let mut times: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.status.is_proved())
+        .map(|o| o.time.as_secs_f64() * 1000.0)
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+    times
+        .into_iter()
+        .enumerate()
+        .map(|(i, t)| (t, i + 1))
+        .collect()
+}
+
+/// Renders outcomes as an aligned text table.
+pub fn text_table(outcomes: &[RunOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<6} {:<11} {:<12} {:>10}  note", "id", "suite", "status", "time");
+    for o in outcomes {
+        let status = match &o.status {
+            RunStatus::Proved => "proved".to_string(),
+            RunStatus::Refuted => "REFUTED".to_string(),
+            RunStatus::Exhausted => "exhausted".to_string(),
+            RunStatus::Timeout => "timeout".to_string(),
+            RunStatus::NodeBudget => "budget".to_string(),
+            RunStatus::OutOfScope => "out-of-scope".to_string(),
+            RunStatus::HintFailed => "hint-failed".to_string(),
+            RunStatus::Error(e) => format!("ERROR: {e}"),
+        };
+        let suite = match o.problem.category {
+            Category::IsaPlanner => "isaplanner",
+            Category::Mutual => "mutual",
+            Category::Figure => "figure",
+        };
+        let _ = writeln!(
+            out,
+            "{:<6} {:<11} {:<12} {:>8.2}ms  {}",
+            o.problem.id,
+            suite,
+            status,
+            o.time.as_secs_f64() * 1000.0,
+            o.problem.note.unwrap_or("")
+        );
+    }
+    out
+}
+
+/// Renders outcomes as CSV (`id,suite,status,time_ms,nodes`).
+pub fn csv(outcomes: &[RunOutcome]) -> String {
+    let mut out = String::from("id,suite,status,time_ms,nodes\n");
+    for o in outcomes {
+        let status = match &o.status {
+            RunStatus::Proved => "proved",
+            RunStatus::Refuted => "refuted",
+            RunStatus::Exhausted => "exhausted",
+            RunStatus::Timeout => "timeout",
+            RunStatus::NodeBudget => "budget",
+            RunStatus::OutOfScope => "out-of-scope",
+            RunStatus::HintFailed => "hint-failed",
+            RunStatus::Error(_) => "error",
+        };
+        let suite = match o.problem.category {
+            Category::IsaPlanner => "isaplanner",
+            Category::Mutual => "mutual",
+            Category::Figure => "figure",
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.3},{}",
+            o.problem.id,
+            suite,
+            status,
+            o.time.as_secs_f64() * 1000.0,
+            o.stats.as_ref().map(|s| s.nodes_created).unwrap_or(0)
+        );
+    }
+    out
+}
+
+/// Problems whose expectation matches the filter.
+pub fn by_expectation(
+    problems: &[&'static Problem],
+    expectation: Expectation,
+) -> Vec<&'static Problem> {
+    problems
+        .iter()
+        .copied()
+        .filter(|p| p.expectation == expectation)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problems::{FIGURES, ISAPLANNER, MUTUAL};
+
+    #[test]
+    fn runs_fig4_problem() {
+        let p = &FIGURES[0];
+        let out = run_problem(p, &RunConfig::default());
+        assert!(out.status.is_proved(), "{:?}", out.status);
+        assert!(out.time < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn conditional_problems_are_out_of_scope() {
+        let p = ISAPLANNER.iter().find(|p| p.id == "IP05").unwrap();
+        let out = run_problem(p, &RunConfig::default());
+        assert_eq!(out.status, RunStatus::OutOfScope);
+    }
+
+    #[test]
+    fn mutual_problem_runs_quickly() {
+        let p = &MUTUAL[0];
+        let out = run_problem(p, &RunConfig::default());
+        assert!(out.status.is_proved(), "{:?}", out.status);
+    }
+
+    #[test]
+    fn summary_and_cactus_are_consistent() {
+        let ps: Vec<&'static Problem> =
+            vec![&FIGURES[0], &FIGURES[1], &MUTUAL[0]];
+        let outcomes = run_suite(&ps, &RunConfig::default());
+        let summary = summarize(&outcomes);
+        assert_eq!(summary.attempted, 3);
+        assert_eq!(summary.proved, 3);
+        let series = cactus_series(&outcomes);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series.last().unwrap().1, 3);
+        // Times are sorted.
+        assert!(series.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn tables_render() {
+        let ps: Vec<&'static Problem> = vec![&FIGURES[0]];
+        let outcomes = run_suite(&ps, &RunConfig::default());
+        let table = text_table(&outcomes);
+        assert!(table.contains("F04"));
+        let csv_out = csv(&outcomes);
+        assert!(csv_out.starts_with("id,suite,status"));
+        assert!(csv_out.contains("proved"));
+    }
+
+    #[test]
+    fn hints_flip_ip54() {
+        let p = ISAPLANNER.iter().find(|p| p.id == "IP54").unwrap();
+        let without = run_problem(p, &RunConfig::default());
+        assert!(!without.status.is_proved(), "{:?}", without.status);
+        let with = run_problem(
+            p,
+            &RunConfig { with_hints: true, ..RunConfig::default() },
+        );
+        assert!(with.status.is_proved(), "{:?}", with.status);
+    }
+}

@@ -1,0 +1,303 @@
+//! # CycleQ — an efficient basis for cyclic equational reasoning
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *Jones, Ong, Ramsay. "CycleQ: An Efficient Basis for Cyclic Equational
+//! Reasoning" (PLDI 2022)*: a cyclic proof calculus for equational
+//! properties of pure functional programs, a goal-directed proof search
+//! with contextual substitution as its cut/matching rule, and incremental
+//! global-correctness checking via size-change graphs.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`cycleq_term`] | terms, types, signatures, matching, unification (§2) |
+//! | [`cycleq_rewrite`] | rewrite systems, reduction, orders, narrowing (§2, §4) |
+//! | [`cycleq_sizechange`] | size-change graphs and closures (§5.2) |
+//! | [`cycleq_proof`] | preproofs, the independent checker, rendering (§3) |
+//! | [`cycleq_search`] | the CycleQ proof search (§5.1, §6) |
+//! | [`cycleq_lang`] | the Haskell-like frontend (§6) |
+//! | [`cycleq_ri`] | rewriting induction and the Thm 4.3 translation (§4) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use cycleq::Session;
+//!
+//! let session = Session::from_source(
+//!     "data Nat = Z | S Nat
+//!      add :: Nat -> Nat -> Nat
+//!      add Z y = y
+//!      add (S x) y = S (add x y)
+//!      goal comm: add x y === add y x",
+//! )
+//! .unwrap();
+//! let verdict = session.prove("comm").unwrap();
+//! assert!(verdict.is_proved());
+//! println!("{}", verdict.render_proof().unwrap());
+//! ```
+
+use std::error::Error as StdError;
+use std::fmt;
+
+pub use cycleq_lang::{GoalDef, LangError, Module};
+pub use cycleq_proof::{
+    check, check_global, check_global_incremental, cycle_witnesses, global_edges, render_dot,
+    render_text, CheckReport, GlobalCheck, NodeId, Preproof, RuleApp,
+};
+pub use cycleq_rewrite::Program;
+pub use cycleq_search::{LemmaPolicy, Outcome, ProofResult, Prover, SearchConfig, SearchStats};
+pub use cycleq_term::{Equation, Signature, Term, Type, VarStore};
+
+/// Errors surfaced by a [`Session`].
+#[derive(Clone, Debug)]
+pub enum Error {
+    /// The source failed to parse or type check.
+    Lang(LangError),
+    /// No goal with the given name exists.
+    UnknownGoal(String),
+    /// A produced proof failed the independent checker — indicates a bug.
+    Check(cycleq_proof::CheckError),
+    /// The verdict does not carry a proof (e.g. refuted or exhausted).
+    NoProof,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Lang(e) => write!(f, "{e}"),
+            Error::UnknownGoal(g) => write!(f, "unknown goal `{g}`"),
+            Error::Check(e) => write!(f, "proof failed re-checking: {e}"),
+            Error::NoProof => write!(f, "no proof available for this verdict"),
+        }
+    }
+}
+
+impl StdError for Error {}
+
+impl From<LangError> for Error {
+    fn from(e: LangError) -> Error {
+        Error::Lang(e)
+    }
+}
+
+/// The outcome of proving one goal, bundling the proof and statistics with
+/// enough context to render them.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// The goal's name.
+    pub goal: String,
+    /// The raw search result.
+    pub result: ProofResult,
+    /// Signature snapshot for rendering.
+    sig: Signature,
+}
+
+impl Verdict {
+    /// Whether the goal was proved.
+    pub fn is_proved(&self) -> bool {
+        self.result.outcome.is_proved()
+    }
+
+    /// Whether the goal was refuted (a ground counterexample exists).
+    pub fn is_refuted(&self) -> bool {
+        matches!(self.result.outcome, Outcome::Refuted)
+    }
+
+    /// Renders the proof tree, with back edges labelled as in the paper's
+    /// figures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoProof`] when the verdict carries no proof.
+    pub fn render_proof(&self) -> Result<String, Error> {
+        match self.result.outcome {
+            Outcome::Proved { root } => {
+                Ok(cycleq_proof::render_text(&self.result.proof, &self.sig, root))
+            }
+            _ => Err(Error::NoProof),
+        }
+    }
+
+    /// Renders the proof graph as Graphviz DOT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoProof`] when the verdict carries no proof.
+    pub fn render_dot(&self) -> Result<String, Error> {
+        match self.result.outcome {
+            Outcome::Proved { .. } => {
+                Ok(cycleq_proof::render_dot(&self.result.proof, &self.sig))
+            }
+            _ => Err(Error::NoProof),
+        }
+    }
+}
+
+/// A loaded program with its goals: the main entry point of the library.
+#[derive(Clone, Debug)]
+pub struct Session {
+    module: Module,
+    config: SearchConfig,
+    /// Re-check every proof with the independent checker before returning
+    /// it (on by default; the cost is negligible next to search).
+    recheck: bool,
+}
+
+impl Session {
+    /// Parses, type checks and loads a program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first frontend error.
+    pub fn from_source(src: &str) -> Result<Session, Error> {
+        Ok(Session {
+            module: cycleq_lang::parse_module(src)?,
+            config: SearchConfig::default(),
+            recheck: true,
+        })
+    }
+
+    /// Replaces the search configuration.
+    pub fn with_config(mut self, config: SearchConfig) -> Session {
+        self.config = config;
+        self
+    }
+
+    /// Disables post-hoc re-checking of proofs (for benchmarking raw search
+    /// time).
+    pub fn without_recheck(mut self) -> Session {
+        self.recheck = false;
+        self
+    }
+
+    /// The loaded module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The program (signature and rules).
+    pub fn program(&self) -> &Program {
+        &self.module.program
+    }
+
+    /// Warnings from validating the paper's standing assumptions
+    /// (pattern completeness, orthogonality; Remark 2.1).
+    pub fn validate(&self) -> Vec<String> {
+        self.module.validate()
+    }
+
+    /// Goal names in declaration order.
+    pub fn goal_names(&self) -> Vec<&str> {
+        self.module.goals.iter().map(|g| g.name.as_str()).collect()
+    }
+
+    /// Attempts to prove the named goal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownGoal`] for unknown names and
+    /// [`Error::Check`] if a produced proof fails re-checking (a bug).
+    pub fn prove(&self, goal: &str) -> Result<Verdict, Error> {
+        self.prove_with_hints(goal, &[])
+    }
+
+    /// Attempts to prove the named goal, first proving the named hint goals
+    /// and making them available as `(Subst)` lemmas (§6.2).
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::prove`]; hints must also name declared goals.
+    pub fn prove_with_hints(&self, goal: &str, hints: &[&str]) -> Result<Verdict, Error> {
+        let g = self
+            .module
+            .goal(goal)
+            .ok_or_else(|| Error::UnknownGoal(goal.to_string()))?;
+        let mut vars = g.vars.clone();
+        let mut hint_eqs = Vec::with_capacity(hints.len());
+        for h in hints {
+            let hd = self
+                .module
+                .goal(h)
+                .ok_or_else(|| Error::UnknownGoal(h.to_string()))?;
+            hint_eqs.push(hd.rename_into(&mut vars));
+        }
+        let prover = Prover::with_config(&self.module.program, self.config.clone());
+        let result = prover.prove_with_hints(g.eq.clone(), vars, &hint_eqs);
+        if self.recheck {
+            if let Outcome::Proved { .. } = result.outcome {
+                check(&result.proof, &self.module.program, GlobalCheck::VariableTraces)
+                    .map_err(Error::Check)?;
+            }
+        }
+        Ok(Verdict {
+            goal: goal.to_string(),
+            result,
+            sig: self.module.program.sig.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "data Nat = Z | S Nat
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+goal comm: add x y === add y x
+goal zeroRight: add x Z === x
+goal wrong: add x Z === Z
+";
+
+    #[test]
+    fn session_proves_and_renders() {
+        let s = Session::from_source(SRC).unwrap();
+        let v = s.prove("comm").unwrap();
+        assert!(v.is_proved());
+        let text = v.render_proof().unwrap();
+        assert!(text.contains("[Case"));
+        let dot = v.render_dot().unwrap();
+        assert!(dot.starts_with("digraph"));
+    }
+
+    #[test]
+    fn session_refutes() {
+        let s = Session::from_source(SRC).unwrap();
+        let v = s.prove("wrong").unwrap();
+        assert!(v.is_refuted());
+        assert!(v.render_proof().is_err());
+    }
+
+    #[test]
+    fn unknown_goals_error() {
+        let s = Session::from_source(SRC).unwrap();
+        assert!(matches!(s.prove("nope"), Err(Error::UnknownGoal(_))));
+    }
+
+    #[test]
+    fn goal_names_in_order() {
+        let s = Session::from_source(SRC).unwrap();
+        assert_eq!(s.goal_names(), vec!["comm", "zeroRight", "wrong"]);
+    }
+
+    #[test]
+    fn hints_are_imported_by_name() {
+        let src = "data Nat = Z | S Nat
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+goal succRight: add x (S y) === S (add x y)
+goal comm: add x y === add y x
+";
+        let s = Session::from_source(src).unwrap();
+        let v = s.prove_with_hints("comm", &["succRight"]).unwrap();
+        assert!(v.is_proved());
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(matches!(Session::from_source("data = |"), Err(Error::Lang(_))));
+    }
+}

@@ -1,0 +1,113 @@
+//! The raw abstract syntax tree produced by the parser, before name
+//! resolution and type checking.
+
+/// A raw type expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RawType {
+    /// A type name (`Nat`) or a type variable (`a`), distinguished by case
+    /// during lowering.
+    Ident(String),
+    /// Application of a type constructor (`List a`).
+    App(Box<RawType>, Box<RawType>),
+    /// A function type.
+    Arrow(Box<RawType>, Box<RawType>),
+}
+
+/// A raw term (also used for patterns).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RawTerm {
+    /// An identifier: variable, defined function or constructor, resolved
+    /// during lowering.
+    Ident(String),
+    /// Application.
+    App(Box<RawTerm>, Box<RawTerm>),
+}
+
+impl RawTerm {
+    /// Flattens the application spine: `((f a) b)` becomes `(f, [a, b])`.
+    pub fn spine(&self) -> (&RawTerm, Vec<&RawTerm>) {
+        let mut args = Vec::new();
+        let mut cur = self;
+        while let RawTerm::App(f, a) = cur {
+            args.push(a.as_ref());
+            cur = f.as_ref();
+        }
+        args.reverse();
+        (cur, args)
+    }
+}
+
+/// A constructor declaration within a `data` declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RawCon {
+    /// The constructor name.
+    pub name: String,
+    /// Argument types.
+    pub args: Vec<RawType>,
+}
+
+/// A top-level declaration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Decl {
+    /// `data D a b = C1 τ… | C2 τ…`
+    Data {
+        /// The datatype name.
+        name: String,
+        /// Type parameters, in order.
+        params: Vec<String>,
+        /// Constructors.
+        cons: Vec<RawCon>,
+        /// Source line.
+        line: u32,
+    },
+    /// `f :: τ`
+    Sig {
+        /// The function name.
+        name: String,
+        /// Its declared type.
+        ty: RawType,
+        /// Source line.
+        line: u32,
+    },
+    /// `f p1 … pn = t`
+    Clause {
+        /// The function name.
+        name: String,
+        /// Argument patterns.
+        params: Vec<RawTerm>,
+        /// Right-hand side.
+        rhs: RawTerm,
+        /// Source line.
+        line: u32,
+    },
+    /// `goal g: s === t`
+    Goal {
+        /// The goal name.
+        name: String,
+        /// Left-hand side.
+        lhs: RawTerm,
+        /// Right-hand side.
+        rhs: RawTerm,
+        /// Source line.
+        line: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spine_flattens_nested_apps() {
+        let t = RawTerm::App(
+            Box::new(RawTerm::App(
+                Box::new(RawTerm::Ident("f".into())),
+                Box::new(RawTerm::Ident("a".into())),
+            )),
+            Box::new(RawTerm::Ident("b".into())),
+        );
+        let (head, args) = t.spine();
+        assert_eq!(head, &RawTerm::Ident("f".into()));
+        assert_eq!(args.len(), 2);
+    }
+}

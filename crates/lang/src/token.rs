@@ -1,0 +1,64 @@
+//! Tokens of the CycleQ frontend language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// The `data` keyword.
+    Data,
+    /// The `goal` keyword.
+    Goal,
+    /// An identifier starting with an uppercase letter (constructor or
+    /// datatype).
+    Upper(String),
+    /// An identifier starting with a lowercase letter (variable or defined
+    /// function).
+    Lower(String),
+    /// `::`
+    ColonColon,
+    /// `:`
+    Colon,
+    /// `=`
+    Equals,
+    /// `===` (the goal equation symbol, mirroring the plugin's `≡`).
+    EqEqEq,
+    /// `|`
+    Pipe,
+    /// `->`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// End of a declaration (newline or `;`).
+    Sep,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Data => write!(f, "data"),
+            Token::Goal => write!(f, "goal"),
+            Token::Upper(s) | Token::Lower(s) => write!(f, "{s}"),
+            Token::ColonColon => write!(f, "::"),
+            Token::Colon => write!(f, ":"),
+            Token::Equals => write!(f, "="),
+            Token::EqEqEq => write!(f, "==="),
+            Token::Pipe => write!(f, "|"),
+            Token::Arrow => write!(f, "->"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Sep => write!(f, "<newline>"),
+        }
+    }
+}
+
+/// A token with its source line (1-based).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// The 1-based line number.
+    pub line: u32,
+}

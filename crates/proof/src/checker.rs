@@ -1,0 +1,522 @@
+//! An independent proof checker.
+//!
+//! The checker validates that every node of a [`Preproof`] is a well-formed
+//! instance of its rule (local soundness, Definition 3.1) and that the
+//! global condition holds (Theorem 5.2). It is deliberately a separate code
+//! path from the search: a search bug cannot certify its own output.
+
+use std::error::Error;
+use std::fmt;
+
+use cycleq_rewrite::{Program, Rewriter};
+use cycleq_sizechange::Soundness;
+use cycleq_term::{Equation, Term, TyUnifier};
+
+use crate::edges::check_global;
+use crate::node::{NodeId, RuleApp};
+use crate::preproof::Preproof;
+
+/// How the global condition should be established.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum GlobalCheck {
+    /// Verify variable-based traces via size-change closure (decidable,
+    /// §5.2). This is the mode used for everything the search produces.
+    #[default]
+    VariableTraces,
+    /// Skip the trace check. Used for proofs whose global correctness is
+    /// guaranteed by construction for an order beyond variable traces —
+    /// e.g. translations of rewriting-induction derivations, which progress
+    /// by the *reduction order* (Theorem 4.3) and may decrease in ways
+    /// variable traces cannot see. Local well-formedness is still fully
+    /// checked.
+    TrustConstruction,
+}
+
+/// Why a proof was rejected.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CheckErrorKind {
+    /// The node is unjustified.
+    OpenNode,
+    /// A premise id is out of range.
+    DanglingPremise,
+    /// Wrong number of premises for the rule.
+    PremiseCount { expected: usize, got: usize },
+    /// `(Refl)` on an equation whose sides differ.
+    NotReflexive,
+    /// `(Reduce)` premise is not a reduct of the conclusion.
+    NotAReduct,
+    /// Congruence on non-constructor or mismatched heads.
+    NotACongruence,
+    /// Extensionality premise malformed.
+    BadExtensionality,
+    /// `(Case)` branches don't cover the datatype, or a branch is
+    /// malformed.
+    BadCaseSplit(String),
+    /// `(Subst)` instance malformed (occurrence or continuation mismatch).
+    BadSubst(String),
+    /// A node equation is ill-typed.
+    IllTyped(String),
+    /// The global condition failed (Theorem 5.2).
+    GloballyUnsound,
+}
+
+/// A checking failure at a specific node.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckError {
+    /// The offending node (`None` for global failures).
+    pub node: Option<NodeId>,
+    /// The failure.
+    pub kind: CheckErrorKind,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node {
+            Some(n) => write!(f, "node {}: {:?}", n.index(), self.kind),
+            None => write!(f, "{:?}", self.kind),
+        }
+    }
+}
+
+impl Error for CheckError {}
+
+/// Statistics from a successful check.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct CheckReport {
+    /// Number of nodes checked.
+    pub nodes: usize,
+    /// Number of back edges (cycle-forming premises).
+    pub back_edges: usize,
+    /// Whether the global condition was verified (vs. trusted).
+    pub global_verified: bool,
+}
+
+fn err(node: NodeId, kind: CheckErrorKind) -> CheckError {
+    CheckError { node: Some(node), kind }
+}
+
+fn eq_modulo_flip(a: &Equation, b: &Equation) -> bool {
+    (a.lhs() == b.lhs() && a.rhs() == b.rhs()) || (a.lhs() == b.rhs() && a.rhs() == b.lhs())
+}
+
+/// Checks the preproof against the program.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] found: an ill-formed rule instance, an
+/// ill-typed equation, or a global-condition failure.
+pub fn check(proof: &Preproof, prog: &Program, mode: GlobalCheck) -> Result<CheckReport, CheckError> {
+    let rw = Rewriter::new(&prog.sig, &prog.trs);
+    let mut back_edges = 0;
+    for (id, node) in proof.nodes() {
+        for p in &node.premises {
+            if p.index() >= proof.len() {
+                return Err(err(id, CheckErrorKind::DanglingPremise));
+            }
+            if proof.is_back_edge(id, *p) {
+                back_edges += 1;
+            }
+        }
+        // Type check: the two sides must have unifiable types.
+        {
+            let mut uni = TyUnifier::new(10_000);
+            let lt = node
+                .eq
+                .lhs()
+                .infer_type(&prog.sig, proof.vars(), &mut uni)
+                .map_err(|e| err(id, CheckErrorKind::IllTyped(e.to_string())))?;
+            let rt = node
+                .eq
+                .rhs()
+                .infer_type(&prog.sig, proof.vars(), &mut uni)
+                .map_err(|e| err(id, CheckErrorKind::IllTyped(e.to_string())))?;
+            uni.unify(&lt, &rt)
+                .map_err(|e| err(id, CheckErrorKind::IllTyped(e.to_string())))?;
+        }
+        let premise_eq = |i: usize| &proof.node(node.premises[i]).eq;
+        match &node.rule {
+            RuleApp::Open => return Err(err(id, CheckErrorKind::OpenNode)),
+            RuleApp::Refl => {
+                if !node.premises.is_empty() {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::PremiseCount { expected: 0, got: node.premises.len() },
+                    ));
+                }
+                if !node.eq.is_trivial() {
+                    return Err(err(id, CheckErrorKind::NotReflexive));
+                }
+            }
+            RuleApp::Reduce => {
+                if node.premises.len() != 1 {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::PremiseCount { expected: 1, got: node.premises.len() },
+                    ));
+                }
+                // Premise sides must be convertible to the conclusion sides.
+                // For a confluent, weakly normalising system (Remark 2.1)
+                // this is checked by comparing normal forms, which accepts
+                // any `→R*` reduct regardless of the strategy that produced
+                // it.
+                let p = premise_eq(0);
+                let nf = |t: &Term| rw.normalize(t).term;
+                let (cl, cr) = (nf(node.eq.lhs()), nf(node.eq.rhs()));
+                let (pl, pr) = (nf(p.lhs()), nf(p.rhs()));
+                let straight = cl == pl && cr == pr;
+                let flipped = cl == pr && cr == pl;
+                if !straight && !flipped {
+                    return Err(err(id, CheckErrorKind::NotAReduct));
+                }
+            }
+            RuleApp::Cong => {
+                let (k1, args1) = node
+                    .eq
+                    .lhs()
+                    .as_constructor(&prog.sig)
+                    .ok_or_else(|| err(id, CheckErrorKind::NotACongruence))?;
+                let (k2, args2) = node
+                    .eq
+                    .rhs()
+                    .as_constructor(&prog.sig)
+                    .ok_or_else(|| err(id, CheckErrorKind::NotACongruence))?;
+                if k1 != k2 || args1.len() != args2.len() {
+                    return Err(err(id, CheckErrorKind::NotACongruence));
+                }
+                if node.premises.len() != args1.len() {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::PremiseCount {
+                            expected: args1.len(),
+                            got: node.premises.len(),
+                        },
+                    ));
+                }
+                for (i, (a, b)) in args1.iter().zip(args2).enumerate() {
+                    let want = Equation::new(a.clone(), b.clone());
+                    if !eq_modulo_flip(&want, premise_eq(i)) {
+                        return Err(err(id, CheckErrorKind::NotACongruence));
+                    }
+                }
+            }
+            RuleApp::FunExt { fresh } => {
+                if node.premises.len() != 1 {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::PremiseCount { expected: 1, got: node.premises.len() },
+                    ));
+                }
+                if node.eq.lhs().contains_var(*fresh) || node.eq.rhs().contains_var(*fresh) {
+                    return Err(err(id, CheckErrorKind::BadExtensionality));
+                }
+                let want = Equation::new(
+                    Term::app(node.eq.lhs().clone(), Term::var(*fresh)),
+                    Term::app(node.eq.rhs().clone(), Term::var(*fresh)),
+                );
+                if !eq_modulo_flip(&want, premise_eq(0)) {
+                    return Err(err(id, CheckErrorKind::BadExtensionality));
+                }
+            }
+            RuleApp::Case { var, branches } => {
+                let var_ty = proof.vars().ty(*var).clone();
+                let Some((data, ty_args)) = var_ty.as_data() else {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::BadCaseSplit("case variable is not of datatype type".into()),
+                    ));
+                };
+                let cons = prog.sig.constructors_of(data);
+                if branches.len() != cons.len() || node.premises.len() != cons.len() {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::BadCaseSplit(format!(
+                            "expected {} branches, got {}",
+                            cons.len(),
+                            branches.len()
+                        )),
+                    ));
+                }
+                for (i, (&k, branch)) in cons.iter().zip(branches).enumerate() {
+                    if branch.con != k {
+                        return Err(err(
+                            id,
+                            CheckErrorKind::BadCaseSplit("branch constructor order mismatch".into()),
+                        ));
+                    }
+                    if branch.fresh.len() != prog.sig.constructor_arity(k) {
+                        return Err(err(
+                            id,
+                            CheckErrorKind::BadCaseSplit("fresh variable count mismatch".into()),
+                        ));
+                    }
+                    // Fresh variables must not occur in the conclusion and
+                    // must have the constructor's instantiated argument
+                    // types.
+                    let inst = prog
+                        .sig
+                        .sym(k)
+                        .scheme()
+                        .instantiate_with(&ty_args.to_vec())
+                        .map_err(|e| err(id, CheckErrorKind::IllTyped(e.to_string())))?;
+                    let (arg_tys, _) = inst.uncurry();
+                    for (v, want_ty) in branch.fresh.iter().zip(arg_tys) {
+                        if node.eq.lhs().contains_var(*v) || node.eq.rhs().contains_var(*v) {
+                            return Err(err(
+                                id,
+                                CheckErrorKind::BadCaseSplit("case variable not fresh".into()),
+                            ));
+                        }
+                        if proof.vars().ty(*v) != want_ty {
+                            return Err(err(
+                                id,
+                                CheckErrorKind::BadCaseSplit("fresh variable type mismatch".into()),
+                            ));
+                        }
+                    }
+                    let pattern =
+                        Term::apps(k, branch.fresh.iter().map(|v| Term::var(*v)).collect());
+                    let theta = cycleq_term::Subst::singleton(*var, pattern);
+                    let want = node.eq.subst(&theta);
+                    if !eq_modulo_flip(&want, premise_eq(i)) {
+                        return Err(err(
+                            id,
+                            CheckErrorKind::BadCaseSplit(format!("branch {i} equation mismatch")),
+                        ));
+                    }
+                }
+            }
+            RuleApp::Subst(app) => {
+                if node.premises.len() != 2 {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::PremiseCount { expected: 2, got: node.premises.len() },
+                    ));
+                }
+                let lemma = premise_eq(0);
+                let (from, to) = if app.lemma_flipped {
+                    (lemma.rhs(), lemma.lhs())
+                } else {
+                    (lemma.lhs(), lemma.rhs())
+                };
+                let side_term = app.side.of(&node.eq);
+                let Some(occurrence) = side_term.at(&app.pos) else {
+                    return Err(err(id, CheckErrorKind::BadSubst("position invalid".into())));
+                };
+                if occurrence != &app.theta.apply(from) {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::BadSubst("occurrence is not the lemma instance".into()),
+                    ));
+                }
+                let rewritten = side_term
+                    .replace_at(&app.pos, app.theta.apply(to))
+                    .expect("position validated above");
+                let untouched = app.side.flip().of(&node.eq).clone();
+                let want = match app.side {
+                    crate::node::Side::Lhs => Equation::new(rewritten, untouched),
+                    crate::node::Side::Rhs => Equation::new(untouched, rewritten),
+                };
+                if !eq_modulo_flip(&want, premise_eq(1)) {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::BadSubst("continuation equation mismatch".into()),
+                    ));
+                }
+            }
+        }
+    }
+    let global_verified = match mode {
+        GlobalCheck::VariableTraces => {
+            if check_global(proof) == Soundness::Unsound {
+                return Err(CheckError { node: None, kind: CheckErrorKind::GloballyUnsound });
+            }
+            true
+        }
+        GlobalCheck::TrustConstruction => false,
+    };
+    Ok(CheckReport { nodes: proof.len(), back_edges, global_verified })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{CaseBranch, Side, SubstApp};
+    use cycleq_rewrite::fixtures::nat_list_program;
+    use cycleq_term::{Position, Subst};
+
+    #[test]
+    fn refl_node_checks() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let id = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+        proof.justify(id, RuleApp::Refl, vec![]);
+        let report = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        assert_eq!(report.nodes, 1);
+        assert_eq!(report.back_edges, 0);
+        assert!(report.global_verified);
+    }
+
+    #[test]
+    fn refl_on_unequal_sides_fails() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let id = proof.push_open(Equation::new(Term::sym(p.f.zero), p.f.num(1)));
+        proof.justify(id, RuleApp::Refl, vec![]);
+        let e = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap_err();
+        assert_eq!(e.kind, CheckErrorKind::NotReflexive);
+    }
+
+    #[test]
+    fn open_nodes_are_rejected() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+        let e = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap_err();
+        assert_eq!(e.kind, CheckErrorKind::OpenNode);
+    }
+
+    #[test]
+    fn reduce_node_checks() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let conc = proof.push_open(Equation::new(
+            Term::apps(p.f.add, vec![p.f.num(1), p.f.num(1)]),
+            p.f.num(2),
+        ));
+        let prem = proof.push_open(Equation::new(p.f.num(2), p.f.num(2)));
+        proof.justify(prem, RuleApp::Refl, vec![]);
+        proof.justify(conc, RuleApp::Reduce, vec![prem]);
+        assert!(check(&proof, &p.prog, GlobalCheck::VariableTraces).is_ok());
+    }
+
+    #[test]
+    fn reduce_to_non_reduct_fails() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let conc = proof.push_open(Equation::new(
+            Term::apps(p.f.add, vec![p.f.num(1), p.f.num(1)]),
+            p.f.num(2),
+        ));
+        let prem = proof.push_open(Equation::new(p.f.num(3), p.f.num(2)));
+        proof.justify(prem, RuleApp::Refl, vec![]); // also bogus, but reached later
+        proof.justify(conc, RuleApp::Reduce, vec![prem]);
+        let e = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap_err();
+        assert_eq!(e.kind, CheckErrorKind::NotAReduct);
+    }
+
+    #[test]
+    fn ill_typed_equations_are_rejected() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let id = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.nil)));
+        proof.justify(id, RuleApp::Refl, vec![]);
+        let e = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap_err();
+        assert!(matches!(e.kind, CheckErrorKind::IllTyped(_)));
+    }
+
+    #[test]
+    fn example_3_2_rejected_globally_but_locally_fine() {
+        // The self-justifying preproof from Example 3.2: locally well-formed
+        // but globally unsound.
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+        let xs = proof.vars_mut().fresh("xs", p.f.list_ty(p.f.nat_ty()));
+        let lhs = p.f.cons_t(Term::var(x), Term::var(xs));
+        let root = proof.push_open(Equation::new(lhs, Term::sym(p.f.nil)));
+        let refl = proof.push_open(Equation::new(Term::sym(p.f.nil), Term::sym(p.f.nil)));
+        proof.justify(refl, RuleApp::Refl, vec![]);
+        let mut theta = Subst::new();
+        theta.insert(x, Term::var(x));
+        theta.insert(xs, Term::var(xs));
+        proof.justify(
+            root,
+            RuleApp::Subst(SubstApp {
+                side: Side::Lhs,
+                pos: Position::root(),
+                theta,
+                lemma_flipped: false,
+            }),
+            vec![root, refl],
+        );
+        // Locally fine:
+        assert!(check(&proof, &p.prog, GlobalCheck::TrustConstruction).is_ok());
+        // Globally rejected:
+        let e = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap_err();
+        assert_eq!(e.kind, CheckErrorKind::GloballyUnsound);
+    }
+
+    #[test]
+    fn case_split_with_wrong_branch_count_fails() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+        let eq = Equation::new(Term::var(x), Term::var(x));
+        let root = proof.push_open(eq.clone());
+        let only = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+        proof.justify(only, RuleApp::Refl, vec![]);
+        proof.justify(
+            root,
+            RuleApp::Case {
+                var: x,
+                branches: vec![CaseBranch { con: p.f.zero, fresh: vec![] }],
+            },
+            vec![only],
+        );
+        let e = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap_err();
+        assert!(matches!(e.kind, CheckErrorKind::BadCaseSplit(_)));
+    }
+
+    #[test]
+    fn valid_case_split_checks() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+        let eq = Equation::new(Term::var(x), Term::var(x));
+        let root = proof.push_open(eq.clone());
+        let zb = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+        let xp = proof.vars_mut().fresh_from(x, p.f.nat_ty());
+        let sb = proof.push_open(Equation::new(p.f.s(Term::var(xp)), p.f.s(Term::var(xp))));
+        proof.justify(zb, RuleApp::Refl, vec![]);
+        proof.justify(sb, RuleApp::Refl, vec![]);
+        proof.justify(
+            root,
+            RuleApp::Case {
+                var: x,
+                branches: vec![
+                    CaseBranch { con: p.f.zero, fresh: vec![] },
+                    CaseBranch { con: p.f.succ, fresh: vec![xp] },
+                ],
+            },
+            vec![zb, sb],
+        );
+        let report = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        assert_eq!(report.nodes, 3);
+    }
+
+    #[test]
+    fn cong_decomposition_checks() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+        let conc = proof.push_open(Equation::new(p.f.s(Term::var(x)), p.f.s(Term::var(x))));
+        let prem = proof.push_open(Equation::new(Term::var(x), Term::var(x)));
+        proof.justify(prem, RuleApp::Refl, vec![]);
+        proof.justify(conc, RuleApp::Cong, vec![prem]);
+        assert!(check(&proof, &p.prog, GlobalCheck::VariableTraces).is_ok());
+    }
+
+    #[test]
+    fn cong_on_defined_heads_fails() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+        let t = Term::apps(p.f.add, vec![Term::var(x), Term::var(x)]);
+        let conc = proof.push_open(Equation::new(t.clone(), t.clone()));
+        let prem = proof.push_open(Equation::new(Term::var(x), Term::var(x)));
+        proof.justify(prem, RuleApp::Refl, vec![]);
+        proof.justify(conc, RuleApp::Cong, vec![prem, prem]);
+        let e = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap_err();
+        assert_eq!(e.kind, CheckErrorKind::NotACongruence);
+    }
+}

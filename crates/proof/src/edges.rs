@@ -1,0 +1,226 @@
+//! The canonical size-change graph of each proof edge (Definition 5.3) and
+//! the global-correctness check (Theorem 5.2).
+
+use cycleq_sizechange::{Closure, IncrementalClosure, Label, ScGraph, Soundness};
+use cycleq_term::VarId;
+
+use crate::node::{NodeId, RuleApp};
+use crate::preproof::Preproof;
+
+/// The size-change graph annotating the edge from `v` to its
+/// `premise_idx`-th premise (Definition 5.3).
+///
+/// - `(Subst)` lemma edge: a non-strict edge `x ≃ y` whenever `θ(y)` is the
+///   variable `x` — variable traces survive instantiation only when the
+///   instance is itself a variable.
+/// - `(Case)` edge: a strict edge `x ≲ y` from the analysed variable to each
+///   fresh constructor argument, and identity on all other variables.
+/// - every other edge: identity on the variables common to conclusion and
+///   premise.
+///
+/// # Panics
+///
+/// Panics if `premise_idx` is out of range for the node or the node is
+/// `Open`.
+pub fn edge_graph(proof: &Preproof, v: NodeId, premise_idx: usize) -> ScGraph<VarId> {
+    let node = proof.node(v);
+    let premise = node.premises[premise_idx];
+    let premise_eq = &proof.node(premise).eq;
+    match &node.rule {
+        RuleApp::Open => panic!("edge_graph on an open node"),
+        RuleApp::Subst(app) if premise_idx == 0 => {
+            // Lemma edge: x ≃ y for θ(y) = x.
+            let mut g = ScGraph::new();
+            for y in premise_eq.vars() {
+                match app.theta.get(y) {
+                    Some(t) => {
+                        if let Some(x) = t.as_var() {
+                            g.insert(x, y, Label::NonStrict);
+                        }
+                    }
+                    // Unbound lemma variables are untouched by θ.
+                    None => g.insert(y, y, Label::NonStrict),
+                }
+            }
+            g
+        }
+        RuleApp::Case { var, branches } => {
+            let mut g = ScGraph::new();
+            for z in node.eq.vars() {
+                if z != *var {
+                    g.insert(z, z, Label::NonStrict);
+                }
+            }
+            for y in &branches[premise_idx].fresh {
+                g.insert(*var, *y, Label::Strict);
+            }
+            g
+        }
+        _ => {
+            // Continuation of (Subst), (Reduce), (Cong), (FunExt), (Refl):
+            // identity on shared variables.
+            let conc = node.eq.vars();
+            let prem = premise_eq.vars();
+            ScGraph::identity(conc.intersection(&prem).copied())
+        }
+    }
+}
+
+/// All annotated edges of the preproof, ready for closure computation.
+pub fn global_edges(proof: &Preproof) -> Vec<(NodeId, NodeId, ScGraph<VarId>)> {
+    let mut out = Vec::new();
+    for (id, node) in proof.nodes() {
+        for i in 0..node.premises.len() {
+            out.push((id, node.premises[i], edge_graph(proof, id, i)));
+        }
+    }
+    out
+}
+
+/// Batch global-correctness check (Theorem 5.2): computes the closure of all
+/// edge graphs and requires every idempotent self-loop to carry a strict
+/// self-edge.
+pub fn check_global(proof: &Preproof) -> Soundness {
+    Closure::from_edges(global_edges(proof)).check()
+}
+
+/// Replays the proof's edges through an [`IncrementalClosure`], returning
+/// the verdict. Exists so that tests and benches can compare the
+/// incremental engine against [`check_global`] on identical inputs.
+pub fn check_global_incremental(proof: &Preproof) -> Soundness {
+    let mut inc = IncrementalClosure::new();
+    let mut verdict = Soundness::Sound;
+    for (a, b, g) in global_edges(proof) {
+        verdict = inc.add_edge(a, b, g);
+        if verdict == Soundness::Unsound {
+            return verdict;
+        }
+    }
+    verdict
+}
+
+/// Extracts, for every back edge, one witness trace of variables around the
+/// shortest cycle through it — a human-readable certificate accompanying
+/// the soundness verdict. Returns `(from, to, graph)` triples for the
+/// composed cycles found at back edges.
+pub fn cycle_witnesses(proof: &Preproof) -> Vec<(NodeId, ScGraph<VarId>)> {
+    let closure = Closure::from_edges(global_edges(proof));
+    let mut out = Vec::new();
+    for (v, node) in proof.nodes() {
+        for p in &node.premises {
+            if proof.is_back_edge(v, *p) {
+                for g in closure.between(*p, *p) {
+                    if g.is_idempotent() && g.has_strict_self_edge() {
+                        out.push((*p, g.clone()));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::{CaseBranch, Side, SubstApp};
+    use cycleq_rewrite::fixtures::nat_list_program;
+    use cycleq_term::{Equation, Position, Subst, Term};
+
+    /// Builds the two-node preproof of Example 3.2: `Cons x xs ≈ Nil`
+    /// justified by rewriting with itself — a locally well-formed preproof
+    /// that the global condition must reject.
+    fn example_3_2() -> Preproof {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+        let xs = proof.vars_mut().fresh("xs", p.f.list_ty(p.f.nat_ty()));
+        let lhs = p.f.cons_t(Term::var(x), Term::var(xs));
+        let root = proof.push_open(Equation::new(lhs.clone(), Term::sym(p.f.nil)));
+        let refl = proof.push_open(Equation::new(Term::sym(p.f.nil), Term::sym(p.f.nil)));
+        proof.justify(refl, RuleApp::Refl, vec![]);
+        // Rewrite the occurrence of `Cons x xs` (the whole lhs) using the
+        // root itself as lemma, leaving `Nil ≈ Nil`.
+        let mut theta = Subst::new();
+        theta.insert(x, Term::var(x));
+        theta.insert(xs, Term::var(xs));
+        proof.justify(
+            root,
+            RuleApp::Subst(SubstApp {
+                side: Side::Lhs,
+                pos: Position::root(),
+                theta,
+                lemma_flipped: false,
+            }),
+            vec![root, refl],
+        );
+        proof
+    }
+
+    #[test]
+    fn example_3_2_is_globally_unsound() {
+        let proof = example_3_2();
+        assert_eq!(check_global(&proof), Soundness::Unsound);
+        assert_eq!(check_global_incremental(&proof), Soundness::Unsound);
+    }
+
+    #[test]
+    fn subst_lemma_edge_keeps_variable_bindings_only() {
+        let proof = example_3_2();
+        // Edge 0 of the root is the lemma self-edge with identity θ.
+        let g = edge_graph(&proof, NodeId::from_index(0), 0);
+        // Both x and xs are bound to themselves: two non-strict edges.
+        assert_eq!(g.len(), 2);
+        assert!(!g.has_strict_self_edge());
+    }
+
+    #[test]
+    fn case_edges_are_strict_into_fresh_vars() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+        let y = proof.vars_mut().fresh("y", p.f.nat_ty());
+        let eq = Equation::new(
+            Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+            Term::var(y),
+        );
+        let root = proof.push_open(eq.clone());
+        // Case on x: Z branch and S branch.
+        let z_eq = Equation::new(
+            Term::apps(p.f.add, vec![Term::sym(p.f.zero), Term::var(y)]),
+            Term::var(y),
+        );
+        let xp = proof.vars_mut().fresh_from(x, p.f.nat_ty());
+        let s_eq = Equation::new(
+            Term::apps(p.f.add, vec![p.f.s(Term::var(xp)), Term::var(y)]),
+            Term::var(y),
+        );
+        let zb = proof.push_open(z_eq);
+        let sb = proof.push_open(s_eq);
+        proof.justify(
+            root,
+            RuleApp::Case {
+                var: x,
+                branches: vec![
+                    CaseBranch { con: p.f.zero, fresh: vec![] },
+                    CaseBranch { con: p.f.succ, fresh: vec![xp] },
+                ],
+            },
+            vec![zb, sb],
+        );
+        let g0 = edge_graph(&proof, root, 0);
+        assert_eq!(g0.label(y, y), Some(Label::NonStrict));
+        assert_eq!(g0.label(x, x), None, "analysed variable is consumed");
+        let g1 = edge_graph(&proof, root, 1);
+        assert_eq!(g1.label(x, xp), Some(Label::Strict));
+        assert_eq!(g1.label(y, y), Some(Label::NonStrict));
+    }
+
+    #[test]
+    fn global_edges_counts_all_premises() {
+        let proof = example_3_2();
+        // Root has two premises; refl has none.
+        assert_eq!(global_edges(&proof).len(), 2);
+    }
+}

@@ -1,0 +1,148 @@
+//! Rendering preproofs as text trees (with labelled back edges, matching the
+//! paper's presentation, Remark 3.2) and as Graphviz DOT.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use cycleq_term::Signature;
+
+use crate::node::{NodeId, RuleApp};
+use crate::preproof::Preproof;
+
+/// Renders the proof as an indented tree rooted at `root`.
+///
+/// Nodes referenced by back edges are labelled with their index; a back-edge
+/// premise is shown as `(n)` without expansion, mirroring the paper's
+/// figures.
+pub fn render_text(proof: &Preproof, sig: &Signature, root: NodeId) -> String {
+    // Collect back-edge targets so we can label them.
+    let mut labelled: BTreeSet<NodeId> = BTreeSet::new();
+    for (v, n) in proof.nodes() {
+        for p in &n.premises {
+            if proof.is_back_edge(v, *p) {
+                labelled.insert(*p);
+            }
+        }
+    }
+    let mut out = String::new();
+    let mut visited: BTreeSet<NodeId> = BTreeSet::new();
+    render_node(proof, sig, root, 0, &labelled, &mut visited, &mut out);
+    out
+}
+
+fn render_node(
+    proof: &Preproof,
+    sig: &Signature,
+    id: NodeId,
+    depth: usize,
+    labelled: &BTreeSet<NodeId>,
+    visited: &mut BTreeSet<NodeId>,
+    out: &mut String,
+) {
+    let node = proof.node(id);
+    let indent = "  ".repeat(depth);
+    let label = if labelled.contains(&id) {
+        format!("{}: ", id.index())
+    } else {
+        String::new()
+    };
+    let rule = match &node.rule {
+        RuleApp::Case { var, .. } => {
+            format!("Case {}", proof.vars().name(*var))
+        }
+        other => other.name().to_string(),
+    };
+    let _ = writeln!(
+        out,
+        "{indent}{label}{}   [{rule}]",
+        node.eq.display(sig, proof.vars())
+    );
+    if !visited.insert(id) {
+        return;
+    }
+    for p in &node.premises {
+        if proof.is_back_edge(id, *p) || visited.contains(p) {
+            let _ = writeln!(out, "{}  ({})", "  ".repeat(depth + 1), p.index());
+        } else {
+            render_node(proof, sig, *p, depth + 1, labelled, visited, out);
+        }
+    }
+}
+
+/// Renders the proof graph in Graphviz DOT format: solid edges for tree
+/// premises, dashed for back edges (cycles).
+pub fn render_dot(proof: &Preproof, sig: &Signature) -> String {
+    let mut out = String::from("digraph cycleq {\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (id, node) in proof.nodes() {
+        let eq = node.eq.display(sig, proof.vars()).to_string();
+        let eq = eq.replace('"', "\\\"");
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}: {}\\n[{}]\"];",
+            id.index(),
+            id.index(),
+            eq,
+            node.rule.name()
+        );
+    }
+    for (v, p) in proof.edges() {
+        if proof.is_back_edge(v, p) {
+            let _ = writeln!(out, "  n{} -> n{} [style=dashed, color=blue];", v.index(), p.index());
+        } else {
+            let _ = writeln!(out, "  n{} -> n{};", v.index(), p.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycleq_rewrite::fixtures::nat_list_program;
+    use cycleq_term::{Equation, Term};
+
+    fn small_proof() -> (cycleq_rewrite::fixtures::ProgramFixture, Preproof, NodeId) {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let conc = proof.push_open(Equation::new(
+            Term::apps(p.f.add, vec![p.f.num(1), p.f.num(1)]),
+            p.f.num(2),
+        ));
+        let prem = proof.push_open(Equation::new(p.f.num(2), p.f.num(2)));
+        proof.justify(prem, RuleApp::Refl, vec![]);
+        proof.justify(conc, RuleApp::Reduce, vec![prem]);
+        (p, proof, conc)
+    }
+
+    #[test]
+    fn text_rendering_contains_rules_and_equations() {
+        let (p, proof, root) = small_proof();
+        let text = render_text(&proof, &p.prog.sig, root);
+        assert!(text.contains("[Reduce]"));
+        assert!(text.contains("[Refl]"));
+        assert!(text.contains("≈"));
+    }
+
+    #[test]
+    fn back_edges_are_labelled_not_expanded() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let a = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+        let b = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+        proof.justify(a, RuleApp::Reduce, vec![b]);
+        proof.justify(b, RuleApp::Reduce, vec![a]);
+        let text = render_text(&proof, &p.prog.sig, a);
+        assert!(text.contains("0: "), "cycle target is labelled: {text}");
+        assert!(text.contains("(0)"), "back edge shown as reference: {text}");
+    }
+
+    #[test]
+    fn dot_rendering_is_well_formed() {
+        let (p, proof, _) = small_proof();
+        let dot = render_dot(&proof, &p.prog.sig);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,295 @@
+//! The proof transformations of Fig. 6 (§5.1).
+//!
+//! The paper justifies restricting `(Subst)` lemmas to `(Case)`-justified
+//! nodes by exhibiting rewrites that eliminate the other choices from any
+//! proof:
+//!
+//! 1. **Unreduced lemmas** (Fig. 6, top): a lemma justified by `(Reduce)`
+//!    can be replaced by its reduced premise; by confluence the new
+//!    continuation normalises to the same equation as the old one.
+//! 2. **Nested substitution** (Fig. 6, bottom): a lemma justified by
+//!    `(Subst)` can be replaced by *its* lemma, because contexts and
+//!    substitutions compose; the application re-associates into the
+//!    continuation.
+//!
+//! [`eliminate_redundant_lemmas`] applies both rewrites to a fixpoint,
+//! returning the transformed proof and the number of rewrites performed.
+//! Proofs produced by the search under the default
+//! `LemmaPolicy::CaseOnly` contain no redundancies by construction —
+//! which the tests pin down.
+
+use cycleq_term::Equation;
+
+use crate::node::{NodeId, RuleApp, SubstApp};
+use crate::preproof::Preproof;
+
+/// Statistics from [`eliminate_redundant_lemmas`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct RedundancyReport {
+    /// Applications of the unreduced-lemma rewrite (Fig. 6 top).
+    pub unreduced_lemmas: usize,
+    /// Applications of the nested-substitution rewrite (Fig. 6 bottom).
+    pub nested_substs: usize,
+}
+
+impl RedundancyReport {
+    /// Total rewrites performed.
+    pub fn total(&self) -> usize {
+        self.unreduced_lemmas + self.nested_substs
+    }
+}
+
+/// Counts the `(Subst)` nodes whose lemma is justified by something other
+/// than `(Case)` — the redundancy the §5.1 restriction rules out.
+pub fn count_redundant_lemmas(proof: &Preproof) -> usize {
+    proof
+        .nodes()
+        .filter(|(_, n)| {
+            if !matches!(n.rule, RuleApp::Subst(_)) {
+                return false;
+            }
+            let lemma = n.premises[0];
+            !matches!(proof.node(lemma).rule, RuleApp::Case { .. })
+        })
+        .count()
+}
+
+/// Applies the Fig. 6 rewrites until no `(Subst)` node uses a lemma
+/// justified by `(Reduce)` or `(Subst)`, mutating the proof in place.
+///
+/// Lemmas justified by other rules are left alone: `(Refl)`-justified
+/// lemmas induce no-op substitutions (harmless), and `(Cong)`/`(FunExt)`
+/// lemmas are never produced by the search's lemma policies. The top
+/// rewrite requires the lemma's matched side to be preserved by its
+/// `(Reduce)` premise — exactly the paper's precondition that goals (and
+/// hence the matched `M`) are kept in normal form.
+pub fn eliminate_redundant_lemmas(proof: &mut Preproof) -> RedundancyReport {
+    let mut report = RedundancyReport::default();
+    // Fixpoint loop; each pass scans all nodes. Rewrites only add nodes and
+    // re-target premises, so node ids remain stable.
+    loop {
+        let mut changed = false;
+        for idx in 0..proof.len() {
+            let v = NodeId::from_index(idx);
+            let RuleApp::Subst(app) = proof.node(v).rule.clone() else {
+                continue;
+            };
+            let lemma_id = proof.node(v).premises[0];
+            let cont_id = proof.node(v).premises[1];
+            match proof.node(lemma_id).rule.clone() {
+                RuleApp::Reduce => {
+                    // Fig. 6 (top): use the reduced premise directly.
+                    let reduced = proof.node(lemma_id).premises[0];
+                    // The occurrence in the conclusion is an instance of the
+                    // *unreduced* side; that side must be unchanged by the
+                    // reduction for the rewrite to preserve the occurrence.
+                    let old_from = pick_side(&proof.node(lemma_id).eq, app.lemma_flipped);
+                    let new_lemma_eq = proof.node(reduced).eq.clone();
+                    let (new_from_matches, flipped) =
+                        orient_against(&new_lemma_eq, &old_from);
+                    if !new_from_matches {
+                        continue;
+                    }
+                    let new_to = pick_side(&new_lemma_eq, !flipped);
+                    // New continuation: C[N'θ] ≈ P. It is conversion-equal
+                    // to the old continuation (confluence), so justify it by
+                    // (Reduce) with the old continuation as premise.
+                    let side_term = app.side.of(&proof.node(v).eq).clone();
+                    let Some(rewritten) =
+                        side_term.replace_at(&app.pos, app.theta.apply(&new_to))
+                    else {
+                        continue;
+                    };
+                    let untouched = app.side.flip().of(&proof.node(v).eq).clone();
+                    let cont_eq = match app.side {
+                        crate::node::Side::Lhs => Equation::new(rewritten, untouched),
+                        crate::node::Side::Rhs => Equation::new(untouched, rewritten),
+                    };
+                    let new_cont = proof.push_open(cont_eq);
+                    proof.justify(new_cont, RuleApp::Reduce, vec![cont_id]);
+                    proof.justify(
+                        v,
+                        RuleApp::Subst(SubstApp {
+                            side: app.side,
+                            pos: app.pos.clone(),
+                            theta: app.theta.clone(),
+                            lemma_flipped: flipped,
+                        }),
+                        vec![reduced, new_cont],
+                    );
+                    report.unreduced_lemmas += 1;
+                    changed = true;
+                }
+                RuleApp::Subst(inner) => {
+                    // Fig. 6 (bottom): re-associate, using the inner lemma
+                    // directly. Requires the outer occurrence to have
+                    // matched the side of the lemma that contains the inner
+                    // rewrite (otherwise the composite position is not
+                    // defined).
+                    let inner_side_is_from = match (app.lemma_flipped, inner.side) {
+                        (false, crate::node::Side::Lhs) => true,
+                        (true, crate::node::Side::Rhs) => true,
+                        _ => false,
+                    };
+                    if !inner_side_is_from {
+                        continue;
+                    }
+                    let inner_lemma = proof.node(lemma_id).premises[0];
+                    let inner_cont = proof.node(lemma_id).premises[1];
+                    if inner_lemma == v || inner_lemma == lemma_id {
+                        continue; // degenerate self-reference; leave alone
+                    }
+                    // Composite: position pos_v · pos_L, substitution
+                    // θ_inner then σ_outer.
+                    let comp_pos = app.pos.join(&inner.pos);
+                    let comp_theta = inner.theta.then(&app.theta);
+                    // New mid continuation: C[(D[Nθ])σ] ≈ P.
+                    let inner_to = pick_side(
+                        &proof.node(inner_lemma).eq,
+                        !inner.lemma_flipped,
+                    );
+                    let side_term = app.side.of(&proof.node(v).eq).clone();
+                    let Some(rewritten) =
+                        side_term.replace_at(&comp_pos, comp_theta.apply(&inner_to))
+                    else {
+                        continue;
+                    };
+                    let untouched = app.side.flip().of(&proof.node(v).eq).clone();
+                    let mid_eq = match app.side {
+                        crate::node::Side::Lhs => {
+                            Equation::new(rewritten, untouched)
+                        }
+                        crate::node::Side::Rhs => {
+                            Equation::new(untouched, rewritten)
+                        }
+                    };
+                    let mid = proof.push_open(mid_eq);
+                    // Mid node: Subst with the *inner continuation* as
+                    // lemma, rewriting (D[Nθ])σ to P'σ at pos_v.
+                    proof.justify(
+                        mid,
+                        RuleApp::Subst(SubstApp {
+                            side: app.side,
+                            pos: app.pos.clone(),
+                            theta: app.theta.clone(),
+                            lemma_flipped: false,
+                        }),
+                        vec![inner_cont, cont_id],
+                    );
+                    // Top node: Subst with the inner lemma at the composite
+                    // position.
+                    proof.justify(
+                        v,
+                        RuleApp::Subst(SubstApp {
+                            side: app.side,
+                            pos: comp_pos,
+                            theta: comp_theta,
+                            lemma_flipped: inner.lemma_flipped,
+                        }),
+                        vec![inner_lemma, mid],
+                    );
+                    report.nested_substs += 1;
+                    changed = true;
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            return report;
+        }
+    }
+}
+
+/// The side of `eq` selected by the orientation flag (`false` = lhs).
+fn pick_side(eq: &Equation, flipped: bool) -> cycleq_term::Term {
+    if flipped {
+        eq.rhs().clone()
+    } else {
+        eq.lhs().clone()
+    }
+}
+
+/// Whether `target` occurs as a side of `eq`; returns `(found, flipped)`.
+fn orient_against(eq: &Equation, target: &cycleq_term::Term) -> (bool, bool) {
+    if eq.lhs() == target {
+        (true, false)
+    } else if eq.rhs() == target {
+        (true, true)
+    } else {
+        (false, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, GlobalCheck};
+    use crate::node::{Side, SubstApp};
+    use cycleq_rewrite::fixtures::nat_list_program;
+    use cycleq_term::{Position, Subst, Term, VarStore};
+
+    /// Builds a proof whose lemma is a chain of Reduce-justified nodes —
+    /// the Fig. 6 (top) shape: the lemma's `M` side is in normal form and
+    /// only its `N` side reduces. The rewrite must chase the chain to a
+    /// fixpoint.
+    #[test]
+    fn unreduced_lemma_chain_is_eliminated() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let one = p.f.num(1);
+        let add0 = |t: Term| Term::apps(p.f.add, vec![p.f.num(0), t]);
+        // refl:  S Z ≈ S Z                         [Refl]
+        // mid:   S Z ≈ add Z (S Z)                 [Reduce → refl]
+        // outer: S Z ≈ add Z (add Z (S Z))         [Reduce → mid]
+        let refl = proof.push_open(Equation::new(one.clone(), one.clone()));
+        proof.justify(refl, RuleApp::Refl, vec![]);
+        let mid = proof.push_open(Equation::new(one.clone(), add0(one.clone())));
+        proof.justify(mid, RuleApp::Reduce, vec![refl]);
+        let outer = proof.push_open(Equation::new(one.clone(), add0(add0(one.clone()))));
+        proof.justify(outer, RuleApp::Reduce, vec![mid]);
+        // Goal: len (Cons Z Nil) ≈ S Z, rewriting the rhs occurrence of
+        // `S Z` with the *outer* (unreduced) lemma.
+        let lhs = Term::apps(p.f.len, vec![p.f.list_t(vec![p.f.num(0)])]);
+        let goal = proof.push_open(Equation::new(lhs.clone(), one.clone()));
+        let cont = proof.push_open(Equation::new(lhs.clone(), add0(add0(one.clone()))));
+        let cont_refl = proof.push_open(Equation::new(one.clone(), one.clone()));
+        proof.justify(cont_refl, RuleApp::Refl, vec![]);
+        proof.justify(cont, RuleApp::Reduce, vec![cont_refl]);
+        proof.justify(
+            goal,
+            RuleApp::Subst(SubstApp {
+                side: Side::Rhs,
+                pos: Position::root(),
+                theta: Subst::new(),
+                lemma_flipped: false,
+            }),
+            vec![outer, cont],
+        );
+        check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        assert_eq!(count_redundant_lemmas(&proof), 1);
+
+        let report = eliminate_redundant_lemmas(&mut proof);
+        // Two rewrites: outer → mid, then mid → refl.
+        assert_eq!(report.unreduced_lemmas, 2);
+        assert_eq!(report.nested_substs, 0);
+        // The transformed proof still checks; the goal's lemma premise has
+        // been chased down to the fully reduced node.
+        check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        let lemma_now = proof.node(goal).premises[0];
+        assert_eq!(lemma_now, refl);
+    }
+
+    /// An already-clean proof is untouched.
+    #[test]
+    fn clean_proofs_are_fixpoints() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let id = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+        proof.justify(id, RuleApp::Refl, vec![]);
+        assert_eq!(count_redundant_lemmas(&proof), 0);
+        let report = eliminate_redundant_lemmas(&mut proof);
+        assert_eq!(report.total(), 0);
+        check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        let _ = VarStore::new();
+    }
+}

@@ -1,0 +1,240 @@
+//! Adversarial tests for the independent checker: hand-built *wrong* proofs
+//! must be rejected with the right error, at both the local and the global
+//! level. The checker is the trust anchor of the whole system — a search
+//! bug must not be able to sneak an unsound proof past it.
+
+use cycleq_proof::{
+    check, CaseBranch, CheckErrorKind, GlobalCheck, Preproof, RuleApp, Side, SubstApp,
+};
+use cycleq_rewrite::fixtures::nat_list_program;
+use cycleq_term::{Equation, Position, Subst, Term, VarStore};
+
+type Fixture = cycleq_rewrite::fixtures::ProgramFixture;
+
+fn fixture() -> Fixture {
+    nat_list_program()
+}
+
+#[test]
+fn subst_with_wrong_substitution_is_rejected() {
+    let p = fixture();
+    let mut proof = Preproof::new();
+    let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+    // Lemma: add x Z ≈ x (pretend-justified by Refl — itself wrong, but the
+    // checker visits nodes in order and we make the lemma node 1).
+    let goal = proof.push_open(Equation::new(
+        Term::apps(p.f.add, vec![p.f.num(1), Term::sym(p.f.zero)]),
+        p.f.num(1),
+    ));
+    let lemma = proof.push_open(Equation::new(
+        Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]),
+        Term::var(x),
+    ));
+    let refl = proof.push_open(Equation::new(p.f.num(1), p.f.num(1)));
+    proof.justify(refl, RuleApp::Refl, vec![]);
+    proof.justify(lemma, RuleApp::Refl, vec![]); // bogus, caught later
+    // θ binds x to the WRONG term (2 instead of 1).
+    proof.justify(
+        goal,
+        RuleApp::Subst(SubstApp {
+            side: Side::Lhs,
+            pos: Position::root(),
+            theta: Subst::singleton(x, p.f.num(2)),
+            lemma_flipped: false,
+        }),
+        vec![lemma, refl],
+    );
+    let e = check(&proof, &p.prog, GlobalCheck::TrustConstruction).unwrap_err();
+    assert!(matches!(e.kind, CheckErrorKind::BadSubst(_)), "{e:?}");
+}
+
+#[test]
+fn subst_with_wrong_continuation_is_rejected() {
+    let p = fixture();
+    let mut proof = Preproof::new();
+    let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+    let goal = proof.push_open(Equation::new(
+        Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]),
+        Term::var(x),
+    ));
+    let zb = proof.push_open(Equation::new(
+        Term::apps(p.f.add, vec![Term::sym(p.f.zero), Term::sym(p.f.zero)]),
+        Term::sym(p.f.zero),
+    ));
+    let xp = proof.vars_mut().fresh("x'", p.f.nat_ty());
+    let sb = proof.push_open(Equation::new(
+        Term::apps(p.f.add, vec![p.f.s(Term::var(xp)), Term::sym(p.f.zero)]),
+        p.f.s(Term::var(xp)),
+    ));
+    proof.justify(
+        goal,
+        RuleApp::Case {
+            var: x,
+            branches: vec![
+                CaseBranch { con: p.f.zero, fresh: vec![] },
+                CaseBranch { con: p.f.succ, fresh: vec![xp] },
+            ],
+        },
+        vec![zb, sb],
+    );
+    let zr = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+    proof.justify(zr, RuleApp::Refl, vec![]);
+    proof.justify(zb, RuleApp::Reduce, vec![zr]);
+    // S branch: claim a Subst with the goal as lemma but a continuation
+    // that does not match the rewrite.
+    let bogus_cont = proof.push_open(Equation::new(p.f.num(3), p.f.num(3)));
+    proof.justify(bogus_cont, RuleApp::Refl, vec![]);
+    proof.justify(
+        sb,
+        RuleApp::Subst(SubstApp {
+            side: Side::Lhs,
+            pos: Position::root(),
+            theta: Subst::singleton(x, p.f.s(Term::var(xp))),
+            lemma_flipped: false,
+        }),
+        vec![goal, bogus_cont],
+    );
+    let e = check(&proof, &p.prog, GlobalCheck::TrustConstruction).unwrap_err();
+    assert!(matches!(e.kind, CheckErrorKind::BadSubst(_)), "{e:?}");
+}
+
+#[test]
+fn case_with_stale_variable_is_rejected() {
+    // Fresh variables that are not fresh (they occur in the conclusion).
+    let p = fixture();
+    let mut proof = Preproof::new();
+    let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+    let y = proof.vars_mut().fresh("y", p.f.nat_ty());
+    let goal = proof.push_open(Equation::new(
+        Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+        Term::var(y),
+    ));
+    let zb = proof.push_open(Equation::new(
+        Term::apps(p.f.add, vec![Term::sym(p.f.zero), Term::var(y)]),
+        Term::var(y),
+    ));
+    // Reuse y as the "fresh" S-argument.
+    let sb = proof.push_open(Equation::new(
+        Term::apps(p.f.add, vec![p.f.s(Term::var(y)), Term::var(y)]),
+        Term::var(y),
+    ));
+    let dummy = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+    proof.justify(dummy, RuleApp::Refl, vec![]);
+    proof.justify(zb, RuleApp::Reduce, vec![dummy]);
+    proof.justify(sb, RuleApp::Reduce, vec![dummy]);
+    proof.justify(
+        goal,
+        RuleApp::Case {
+            var: x,
+            branches: vec![
+                CaseBranch { con: p.f.zero, fresh: vec![] },
+                CaseBranch { con: p.f.succ, fresh: vec![y] },
+            ],
+        },
+        vec![zb, sb],
+    );
+    let e = check(&proof, &p.prog, GlobalCheck::TrustConstruction).unwrap_err();
+    assert!(
+        matches!(e.kind, CheckErrorKind::BadCaseSplit(_) | CheckErrorKind::NotAReduct),
+        "{e:?}"
+    );
+}
+
+#[test]
+fn funext_with_captured_variable_is_rejected() {
+    let p = fixture();
+    let mut proof = Preproof::new();
+    let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+    // Goal mentions x; using x as the "fresh" extensionality variable is
+    // capture.
+    let goal = proof.push_open(Equation::new(
+        Term::apps(p.f.add, vec![Term::var(x)]),
+        Term::apps(p.f.add, vec![Term::var(x)]),
+    ));
+    let prem = proof.push_open(Equation::new(
+        Term::apps(p.f.add, vec![Term::var(x), Term::var(x)]),
+        Term::apps(p.f.add, vec![Term::var(x), Term::var(x)]),
+    ));
+    proof.justify(prem, RuleApp::Refl, vec![]);
+    proof.justify(goal, RuleApp::FunExt { fresh: x }, vec![prem]);
+    let e = check(&proof, &p.prog, GlobalCheck::TrustConstruction).unwrap_err();
+    assert_eq!(e.kind, CheckErrorKind::BadExtensionality);
+}
+
+#[test]
+fn dangling_premises_are_rejected() {
+    let p = fixture();
+    let mut proof = Preproof::new();
+    let goal = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+    proof.justify(goal, RuleApp::Reduce, vec![cycleq_proof::NodeId::from_index(7)]);
+    let e = check(&proof, &p.prog, GlobalCheck::TrustConstruction).unwrap_err();
+    assert_eq!(e.kind, CheckErrorKind::DanglingPremise);
+}
+
+#[test]
+fn globally_unsound_mutual_recursion_is_rejected() {
+    // Two nodes proving each other by Subst with identity-like θ: locally
+    // fine, globally circular with no decrease.
+    let p = fixture();
+    let mut proof = Preproof::new();
+    let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+    let a_eq = Equation::new(
+        Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]),
+        Term::var(x),
+    );
+    let a = proof.push_open(a_eq.clone());
+    let refl = proof.push_open(Equation::new(Term::var(x), Term::var(x)));
+    proof.justify(refl, RuleApp::Refl, vec![]);
+    // a rewrites its own lhs occurrence using itself as lemma.
+    proof.justify(
+        a,
+        RuleApp::Subst(SubstApp {
+            side: Side::Lhs,
+            pos: Position::root(),
+            theta: Subst::singleton(x, Term::var(x)),
+            lemma_flipped: false,
+        }),
+        vec![a, refl],
+    );
+    assert!(check(&proof, &p.prog, GlobalCheck::TrustConstruction).is_ok());
+    let e = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap_err();
+    assert_eq!(e.kind, CheckErrorKind::GloballyUnsound);
+}
+
+#[test]
+fn valid_search_proof_passes_all_modes() {
+    // Sanity: a genuine proof passes both global modes.
+    let p = fixture();
+    let mut vars = VarStore::new();
+    let x = vars.fresh("x", p.f.nat_ty());
+    let goal = Equation::new(
+        Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]),
+        Term::var(x),
+    );
+    let res = cycleq_search::Prover::new(&p.prog).prove(goal, vars);
+    assert!(res.outcome.is_proved());
+    check(&res.proof, &p.prog, GlobalCheck::TrustConstruction).unwrap();
+    check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+}
+
+#[test]
+fn search_proofs_have_no_redundant_lemmas() {
+    // §5.1 in reverse: under the default CaseOnly policy the search never
+    // produces a (Subst) whose lemma is justified by (Refl)/(Reduce)/
+    // (Subst), so the Fig. 6 rewrites find nothing to do.
+    let p = fixture();
+    let mut vars = VarStore::new();
+    let x = vars.fresh("x", p.f.nat_ty());
+    let y = vars.fresh("y", p.f.nat_ty());
+    let goal = Equation::new(
+        Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+        Term::apps(p.f.add, vec![Term::var(y), Term::var(x)]),
+    );
+    let res = cycleq_search::Prover::new(&p.prog).prove(goal, vars);
+    assert!(res.outcome.is_proved());
+    let mut proof = res.proof;
+    assert_eq!(cycleq_proof::count_redundant_lemmas(&proof), 0);
+    let report = cycleq_proof::eliminate_redundant_lemmas(&mut proof);
+    assert_eq!(report.total(), 0, "nothing to rewrite");
+    check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+}

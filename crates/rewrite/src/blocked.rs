@@ -1,0 +1,197 @@
+//! Blocked-variable analysis: which variables prevent further reduction.
+//!
+//! The search's `(Case)` rule "always selects a variable preventing further
+//! (non-strict) reduction, much like needed narrowing" (§6). A stuck,
+//! fully-applied, defined-head subterm fails to match every rule for its
+//! head; whenever a rule's pattern expects a constructor at a position where
+//! the subject has a variable, that variable *blocks* the rule. Case
+//! analysis on a blocking variable makes progress: at least one constructor
+//! branch unblocks the rule.
+
+use cycleq_term::{Head, Signature, Term, VarId};
+
+use crate::reduce::Rewriter;
+use crate::trs::Trs;
+
+/// Outcome of simulating one pattern column.
+#[derive(PartialEq, Eq, Debug, Clone, Copy)]
+enum Sim {
+    /// The pattern structurally matches.
+    Match,
+    /// A constructor clash: the rule can never apply to instances obtained
+    /// by case analysis alone.
+    Clash,
+    /// Matching is stuck on a variable or inner redex.
+    Blocked,
+}
+
+fn simulate_rule(pat: &Term, arg: &Term, sig: &Signature, blockers: &mut Vec<VarId>) -> Sim {
+    // Clashes against defined-head arguments are downgraded to Blocked: the
+    // inner redex is analysed at its own position.
+    match pat.head() {
+        Head::Var(_) => Sim::Match,
+        Head::Sym(_) => {
+            if arg.head_sym().is_some_and(|h| sig.is_defined(h)) {
+                return Sim::Blocked;
+            }
+            match (pat.head(), arg.head()) {
+                (Head::Sym(k), Head::Sym(k2)) if k == k2 && pat.args().len() == arg.args().len() => {
+                    let mut out = Sim::Match;
+                    for (p, a) in pat.args().iter().zip(arg.args()) {
+                        match simulate_rule(p, a, sig, blockers) {
+                            Sim::Clash => return Sim::Clash,
+                            Sim::Blocked => out = Sim::Blocked,
+                            Sim::Match => {}
+                        }
+                    }
+                    out
+                }
+                (Head::Sym(_), Head::Sym(_)) => Sim::Clash,
+                (Head::Sym(_), Head::Var(v)) => {
+                    if arg.args().is_empty() && !blockers.contains(&v) {
+                        blockers.push(v);
+                    }
+                    Sim::Blocked
+                }
+                _ => unreachable!("pattern head is a symbol"),
+            }
+        }
+    }
+}
+
+/// Variables blocking rule matching at the *root* of `term`, in rule order.
+///
+/// Returns an empty vector when the root is not a stuck, fully-applied,
+/// defined-head redex, or when its matching failures are attributable only
+/// to inner redexes or applied higher-order variables.
+pub fn root_case_candidates(sig: &Signature, trs: &Trs, term: &Term) -> Vec<VarId> {
+    let mut out: Vec<VarId> = Vec::new();
+    let Some(head) = term.head_sym() else {
+        return out;
+    };
+    if !sig.is_defined(head) {
+        return out;
+    }
+    for id in trs.rules_for(head) {
+        let rule = trs.rule(*id);
+        if rule.params().len() != term.args().len() {
+            continue;
+        }
+        if rule.apply_root(term).is_some() {
+            // Reducible at the root: not stuck, nothing blocks.
+            return Vec::new();
+        }
+        let mut blockers = Vec::new();
+        let mut verdict = Sim::Match;
+        for (p, a) in rule.params().iter().zip(term.args()) {
+            match simulate_rule(p, a, sig, &mut blockers) {
+                Sim::Clash => {
+                    verdict = Sim::Clash;
+                    break;
+                }
+                Sim::Blocked => verdict = Sim::Blocked,
+                Sim::Match => {}
+            }
+        }
+        if verdict == Sim::Blocked {
+            for v in blockers {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Variables blocking reduction of `term`, ordered by preference: blockers
+/// of leftmost-outermost stuck redexes first, then by rule order.
+///
+/// Returns an empty vector when the term has no stuck defined-head subterm
+/// whose matching failure is attributable to a variable (e.g. a goal that is
+/// already a constructor normal form, or one stuck only on applied
+/// higher-order variables).
+pub fn case_candidates(sig: &Signature, trs: &Trs, term: &Term) -> Vec<VarId> {
+    let rw = Rewriter::new(sig, trs);
+    let mut out: Vec<VarId> = Vec::new();
+    for pos in rw.defined_positions(term) {
+        let sub = term.at(&pos).expect("position from defined_positions");
+        if rw.step_root(sub).is_some() {
+            continue; // reducible, not stuck
+        }
+        for v in root_case_candidates(sig, trs, sub) {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::nat_list_program;
+    use cycleq_term::{Term, VarStore};
+
+    #[test]
+    fn stuck_add_blocks_on_first_argument() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        let t = Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]);
+        assert_eq!(case_candidates(&p.prog.sig, &p.prog.trs, &t), vec![x]);
+    }
+
+    #[test]
+    fn reducible_terms_have_no_candidates() {
+        let p = nat_list_program();
+        let t = Term::apps(p.f.add, vec![p.f.num(0), p.f.num(1)]);
+        assert!(case_candidates(&p.prog.sig, &p.prog.trs, &t).is_empty());
+    }
+
+    #[test]
+    fn constructor_normal_forms_have_no_candidates() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let t = p.f.s(Term::var(x));
+        assert!(case_candidates(&p.prog.sig, &p.prog.trs, &t).is_empty());
+    }
+
+    #[test]
+    fn inner_stuck_redex_contributes_its_blocker() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        // add (add x Z) Z: outer is blocked on the inner redex; inner is
+        // blocked on x. Only x should be reported.
+        let inner = Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]);
+        let t = Term::apps(p.f.add, vec![inner, Term::sym(p.f.zero)]);
+        assert_eq!(case_candidates(&p.prog.sig, &p.prog.trs, &t), vec![x]);
+    }
+
+    #[test]
+    fn leftmost_outermost_preference() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        // add x (add y Z): x blocks the outer redex, y the inner one.
+        let inner = Term::apps(p.f.add, vec![Term::var(y), Term::sym(p.f.zero)]);
+        let t = Term::apps(p.f.add, vec![Term::var(x), inner]);
+        assert_eq!(case_candidates(&p.prog.sig, &p.prog.trs, &t), vec![x, y]);
+    }
+
+    #[test]
+    fn applied_variable_heads_are_not_candidates() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let g = vars.fresh("g", cycleq_term::Type::arrow(p.f.nat_ty(), p.f.nat_ty()));
+        let xs = vars.fresh("xs", p.f.list_ty(p.f.nat_ty()));
+        // map g xs: xs blocks; g does not (it is a function variable).
+        let t = Term::apps(p.f.map, vec![Term::var(g), Term::var(xs)]);
+        assert_eq!(case_candidates(&p.prog.sig, &p.prog.trs, &t), vec![xs]);
+    }
+}

@@ -1,0 +1,269 @@
+//! Pattern completeness: the "complete" assumption of Remark 2.1.
+//!
+//! A program is complete when no closed, first-order, defined-head term is
+//! in normal form — i.e. every defined function's pattern matrix covers all
+//! constructor combinations. The check is the classical usefulness
+//! algorithm on pattern matrices (specialisation by constructor plus a
+//! default row for variables), returning a concrete uncovered argument
+//! vector as a witness when coverage fails.
+
+use std::fmt;
+
+use cycleq_term::{Head, Signature, SymId, Term};
+
+use crate::trs::Trs;
+
+/// A witness pattern for an uncovered case.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WitnessPat {
+    /// Any value (a wildcard).
+    Any,
+    /// A constructor applied to witness patterns.
+    Con(SymId, Vec<WitnessPat>),
+}
+
+impl WitnessPat {
+    /// Renders the witness against a signature.
+    pub fn display(&self, sig: &Signature) -> String {
+        match self {
+            WitnessPat::Any => "_".to_string(),
+            WitnessPat::Con(k, args) => {
+                if args.is_empty() {
+                    sig.sym(*k).name().to_string()
+                } else {
+                    let inner: Vec<String> = args.iter().map(|a| a.display(sig)).collect();
+                    format!("({} {})", sig.sym(*k).name(), inner.join(" "))
+                }
+            }
+        }
+    }
+}
+
+/// The result of a completeness check for one defined symbol.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Completeness {
+    /// All constructor combinations are covered.
+    Complete,
+    /// The argument vector in `witness` is not covered by any rule.
+    Incomplete {
+        /// The uncovered arguments, one per parameter.
+        witness: Vec<WitnessPat>,
+    },
+}
+
+impl fmt::Display for Completeness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Completeness::Complete => write!(f, "complete"),
+            Completeness::Incomplete { witness } => {
+                write!(f, "incomplete ({} missing pattern(s))", witness.len())
+            }
+        }
+    }
+}
+
+/// Row = the parameter patterns of one rule (flattened during recursion).
+type Matrix = Vec<Vec<Term>>;
+
+fn find_witness(sig: &Signature, rows: Matrix, width: usize) -> Option<Vec<WitnessPat>> {
+    if width == 0 {
+        return if rows.is_empty() { Some(Vec::new()) } else { None };
+    }
+    if rows.is_empty() {
+        return Some(vec![WitnessPat::Any; width]);
+    }
+    // Constructors appearing in the first column.
+    let mut present: Vec<SymId> = Vec::new();
+    for row in &rows {
+        if let Head::Sym(k) = row[0].head() {
+            if !present.contains(&k) {
+                present.push(k);
+            }
+        }
+    }
+    if present.is_empty() {
+        // All first-column patterns are variables: drop the column.
+        let rest: Matrix = rows.into_iter().map(|r| r[1..].to_vec()).collect();
+        let w = find_witness(sig, rest, width - 1)?;
+        let mut out = vec![WitnessPat::Any];
+        out.extend(w);
+        return Some(out);
+    }
+    // Determine the datatype from any present constructor.
+    let data = match sig.sym(present[0]).kind() {
+        cycleq_term::SymKind::Constructor(d) => d,
+        cycleq_term::SymKind::Defined => unreachable!("patterns contain no defined symbols"),
+    };
+    let has_var_row = rows.iter().any(|r| matches!(r[0].head(), Head::Var(_)));
+    for &k in sig.constructors_of(data) {
+        let arity = sig.constructor_arity(k);
+        if !present.contains(&k) && !has_var_row {
+            // k is entirely uncovered.
+            let mut out = vec![WitnessPat::Con(k, vec![WitnessPat::Any; arity])];
+            out.extend(vec![WitnessPat::Any; width - 1]);
+            return Some(out);
+        }
+        // Specialise the matrix for k.
+        let mut spec: Matrix = Vec::new();
+        for row in &rows {
+            match row[0].head() {
+                Head::Var(_) => {
+                    // Wildcard row: expands to fresh wildcards. Represent a
+                    // wildcard as the same variable pattern — any bare var
+                    // works since only heads matter here. Reuse row[0].
+                    let mut new_row = vec![row[0].clone(); arity];
+                    new_row.extend_from_slice(&row[1..]);
+                    spec.push(new_row);
+                }
+                Head::Sym(k2) if k2 == k => {
+                    let mut new_row: Vec<Term> = row[0].args().to_vec();
+                    new_row.extend_from_slice(&row[1..]);
+                    spec.push(new_row);
+                }
+                Head::Sym(_) => {}
+            }
+        }
+        if let Some(w) = find_witness(sig, spec, arity + width - 1) {
+            let (kargs, rest) = w.split_at(arity);
+            let mut out = vec![WitnessPat::Con(k, kargs.to_vec())];
+            out.extend_from_slice(rest);
+            return Some(out);
+        }
+    }
+    None
+}
+
+/// Checks pattern completeness of one defined symbol.
+///
+/// Symbols with no rules at all are complete only if unreachable; they are
+/// reported as incomplete with an all-wildcard witness when `arity` is
+/// known, and complete otherwise (no rule fixes an arity to check).
+pub fn check_symbol(sig: &Signature, trs: &Trs, sym: SymId) -> Completeness {
+    let ids = trs.rules_for(sym);
+    let Some(first) = ids.first() else {
+        return Completeness::Complete;
+    };
+    let width = trs.rule(*first).params().len();
+    let rows: Matrix = ids
+        .iter()
+        .map(|id| trs.rule(*id).params().to_vec())
+        .collect();
+    match find_witness(sig, rows, width) {
+        Some(witness) => Completeness::Incomplete { witness },
+        None => Completeness::Complete,
+    }
+}
+
+/// Checks every defined symbol with at least one rule, returning the
+/// incomplete ones with witnesses.
+pub fn check_program(sig: &Signature, trs: &Trs) -> Vec<(SymId, Vec<WitnessPat>)> {
+    let mut out = Vec::new();
+    for (id, decl) in sig.syms() {
+        if decl.kind() != cycleq_term::SymKind::Defined {
+            continue;
+        }
+        if let Completeness::Incomplete { witness } = check_symbol(sig, trs, id) {
+            out.push((id, witness));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::nat_list_program;
+    use crate::trs::Trs;
+    use cycleq_term::{Term, Type, TypeScheme};
+
+    #[test]
+    fn fixture_program_is_complete() {
+        let p = nat_list_program();
+        assert!(check_program(&p.prog.sig, &p.prog.trs).is_empty());
+    }
+
+    #[test]
+    fn missing_constructor_case_is_reported() {
+        let f = cycleq_term::fixtures::NatList::new();
+        let mut sig = f.sig.clone();
+        let pred = sig
+            .add_defined(
+                "pred",
+                TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())),
+            )
+            .unwrap();
+        let mut trs = Trs::new();
+        let x = trs.vars_mut().fresh("x", f.nat_ty());
+        // Only the S case: pred (S x) = x. Missing Z.
+        trs.add_rule(&sig, pred, vec![f.s(Term::var(x))], Term::var(x))
+            .unwrap();
+        match check_symbol(&sig, &trs, pred) {
+            Completeness::Incomplete { witness } => {
+                assert_eq!(witness.len(), 1);
+                assert_eq!(witness[0].display(&sig), "Z");
+            }
+            Completeness::Complete => panic!("pred should be incomplete"),
+        }
+    }
+
+    #[test]
+    fn missing_nested_case_is_reported() {
+        let f = cycleq_term::fixtures::NatList::new();
+        let mut sig = f.sig.clone();
+        let half = sig
+            .add_defined(
+                "half",
+                TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())),
+            )
+            .unwrap();
+        let mut trs = Trs::new();
+        let x = trs.vars_mut().fresh("x", f.nat_ty());
+        // half Z = Z; half (S (S x)) = S (half x). Missing S Z.
+        trs.add_rule(&sig, half, vec![Term::sym(f.zero)], Term::sym(f.zero))
+            .unwrap();
+        trs.add_rule(
+            &sig,
+            half,
+            vec![f.s(f.s(Term::var(x)))],
+            f.s(Term::apps(half, vec![Term::var(x)])),
+        )
+        .unwrap();
+        match check_symbol(&sig, &trs, half) {
+            Completeness::Incomplete { witness } => {
+                assert_eq!(witness[0].display(&sig), "(S Z)");
+            }
+            Completeness::Complete => panic!("half should be incomplete"),
+        }
+    }
+
+    #[test]
+    fn variable_rows_cover_everything() {
+        let f = cycleq_term::fixtures::NatList::new();
+        let mut sig = f.sig.clone();
+        let id_fn = sig
+            .add_defined("idNat", TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())))
+            .unwrap();
+        let mut trs = Trs::new();
+        let x = trs.vars_mut().fresh("x", f.nat_ty());
+        trs.add_rule(&sig, id_fn, vec![Term::var(x)], Term::var(x)).unwrap();
+        assert_eq!(check_symbol(&sig, &trs, id_fn), Completeness::Complete);
+    }
+
+    #[test]
+    fn multi_column_coverage() {
+        let p = nat_list_program();
+        // The fixture's add has rules for (Z, y) and (S x, y): complete in
+        // both columns.
+        assert_eq!(
+            check_symbol(&p.prog.sig, &p.prog.trs, p.f.add),
+            Completeness::Complete
+        );
+    }
+
+    #[test]
+    fn symbols_without_rules_are_not_flagged() {
+        let f = cycleq_term::fixtures::NatList::new();
+        let trs = Trs::new();
+        assert!(check_program(&f.sig, &trs).is_empty());
+    }
+}

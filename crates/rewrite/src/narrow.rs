@@ -1,0 +1,145 @@
+//! Narrowing: instantiate-then-reduce steps, the engine behind rewriting
+//! induction's `Expand` operator (Definition 4.1).
+//!
+//! `Expand_C(C[f M0 … Mn] = N)` overlaps the subterm `f M0 … Mn` with every
+//! rule `f N0 … Nn → L` via most general unifiers and replaces the redex by
+//! the corresponding instantiated right-hand side.
+
+use cycleq_term::{unify, Position, Signature, Subst, Term, VarStore};
+
+use crate::rule::RuleId;
+use crate::trs::Trs;
+
+/// One narrowing step at a fixed position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NarrowingStep {
+    /// The narrowed term `(C[L])θ`.
+    pub result: Term,
+    /// The most general unifier `θ`, restricted to the goal's variables.
+    pub subst: Subst,
+    /// The rule used.
+    pub rule: RuleId,
+}
+
+/// Narrows `term` at `pos` with every applicable rule.
+///
+/// Fresh variables for the rules are drawn from `vars` (the goal's variable
+/// store), so the returned substitutions and terms are well-scoped there.
+/// Returns an empty vector if the subterm at `pos` is not headed by a
+/// defined symbol with rules of matching arity.
+pub fn narrow_at(
+    sig: &Signature,
+    trs: &Trs,
+    vars: &mut VarStore,
+    term: &Term,
+    pos: &Position,
+) -> Vec<NarrowingStep> {
+    let _ = sig;
+    let Some(sub) = term.at(pos) else {
+        return Vec::new();
+    };
+    let Some(head) = sub.head_sym() else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for &id in trs.rules_for(head) {
+        let rule = trs.rule(id);
+        if rule.params().len() != sub.args().len() {
+            continue;
+        }
+        let mark = vars.len();
+        let (params, rhs) = trs.freshen_rule(id, vars);
+        let lhs = Term::apps(head, params);
+        match unify(&lhs, sub) {
+            Ok(theta) => {
+                let replaced = term
+                    .replace_at(pos, rhs)
+                    .expect("position valid by construction");
+                out.push(NarrowingStep { result: theta.apply(&replaced), subst: theta, rule: id });
+            }
+            Err(_) => {
+                // Undo the variable allocations for this rule; nothing else
+                // refers to them.
+                vars.truncate(mark);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::nat_list_program;
+    use cycleq_term::Term;
+
+    #[test]
+    fn narrowing_add_splits_on_both_rules() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        let t = Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]);
+        let steps = narrow_at(&p.prog.sig, &p.prog.trs, &mut vars, &t, &Position::root());
+        assert_eq!(steps.len(), 2);
+        // The Z-rule instance: x ↦ Z, result y.
+        assert_eq!(steps[0].subst.get(x), Some(&Term::sym(p.f.zero)));
+        assert_eq!(steps[0].result, Term::var(y));
+        // The S-rule instance: x ↦ S x', result S (add x' y).
+        let bound = steps[1].subst.get(x).unwrap();
+        assert_eq!(bound.head_sym(), Some(p.f.succ));
+        assert_eq!(steps[1].result.head_sym(), Some(p.f.succ));
+    }
+
+    #[test]
+    fn narrowing_below_the_root() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        // S (add x Z) narrowed at position 0.
+        let t = p.f.s(Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]));
+        let steps = narrow_at(
+            &p.prog.sig,
+            &p.prog.trs,
+            &mut vars,
+            &t,
+            &Position::from_indices(vec![0]),
+        );
+        assert_eq!(steps.len(), 2);
+        for s in &steps {
+            assert_eq!(s.result.head_sym(), Some(p.f.succ));
+        }
+    }
+
+    #[test]
+    fn ground_redexes_narrow_like_rewriting() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let t = Term::apps(p.f.add, vec![p.f.num(0), p.f.num(2)]);
+        let steps = narrow_at(&p.prog.sig, &p.prog.trs, &mut vars, &t, &Position::root());
+        assert_eq!(steps.len(), 1, "only the Z rule unifies");
+        assert_eq!(steps[0].result, p.f.num(2));
+        assert!(steps[0].subst.restricted_to(t.vars()).is_empty());
+    }
+
+    #[test]
+    fn failed_rules_leave_no_stray_variables() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let t = Term::apps(p.f.add, vec![p.f.num(0), p.f.num(2)]);
+        let before = vars.len();
+        let steps = narrow_at(&p.prog.sig, &p.prog.trs, &mut vars, &t, &Position::root());
+        // The S rule fails; its freshened variables must have been undone.
+        // The Z rule introduces exactly one variable (y).
+        assert_eq!(steps.len(), 1);
+        assert_eq!(vars.len(), before + 1);
+    }
+
+    #[test]
+    fn non_defined_positions_yield_nothing() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let t = p.f.num(3);
+        assert!(narrow_at(&p.prog.sig, &p.prog.trs, &mut vars, &t, &Position::root()).is_empty());
+    }
+}

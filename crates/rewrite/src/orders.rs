@@ -1,0 +1,303 @@
+//! Term orders: the subterm order `⊴` (Lemma 2.1), the lexicographic path
+//! order used as the reduction order for rewriting induction (§4), and the
+//! decreasing order `≺` (Lemma 4.1).
+
+use cycleq_term::{Head, Signature, SymId, Term};
+
+use crate::rule::RuleId;
+use crate::trs::Trs;
+
+/// A stable order on terms (§2): `M ≤ N ⟹ Mθ ≤ Nθ`.
+///
+/// Only the strict part is exposed; reflexive closure is up to the caller.
+pub trait TermOrder {
+    /// Whether `s` is strictly greater than `t`.
+    fn gt(&self, s: &Term, t: &Term) -> bool;
+}
+
+/// The (proper) subterm order `◁`, the substructural order used by the
+/// CycleQ implementation's traces (§5.2).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SubtermOrder;
+
+impl TermOrder for SubtermOrder {
+    fn gt(&self, s: &Term, t: &Term) -> bool {
+        t.is_proper_subterm_of(s)
+    }
+}
+
+/// A total precedence on function symbols for [`Lpo`].
+#[derive(Clone, Debug)]
+pub struct Precedence {
+    weight: Vec<u32>,
+}
+
+impl Precedence {
+    /// The default precedence for a signature: all constructors are smaller
+    /// than all defined symbols; within each class, declaration order
+    /// decides (later declarations are larger).
+    ///
+    /// This matches the usual convention for functional programs, where a
+    /// function defined later may call earlier ones and should therefore be
+    /// larger in the precedence.
+    pub fn from_signature(sig: &Signature) -> Precedence {
+        let n = sig.num_syms() as u32;
+        let mut weight = vec![0; sig.num_syms()];
+        for (id, decl) in sig.syms() {
+            let base = match decl.kind() {
+                cycleq_term::SymKind::Constructor(_) => 0,
+                cycleq_term::SymKind::Defined => n,
+            };
+            weight[id.index()] = base + id.index() as u32;
+        }
+        Precedence { weight }
+    }
+
+    /// Overrides the weight of a symbol (larger = greater precedence).
+    pub fn set_weight(&mut self, sym: SymId, weight: u32) {
+        self.weight[sym.index()] = weight;
+    }
+
+    /// The weight of a symbol.
+    pub fn weight(&self, sym: SymId) -> u32 {
+        self.weight[sym.index()]
+    }
+
+    /// Whether `f` has strictly greater precedence than `g`.
+    pub fn gt(&self, f: SymId, g: SymId) -> bool {
+        self.weight(f) > self.weight(g)
+    }
+}
+
+/// The lexicographic path order induced by a precedence.
+///
+/// LPO is a simplification order: it is stable, well-founded (for a
+/// well-founded precedence), and has the subterm property, making it a
+/// *reduction order* in the sense of §4 whenever every program rule is
+/// orientated left-to-right.
+///
+/// Terms with applied variable heads are compared conservatively: such a
+/// head is treated as a pseudo-symbol smaller than every real symbol and
+/// comparable only to itself.
+#[derive(Clone, Debug)]
+pub struct Lpo {
+    prec: Precedence,
+}
+
+impl Lpo {
+    /// An LPO from an explicit precedence.
+    pub fn new(prec: Precedence) -> Lpo {
+        Lpo { prec }
+    }
+
+    /// An LPO with the default precedence for the signature.
+    pub fn from_signature(sig: &Signature) -> Lpo {
+        Lpo::new(Precedence::from_signature(sig))
+    }
+
+    /// The underlying precedence.
+    pub fn precedence(&self) -> &Precedence {
+        &self.prec
+    }
+
+    fn head_gt(&self, f: Head, g: Head) -> bool {
+        match (f, g) {
+            (Head::Sym(a), Head::Sym(b)) => self.prec.gt(a, b),
+            (Head::Sym(_), Head::Var(_)) => true,
+            _ => false,
+        }
+    }
+
+    fn ge(&self, s: &Term, t: &Term) -> bool {
+        s == t || self.gt_inner(s, t)
+    }
+
+    fn gt_inner(&self, s: &Term, t: &Term) -> bool {
+        // Case: t is a variable occurring in s.
+        if let Some(v) = t.as_var() {
+            return s.as_var() != Some(v) && s.contains_var(v);
+        }
+        // A bare variable is never greater than a non-variable.
+        if s.as_var().is_some() {
+            return false;
+        }
+        // LPO1: some argument of s dominates t.
+        if s.args().iter().any(|si| self.ge(si, t)) {
+            return true;
+        }
+        // LPO2: head precedence decides, s must dominate all arguments of t.
+        if self.head_gt(s.head(), t.head()) {
+            return t.args().iter().all(|tj| self.gt_inner(s, tj));
+        }
+        // LPO3: equal heads, lexicographic comparison of arguments.
+        if s.head() == t.head() {
+            let mut strict = None;
+            for (i, (si, ti)) in s.args().iter().zip(t.args()).enumerate() {
+                if si != ti {
+                    strict = Some(i);
+                    break;
+                }
+            }
+            let lex_gt = match strict {
+                Some(i) => self.gt_inner(&s.args()[i], &t.args()[i]),
+                None => s.args().len() > t.args().len(),
+            };
+            return lex_gt && t.args().iter().all(|tj| self.gt_inner(s, tj));
+        }
+        false
+    }
+}
+
+impl TermOrder for Lpo {
+    fn gt(&self, s: &Term, t: &Term) -> bool {
+        self.gt_inner(s, t)
+    }
+}
+
+/// The decreasing order `≺` of §4: the transitive closure of the reduction
+/// order together with the proper-subterm relation (Lemma 4.1).
+///
+/// Because LPO already has the subterm property, `≻` coincides with the
+/// LPO on the terms compared here; this wrapper exists to document the role
+/// the order plays in rewriting induction and to combine with other base
+/// orders if desired.
+#[derive(Clone, Debug)]
+pub struct DecreasingOrder {
+    base: Lpo,
+}
+
+impl DecreasingOrder {
+    /// Builds `≺` over the given LPO.
+    pub fn new(base: Lpo) -> DecreasingOrder {
+        DecreasingOrder { base }
+    }
+}
+
+impl TermOrder for DecreasingOrder {
+    fn gt(&self, s: &Term, t: &Term) -> bool {
+        t.is_proper_subterm_of(s) || self.base.gt(s, t)
+    }
+}
+
+/// Checks that every rule of the system is strictly decreasing under the
+/// order — the precondition for `≤` to be a reduction order for `R` (§4).
+///
+/// # Errors
+///
+/// Returns the first non-decreasing rule.
+pub fn check_rules_decreasing(trs: &Trs, order: &impl TermOrder) -> Result<(), RuleId> {
+    for (id, rule) in trs.rules() {
+        if !order.gt(&rule.lhs_term(), rule.rhs()) {
+            return Err(id);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::nat_list_program;
+    use cycleq_term::{Term, VarStore};
+
+    #[test]
+    fn subterm_property() {
+        let p = nat_list_program();
+        let lpo = Lpo::from_signature(&p.prog.sig);
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let sx = p.f.s(Term::var(x));
+        assert!(lpo.gt(&sx, &Term::var(x)));
+        assert!(!lpo.gt(&Term::var(x), &sx));
+        let ssx = p.f.s(sx.clone());
+        assert!(lpo.gt(&ssx, &sx));
+    }
+
+    #[test]
+    fn irreflexive_on_samples() {
+        let p = nat_list_program();
+        let lpo = Lpo::from_signature(&p.prog.sig);
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        for t in [Term::var(x), p.f.num(3), p.f.s(Term::var(x))] {
+            assert!(!lpo.gt(&t, &t), "LPO must be irreflexive");
+        }
+    }
+
+    #[test]
+    fn program_rules_are_lpo_decreasing() {
+        let p = nat_list_program();
+        let lpo = Lpo::from_signature(&p.prog.sig);
+        assert_eq!(check_rules_decreasing(&p.prog.trs, &lpo), Ok(()));
+    }
+
+    #[test]
+    fn defined_symbols_dominate_constructors() {
+        let p = nat_list_program();
+        let lpo = Lpo::from_signature(&p.prog.sig);
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        // add x y > S (S y): head add > S and add x y > S y > y.
+        let lhs = Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]);
+        let rhs = p.f.s(p.f.s(Term::var(y)));
+        assert!(lpo.gt(&lhs, &rhs));
+    }
+
+    #[test]
+    fn unorientable_commutativity() {
+        // add x y vs add y x: neither side is greater — the §4 limitation.
+        let p = nat_list_program();
+        let lpo = Lpo::from_signature(&p.prog.sig);
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        let lhs = Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]);
+        let rhs = Term::apps(p.f.add, vec![Term::var(y), Term::var(x)]);
+        assert!(!lpo.gt(&lhs, &rhs));
+        assert!(!lpo.gt(&rhs, &lhs));
+    }
+
+    #[test]
+    fn stability_under_substitution_samples() {
+        let p = nat_list_program();
+        let lpo = Lpo::from_signature(&p.prog.sig);
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        let s = Term::apps(p.f.add, vec![f_s(&p, Term::var(x)), Term::var(y)]);
+        let t = p.f.s(Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]));
+        assert!(lpo.gt(&s, &t));
+        let theta = cycleq_term::Subst::singleton(x, p.f.num(4));
+        assert!(lpo.gt(&theta.apply(&s), &theta.apply(&t)));
+    }
+
+    fn f_s(p: &crate::fixtures::ProgramFixture, t: Term) -> Term {
+        p.f.s(t)
+    }
+
+    #[test]
+    fn decreasing_order_includes_subterms() {
+        let p = nat_list_program();
+        let dec = DecreasingOrder::new(Lpo::from_signature(&p.prog.sig));
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let t = Term::apps(p.f.add, vec![Term::var(x), p.f.num(0)]);
+        assert!(dec.gt(&t, &Term::var(x)));
+    }
+
+    #[test]
+    fn lex_comparison_on_equal_heads() {
+        let p = nat_list_program();
+        let lpo = Lpo::from_signature(&p.prog.sig);
+        let mut vars = VarStore::new();
+        let y = vars.fresh("y", p.f.nat_ty());
+        // add (S y) Z > add y (S Z)? First args: S y > y, and lhs > each rhs
+        // arg: add (S y) Z > y (subterm) and add (S y) Z > S Z? head add > S
+        // and add (S y) Z > Z. Yes.
+        let lhs = Term::apps(p.f.add, vec![p.f.s(Term::var(y)), Term::sym(p.f.zero)]);
+        let rhs = Term::apps(p.f.add, vec![Term::var(y), p.f.num(1)]);
+        assert!(lpo.gt(&lhs, &rhs));
+        assert!(!lpo.gt(&rhs, &lhs));
+    }
+}

@@ -1,0 +1,131 @@
+//! Orthogonality: the standard syntactic criterion guaranteeing the
+//! confluence assumed by Remark 2.1.
+//!
+//! A constructor-based system (rule arguments are patterns without defined
+//! symbols) can only have root overlaps between rules of the same head, so
+//! the check reduces to: left-linearity of every rule, plus non-unifiability
+//! of the parameter vectors of distinct rules for the same symbol.
+
+use cycleq_term::{unify, Term, VarStore};
+
+use crate::rule::RuleId;
+use crate::trs::Trs;
+
+/// The outcome of the orthogonality check.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct OrthogonalityReport {
+    /// Rules whose left-hand sides repeat a variable.
+    pub non_left_linear: Vec<RuleId>,
+    /// Pairs of distinct rules for the same head whose left-hand sides
+    /// overlap (unify), i.e. genuine ambiguity.
+    pub overlaps: Vec<(RuleId, RuleId)>,
+}
+
+impl OrthogonalityReport {
+    /// Whether the system is orthogonal (and hence confluent).
+    pub fn is_orthogonal(&self) -> bool {
+        self.non_left_linear.is_empty() && self.overlaps.is_empty()
+    }
+}
+
+/// Checks left-linearity and root overlaps for the whole system.
+pub fn check_orthogonality(trs: &Trs) -> OrthogonalityReport {
+    let mut report = OrthogonalityReport::default();
+    for (id, rule) in trs.rules() {
+        if !rule.is_left_linear() {
+            report.non_left_linear.push(id);
+        }
+    }
+    let ids: Vec<RuleId> = trs.rules().map(|(id, _)| id).collect();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if trs.rule(a).head() != trs.rule(b).head() {
+                continue;
+            }
+            // Freshen both rules into a scratch store so their variables are
+            // disjoint, then unify the full left-hand sides.
+            let mut scratch = VarStore::new();
+            let (pa, _) = trs.freshen_rule(a, &mut scratch);
+            let (pb, _) = trs.freshen_rule(b, &mut scratch);
+            let ta = Term::apps(trs.rule(a).head(), pa);
+            let tb = Term::apps(trs.rule(b).head(), pb);
+            if unify(&ta, &tb).is_ok() {
+                report.overlaps.push((a, b));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::nat_list_program;
+    use crate::trs::Trs;
+    use cycleq_term::{Type, TypeScheme};
+
+    #[test]
+    fn fixture_program_is_orthogonal() {
+        let p = nat_list_program();
+        let report = check_orthogonality(&p.prog.trs);
+        assert!(report.is_orthogonal(), "{report:?}");
+    }
+
+    #[test]
+    fn overlapping_rules_are_detected() {
+        let f = cycleq_term::fixtures::NatList::new();
+        let mut sig = f.sig.clone();
+        let g = sig
+            .add_defined("g", TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())))
+            .unwrap();
+        let mut trs = Trs::new();
+        let x = trs.vars_mut().fresh("x", f.nat_ty());
+        // g x = Z and g Z = Z overlap on g Z.
+        trs.add_rule(&sig, g, vec![cycleq_term::Term::var(x)], cycleq_term::Term::sym(f.zero))
+            .unwrap();
+        trs.add_rule(
+            &sig,
+            g,
+            vec![cycleq_term::Term::sym(f.zero)],
+            cycleq_term::Term::sym(f.zero),
+        )
+        .unwrap();
+        let report = check_orthogonality(&trs);
+        assert_eq!(report.overlaps.len(), 1);
+        assert!(!report.is_orthogonal());
+    }
+
+    #[test]
+    fn non_left_linear_rules_are_detected() {
+        let f = cycleq_term::fixtures::NatList::new();
+        let mut sig = f.sig.clone();
+        let eq = sig
+            .add_defined(
+                "eqSame",
+                TypeScheme::mono(Type::arrows(
+                    vec![f.nat_ty(), f.nat_ty()],
+                    f.nat_ty(),
+                )),
+            )
+            .unwrap();
+        let mut trs = Trs::new();
+        let x = trs.vars_mut().fresh("x", f.nat_ty());
+        trs.add_rule(
+            &sig,
+            eq,
+            vec![cycleq_term::Term::var(x), cycleq_term::Term::var(x)],
+            cycleq_term::Term::var(x),
+        )
+        .unwrap();
+        let report = check_orthogonality(&trs);
+        assert_eq!(report.non_left_linear.len(), 1);
+    }
+
+    #[test]
+    fn disjoint_constructor_patterns_do_not_overlap() {
+        let p = nat_list_program();
+        // add's two rules have Z vs S patterns — no overlap reported.
+        let report = check_orthogonality(&p.prog.trs);
+        assert!(report.overlaps.is_empty());
+    }
+}

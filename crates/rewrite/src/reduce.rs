@@ -1,0 +1,256 @@
+//! The one-step reduction relation `→R` and normalisation `↓R` (§2).
+//!
+//! The strategy is leftmost-outermost, mirroring the paper's implementation
+//! note that reduction should be "non-strict" (§6): an outermost redex is
+//! contracted even when inner arguments are stuck on variables. On complete,
+//! weakly-normalising, confluent systems (Remark 2.1) the computed normal
+//! form is the semantic normal form `M ↓R`.
+//!
+//! Normalisation carries a fuel bound so that a non-terminating input
+//! program cannot hang the prover; running out of fuel is reported
+//! explicitly.
+
+use cycleq_term::{Position, Signature, Term};
+
+use crate::trs::Trs;
+
+/// The outcome of normalisation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Normalized {
+    /// The final term.
+    pub term: Term,
+    /// The number of one-step reductions performed.
+    pub steps: usize,
+    /// Whether a normal form was reached (`false` means fuel ran out).
+    pub in_normal_form: bool,
+}
+
+/// A reduction engine for a program's rewrite system.
+///
+/// Borrows the signature and rules; cheap to construct.
+#[derive(Copy, Clone, Debug)]
+pub struct Rewriter<'a> {
+    sig: &'a Signature,
+    trs: &'a Trs,
+    fuel: usize,
+}
+
+/// Default number of one-step reductions allowed per normalisation.
+pub const DEFAULT_FUEL: usize = 100_000;
+
+impl<'a> Rewriter<'a> {
+    /// Creates a rewriter with the default fuel.
+    pub fn new(sig: &'a Signature, trs: &'a Trs) -> Rewriter<'a> {
+        Rewriter { sig, trs, fuel: DEFAULT_FUEL }
+    }
+
+    /// Overrides the fuel bound.
+    pub fn with_fuel(mut self, fuel: usize) -> Rewriter<'a> {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Attempts a root reduction step, trying the head's rules in order.
+    pub fn step_root(&self, t: &Term) -> Option<Term> {
+        let head = t.head_sym()?;
+        if !self.sig.is_defined(head) {
+            return None;
+        }
+        for id in self.trs.rules_for(head) {
+            if let Some(reduct) = self.trs.rule(*id).apply_root(t) {
+                return Some(reduct);
+            }
+        }
+        None
+    }
+
+    /// Performs one leftmost-outermost step anywhere in the term.
+    ///
+    /// Only the siblings along the path to the redex are cloned; the
+    /// contracted subtree itself is never copied.
+    pub fn step(&self, t: &Term) -> Option<Term> {
+        if let Some(r) = self.step_root(t) {
+            return Some(r);
+        }
+        for (i, a) in t.args().iter().enumerate() {
+            if let Some(r) = self.step(a) {
+                let mut args = Vec::with_capacity(t.args().len());
+                args.extend(t.args()[..i].iter().cloned());
+                args.push(r);
+                args.extend(t.args()[i + 1..].iter().cloned());
+                return Some(Term::from_parts(t.head(), args));
+            }
+        }
+        None
+    }
+
+    /// Performs a single step at exactly the given position.
+    pub fn step_at(&self, t: &Term, pos: &Position) -> Option<Term> {
+        let sub = t.at(pos)?;
+        let reduct = self.step_root(sub)?;
+        t.replace_at(pos, reduct)
+    }
+
+    /// Reduces to normal form (or until fuel runs out).
+    pub fn normalize(&self, t: &Term) -> Normalized {
+        let mut cur = t.clone();
+        let mut steps = 0;
+        while steps < self.fuel {
+            match self.step(&cur) {
+                Some(next) => {
+                    cur = next;
+                    steps += 1;
+                }
+                None => return Normalized { term: cur, steps, in_normal_form: true },
+            }
+        }
+        Normalized { term: cur, steps, in_normal_form: false }
+    }
+
+    /// Whether the term is in `R`-normal form.
+    pub fn is_normal_form(&self, t: &Term) -> bool {
+        self.step(t).is_none()
+    }
+
+    /// Whether `from →R* to` within the fuel bound, checked by reducing
+    /// `from` and comparing each intermediate term.
+    ///
+    /// Used by the proof checker to validate `(Reduce)` instances; because
+    /// premises record arbitrary reducts (not necessarily normal forms),
+    /// every intermediate term along the leftmost-outermost sequence is
+    /// compared.
+    pub fn reduces_to(&self, from: &Term, to: &Term) -> bool {
+        let mut cur = from.clone();
+        let mut steps = 0;
+        loop {
+            if &cur == to {
+                return true;
+            }
+            if steps >= self.fuel {
+                return false;
+            }
+            match self.step(&cur) {
+                Some(next) => {
+                    cur = next;
+                    steps += 1;
+                }
+                None => return false,
+            }
+        }
+    }
+
+    /// All positions of `t` whose subterm is headed by a fully-applied
+    /// defined symbol (redex candidates, reducible or stuck).
+    pub fn defined_positions(&self, t: &Term) -> Vec<Position> {
+        t.positions()
+            .filter(|(_, sub)| {
+                sub.head_sym().is_some_and(|h| {
+                    self.sig.is_defined(h)
+                        && self
+                            .trs
+                            .arity_of(h)
+                            .is_some_and(|n| sub.args().len() == n)
+                })
+            })
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::nat_list_program;
+    use cycleq_term::{Term, VarStore};
+
+    #[test]
+    fn add_computes() {
+        let p = nat_list_program();
+        let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+        let t = Term::apps(p.f.add, vec![p.f.num(2), p.f.num(3)]);
+        let n = rw.normalize(&t);
+        assert!(n.in_normal_form);
+        assert_eq!(n.term, p.f.num(5));
+        assert_eq!(n.steps, 3); // two S-steps and one Z-step
+    }
+
+    #[test]
+    fn open_terms_get_stuck() {
+        let p = nat_list_program();
+        let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let t = Term::apps(p.f.add, vec![Term::var(x), p.f.num(1)]);
+        let n = rw.normalize(&t);
+        assert!(n.in_normal_form);
+        assert_eq!(n.term, t, "stuck on the case variable x");
+    }
+
+    #[test]
+    fn reduction_happens_under_constructors() {
+        let p = nat_list_program();
+        let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+        let inner = Term::apps(p.f.add, vec![p.f.num(0), p.f.num(1)]);
+        let t = p.f.s(inner);
+        let n = rw.normalize(&t);
+        assert_eq!(n.term, p.f.num(2));
+    }
+
+    #[test]
+    fn map_over_literal_list() {
+        let p = nat_list_program();
+        let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+        // map (add (S Z)) [0, 1] = [1, 2]
+        let succ_fn = Term::apps(p.f.add, vec![p.f.num(1)]);
+        let t = Term::apps(p.f.map, vec![succ_fn, p.f.list_t(vec![p.f.num(0), p.f.num(1)])]);
+        let n = rw.normalize(&t);
+        assert!(n.in_normal_form);
+        assert_eq!(n.term, p.f.list_t(vec![p.f.num(1), p.f.num(2)]));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let p = nat_list_program();
+        let rw = Rewriter::new(&p.prog.sig, &p.prog.trs).with_fuel(2);
+        let t = Term::apps(p.f.add, vec![p.f.num(5), p.f.num(5)]);
+        let n = rw.normalize(&t);
+        assert!(!n.in_normal_form);
+        assert_eq!(n.steps, 2);
+    }
+
+    #[test]
+    fn reduces_to_accepts_intermediate_terms() {
+        let p = nat_list_program();
+        let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+        let t = Term::apps(p.f.add, vec![p.f.num(2), p.f.num(0)]);
+        // One step: S (add (S Z) Z).
+        let mid = p.f.s(Term::apps(p.f.add, vec![p.f.num(1), p.f.num(0)]));
+        assert!(rw.reduces_to(&t, &mid));
+        assert!(rw.reduces_to(&t, &p.f.num(2)));
+        assert!(rw.reduces_to(&t, &t));
+        assert!(!rw.reduces_to(&mid, &t), "reduction is not symmetric");
+    }
+
+    #[test]
+    fn step_at_targets_one_position() {
+        let p = nat_list_program();
+        let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+        let redex = Term::apps(p.f.add, vec![p.f.num(0), p.f.num(1)]);
+        let t = Term::apps(p.f.add, vec![redex.clone(), redex]);
+        let pos = Position::from_indices(vec![1]);
+        let stepped = rw.step_at(&t, &pos).unwrap();
+        // Only the second argument was reduced.
+        assert_eq!(stepped.args()[1], p.f.num(1));
+        assert_eq!(stepped.args()[0].head_sym(), Some(p.f.add));
+    }
+
+    #[test]
+    fn defined_positions_requires_saturation() {
+        let p = nat_list_program();
+        let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+        let partial = Term::apps(p.f.add, vec![p.f.num(0)]);
+        assert!(rw.defined_positions(&partial).is_empty());
+        let full = Term::apps(p.f.add, vec![p.f.num(0), p.f.num(0)]);
+        assert_eq!(rw.defined_positions(&full).len(), 1);
+    }
+}

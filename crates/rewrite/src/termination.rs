@@ -1,0 +1,231 @@
+//! Size-change termination of programs.
+//!
+//! Remark 2.1 assumes the rewrite system is weakly normalising and notes
+//! that "although undecidable, practical algorithms exist for verifying
+//! this property". This module provides exactly such an algorithm — the
+//! size-change principle of Lee, Jones and Ben-Amram, reusing the same
+//! [`cycleq_sizechange`] machinery that verifies cyclic proofs:
+//!
+//! - nodes are the defined symbols;
+//! - for every rule `f p1 … pn → rhs` and every saturated call
+//!   `g a1 … am` in `rhs`, a size-change graph records `i ≲ j` when `aj`
+//!   is a proper subterm of `pi` and `i ≃ j` when `aj = pi`;
+//! - the program terminates (hence normalises) if the closure satisfies
+//!   Theorem 5.2's criterion.
+//!
+//! The analysis is sound but incomplete: a `false` verdict means
+//! "termination not established by size-change", not divergence.
+
+use cycleq_sizechange::{is_size_change_terminating, Label, ScGraph};
+use cycleq_term::{Signature, SymId};
+
+use crate::trs::Trs;
+
+/// Builds the call graph annotated with size-change graphs over argument
+/// positions.
+fn call_graphs(sig: &Signature, trs: &Trs) -> Vec<(SymId, SymId, ScGraph<u32>)> {
+    let mut out = Vec::new();
+    for (_, rule) in trs.rules() {
+        let caller = rule.head();
+        let params = rule.params();
+        for call in rule.rhs().subterms() {
+            let Some(callee) = call.head_sym() else { continue };
+            if !sig.is_defined(callee) {
+                continue;
+            }
+            // Only saturated calls recurse through the rules; partial
+            // applications are conservatively given an empty graph (no
+            // trace information).
+            let mut g = ScGraph::new();
+            if trs.arity_of(callee) == Some(call.args().len()) {
+                for (j, a) in call.args().iter().enumerate() {
+                    for (i, p) in params.iter().enumerate() {
+                        if a == p {
+                            g.insert(i as u32, j as u32, Label::NonStrict);
+                        } else if a.is_proper_subterm_of(p) {
+                            g.insert(i as u32, j as u32, Label::Strict);
+                        }
+                    }
+                }
+            }
+            out.push((caller, callee, g));
+        }
+    }
+    out
+}
+
+/// Whether the program is size-change terminating.
+///
+/// A `true` verdict establishes strong normalisation and therefore the
+/// weak-normalisation assumption of Remark 2.1.
+pub fn size_change_terminates(sig: &Signature, trs: &Trs) -> bool {
+    is_size_change_terminating(&call_graphs(sig, trs))
+}
+
+/// The defined symbols that participate in calls not covered by any
+/// decreasing measure — useful diagnostics when
+/// [`size_change_terminates`] fails. Returns an empty vector when the
+/// program is size-change terminating.
+pub fn non_terminating_suspects(sig: &Signature, trs: &Trs) -> Vec<SymId> {
+    if size_change_terminates(sig, trs) {
+        return Vec::new();
+    }
+    // Point at symbols with a self-call whose graph has no strict edge —
+    // the simplest witnesses.
+    let graphs = call_graphs(sig, trs);
+    let mut out: Vec<SymId> = graphs
+        .iter()
+        .filter(|(f, g, graph)| f == g && !graph.edges().any(|(_, _, l)| l == Label::Strict))
+        .map(|(f, _, _)| *f)
+        .collect();
+    out.dedup();
+    if out.is_empty() {
+        // Indirect cycles: report every symbol in a call cycle.
+        out = graphs.iter().map(|(f, _, _)| *f).collect();
+        out.sort();
+        out.dedup();
+    }
+    out
+}
+
+/// Helper for tests: whether a specific defined symbol's direct recursion
+/// is size-change decreasing.
+pub fn direct_recursion_decreases(sig: &Signature, trs: &Trs, sym: SymId) -> bool {
+    call_graphs(sig, trs)
+        .iter()
+        .filter(|(f, g, _)| *f == sym && *g == sym)
+        .all(|(_, _, graph)| graph.edges().any(|(_, _, l)| l == Label::Strict))
+}
+
+/// Re-export of the underlying call-graph construction for benches and
+/// diagnostics.
+pub fn program_call_graphs(sig: &Signature, trs: &Trs) -> Vec<(SymId, SymId, ScGraph<u32>)> {
+    call_graphs(sig, trs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::nat_list_program;
+    use crate::trs::Trs;
+    use cycleq_term::{Type, TypeScheme};
+
+    #[test]
+    fn fixture_program_terminates() {
+        let p = nat_list_program();
+        assert!(size_change_terminates(&p.prog.sig, &p.prog.trs));
+        assert!(non_terminating_suspects(&p.prog.sig, &p.prog.trs).is_empty());
+    }
+
+    #[test]
+    fn direct_recursions_decrease() {
+        let p = nat_list_program();
+        for name in ["add", "app", "len", "map"] {
+            let sym = p.prog.sig.sym_by_name(name).unwrap();
+            assert!(direct_recursion_decreases(&p.prog.sig, &p.prog.trs, sym), "{name}");
+        }
+    }
+
+    #[test]
+    fn looping_program_is_rejected() {
+        let f = cycleq_term::fixtures::NatList::new();
+        let mut sig = f.sig.clone();
+        let spin = sig
+            .add_defined("spin", TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())))
+            .unwrap();
+        let mut trs = Trs::new();
+        let x = trs.vars_mut().fresh("x", f.nat_ty());
+        // spin x = spin x
+        trs.add_rule(
+            &sig,
+            spin,
+            vec![cycleq_term::Term::var(x)],
+            cycleq_term::Term::apps(spin, vec![cycleq_term::Term::var(x)]),
+        )
+        .unwrap();
+        assert!(!size_change_terminates(&sig, &trs));
+        assert_eq!(non_terminating_suspects(&sig, &trs), vec![spin]);
+    }
+
+    #[test]
+    fn growing_recursion_is_rejected() {
+        let f = cycleq_term::fixtures::NatList::new();
+        let mut sig = f.sig.clone();
+        let grow = sig
+            .add_defined("grow", TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())))
+            .unwrap();
+        let mut trs = Trs::new();
+        let x = trs.vars_mut().fresh("x", f.nat_ty());
+        // grow x = grow (S x): the argument grows, no decrease anywhere.
+        trs.add_rule(
+            &sig,
+            grow,
+            vec![cycleq_term::Term::var(x)],
+            cycleq_term::Term::apps(grow, vec![f.s(cycleq_term::Term::var(x))]),
+        )
+        .unwrap();
+        assert!(!size_change_terminates(&sig, &trs));
+    }
+
+    #[test]
+    fn mutual_recursion_through_subterms_terminates() {
+        // even/odd-style mutual recursion.
+        let f = cycleq_term::fixtures::NatList::new();
+        let mut sig = f.sig.clone();
+        let even = sig
+            .add_defined("even", TypeScheme::mono(Type::arrow(f.nat_ty(), f.bool_ty())))
+            .unwrap();
+        let odd = sig
+            .add_defined("odd", TypeScheme::mono(Type::arrow(f.nat_ty(), f.bool_ty())))
+            .unwrap();
+        let mut trs = Trs::new();
+        use cycleq_term::Term;
+        trs.add_rule(&sig, even, vec![Term::sym(f.zero)], Term::sym(f.true_)).unwrap();
+        let x = trs.vars_mut().fresh("x", f.nat_ty());
+        trs.add_rule(
+            &sig,
+            even,
+            vec![f.s(Term::var(x))],
+            Term::apps(odd, vec![Term::var(x)]),
+        )
+        .unwrap();
+        trs.add_rule(&sig, odd, vec![Term::sym(f.zero)], Term::sym(f.false_)).unwrap();
+        let y = trs.vars_mut().fresh("y", f.nat_ty());
+        trs.add_rule(
+            &sig,
+            odd,
+            vec![f.s(Term::var(y))],
+            Term::apps(even, vec![Term::var(y)]),
+        )
+        .unwrap();
+        assert!(size_change_terminates(&sig, &trs));
+    }
+
+    #[test]
+    fn argument_permutation_without_decrease_is_rejected() {
+        let f = cycleq_term::fixtures::NatList::new();
+        let mut sig = f.sig.clone();
+        let swp = sig
+            .add_defined(
+                "swp",
+                TypeScheme::mono(Type::arrows(
+                    vec![f.nat_ty(), f.nat_ty()],
+                    f.nat_ty(),
+                )),
+            )
+            .unwrap();
+        let mut trs = Trs::new();
+        use cycleq_term::Term;
+        let x = trs.vars_mut().fresh("x", f.nat_ty());
+        let y = trs.vars_mut().fresh("y", f.nat_ty());
+        // swp x y = swp y x: the classic unsound permutation.
+        trs.add_rule(
+            &sig,
+            swp,
+            vec![Term::var(x), Term::var(y)],
+            Term::apps(swp, vec![Term::var(y), Term::var(x)]),
+        )
+        .unwrap();
+        assert!(!size_change_terminates(&sig, &trs));
+    }
+}

@@ -1,0 +1,303 @@
+//! Classical one-variable structural induction, translated into the cyclic
+//! calculus (Appendix C, Example C.1, Figs. 8–9).
+//!
+//! A traditional proof by structural induction on `x` maps mechanically
+//! onto a cyclic proof: `(Case)` on `x` at the root, and each use of the
+//! induction hypothesis becomes `(Subst)` with the *root* as the lemma,
+//! instantiated by `x ↦ y` for a recursive constructor argument `y`. The
+//! resulting cycle has an obvious variable trace (`x, y, x, …`), so the
+//! global condition holds by construction — but we still run the
+//! size-change check.
+//!
+//! The point of carrying this translation as a separate, deliberately
+//! *restricted* tactic is the paper's motivation in reverse: everything
+//! this tactic proves, the full cyclic search proves too, but not vice
+//! versa. In particular it fails on the mutual-induction examples of §1,
+//! because a fixed scheme over one datatype cannot use the companion
+//! lemma about the other — whereas the unrestricted `(Subst)` rule can.
+
+use cycleq_proof::{CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp};
+use cycleq_rewrite::{Program, Rewriter};
+use cycleq_term::{match_term, Equation, Subst, Term, VarId, VarStore};
+
+/// Why structural induction failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum InductionError {
+    /// The chosen variable is not of datatype type.
+    NotADatatype,
+    /// A branch goal could not be discharged by reduction, congruence and
+    /// induction-hypothesis rewriting alone.
+    BranchStuck {
+        /// The constructor of the stuck branch.
+        constructor: String,
+    },
+    /// Reduction ran out of fuel.
+    Diverged,
+}
+
+/// Proves `goal` by structural induction on `var`, returning the cyclic
+/// proof and its root.
+///
+/// The discharge procedure per branch is deliberately weak — normalise,
+/// decompose constructors, rewrite with the induction hypothesis
+/// (instances `x ↦ y` for the branch's recursive arguments `y`), repeat —
+/// mirroring the mechanical translation of Fig. 8 into Fig. 9.
+///
+/// # Errors
+///
+/// Returns [`InductionError`] when the fixed scheme does not suffice; the
+/// full cyclic search may still succeed.
+pub fn structural_induction(
+    prog: &Program,
+    goal: Equation,
+    vars: VarStore,
+    var: VarId,
+) -> Result<(Preproof, NodeId), InductionError> {
+    let mut proof = Preproof::with_vars(vars);
+    let vty = proof.vars().ty(var).clone();
+    let Some((data, ty_args)) = vty.as_data() else {
+        return Err(InductionError::NotADatatype);
+    };
+    let ty_args = ty_args.to_vec();
+    let root = proof.push_open(goal.clone());
+
+    let cons: Vec<_> = prog.sig.constructors_of(data).to_vec();
+    let mut branches = Vec::with_capacity(cons.len());
+    let mut premises = Vec::with_capacity(cons.len());
+    let mut recursive_args: Vec<Vec<VarId>> = Vec::with_capacity(cons.len());
+    for &k in &cons {
+        let inst = prog
+            .sig
+            .sym(k)
+            .scheme()
+            .instantiate_with(&ty_args)
+            .expect("constructor scheme arity matches datatype");
+        let (arg_tys, _) = inst.uncurry();
+        let base = proof.vars().name(var).to_string();
+        let mut fresh = Vec::with_capacity(arg_tys.len());
+        let mut rec = Vec::new();
+        for (i, t) in arg_tys.iter().enumerate() {
+            let name = if arg_tys.len() == 1 {
+                format!("{base}'")
+            } else {
+                format!("{base}'{}", i + 1)
+            };
+            let v = proof.vars_mut().fresh(&name, (*t).clone());
+            if **t == vty {
+                rec.push(v);
+            }
+            fresh.push(v);
+        }
+        let pattern = Term::apps(k, fresh.iter().map(|w| Term::var(*w)).collect());
+        let branch_eq = goal.subst(&Subst::singleton(var, pattern));
+        premises.push(proof.push_open(branch_eq));
+        branches.push(CaseBranch { con: k, fresh });
+        recursive_args.push(rec);
+    }
+    proof.justify(root, RuleApp::Case { var, branches }, premises.clone());
+
+    for ((premise, rec), &k) in premises.into_iter().zip(recursive_args).zip(&cons) {
+        discharge(prog, &mut proof, premise, root, &goal, var, &rec).map_err(|e| match e {
+            DischargeFail::Stuck => InductionError::BranchStuck {
+                constructor: prog.sig.sym(k).name().to_string(),
+            },
+            DischargeFail::Diverged => InductionError::Diverged,
+        })?;
+    }
+    Ok((proof, root))
+}
+
+enum DischargeFail {
+    Stuck,
+    Diverged,
+}
+
+/// Discharges one subgoal with reduce / refl / cong / IH-rewriting.
+fn discharge(
+    prog: &Program,
+    proof: &mut Preproof,
+    node: NodeId,
+    root: NodeId,
+    goal: &Equation,
+    var: VarId,
+    recursive: &[VarId],
+) -> Result<(), DischargeFail> {
+    let rw = Rewriter::new(&prog.sig, &prog.trs);
+    let eq = proof.node(node).eq.clone();
+    // Reduce.
+    let ln = rw.normalize(eq.lhs());
+    let rn = rw.normalize(eq.rhs());
+    if !ln.in_normal_form || !rn.in_normal_form {
+        return Err(DischargeFail::Diverged);
+    }
+    if &ln.term != eq.lhs() || &rn.term != eq.rhs() {
+        let child = proof.push_open(Equation::new(ln.term, rn.term));
+        proof.justify(node, RuleApp::Reduce, vec![child]);
+        return discharge(prog, proof, child, root, goal, var, recursive);
+    }
+    // Refl.
+    if eq.is_trivial() {
+        proof.justify(node, RuleApp::Refl, vec![]);
+        return Ok(());
+    }
+    // Cong.
+    if let (Some((k1, _)), Some((k2, _))) =
+        (eq.lhs().as_constructor(&prog.sig), eq.rhs().as_constructor(&prog.sig))
+    {
+        if k1 == k2 {
+            let n = eq.lhs().args().len();
+            let mut premises = Vec::with_capacity(n);
+            for i in 0..n {
+                premises.push(proof.push_open(Equation::new(
+                    eq.lhs().args()[i].clone(),
+                    eq.rhs().args()[i].clone(),
+                )));
+            }
+            proof.justify(node, RuleApp::Cong, premises.clone());
+            for p in premises {
+                discharge(prog, proof, p, root, goal, var, recursive)?;
+            }
+            return Ok(());
+        }
+    }
+    // Induction hypothesis: rewrite an occurrence of goal[y/x] (either
+    // side) using the root as lemma.
+    for &y in recursive {
+        let ih = Subst::singleton(var, Term::var(y));
+        for (flipped, from_raw, to_raw) in
+            [(false, goal.lhs(), goal.rhs()), (true, goal.rhs(), goal.lhs())]
+        {
+            let from = ih.apply(from_raw);
+            if from.as_var().is_some() || from.head_sym().is_none() {
+                continue;
+            }
+            let to = ih.apply(to_raw);
+            if !to.vars().is_subset(&from.vars()) {
+                continue;
+            }
+            for side in [Side::Lhs, Side::Rhs] {
+                let side_term = side.of(&eq).clone();
+                for (pos, sub) in side_term.positions() {
+                    if sub.as_var().is_some() {
+                        continue;
+                    }
+                    let Some(extra) = match_term(&from, sub) else { continue };
+                    // Full instantiation of the root: x ↦ y, then whatever
+                    // the occurrence demands for the remaining variables.
+                    let mut theta = ih.then(&extra);
+                    // `then` also copies `extra`'s bindings; restrict to
+                    // the root equation's variables.
+                    theta = theta.restricted_to(goal.vars());
+                    let replacement = extra.apply(&to);
+                    if &replacement == sub {
+                        continue;
+                    }
+                    let rewritten =
+                        side_term.replace_at(&pos, replacement).expect("valid position");
+                    let cont_eq = match side {
+                        Side::Lhs => Equation::new(rewritten, eq.rhs().clone()),
+                        Side::Rhs => Equation::new(eq.lhs().clone(), rewritten),
+                    };
+                    let cont = proof.push_open(cont_eq);
+                    proof.justify(
+                        node,
+                        RuleApp::Subst(SubstApp { side, pos, theta, lemma_flipped: flipped }),
+                        vec![root, cont],
+                    );
+                    return discharge(prog, proof, cont, root, goal, var, recursive);
+                }
+            }
+        }
+    }
+    Err(DischargeFail::Stuck)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycleq_proof::{check, GlobalCheck};
+    use cycleq_rewrite::fixtures::nat_list_program;
+
+    #[test]
+    fn fig9_map_id_by_structural_induction() {
+        // Example C.1: map id xs ≈ xs by induction on xs, using the fixture
+        // `map` and an identity built from add Z (id is not in the
+        // fixture): instead we prove add x Z ≈ x, the canonical Nat case.
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let goal = Equation::new(
+            Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]),
+            Term::var(x),
+        );
+        let (proof, _root) = structural_induction(&p.prog, goal, vars, x).unwrap();
+        let report = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        assert!(report.back_edges >= 1, "the IH forms a cycle");
+    }
+
+    #[test]
+    fn append_nil_by_induction_on_xs() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let xs = vars.fresh("xs", p.f.list_ty(p.f.nat_ty()));
+        let goal = Equation::new(
+            Term::apps(p.f.app, vec![Term::var(xs), Term::sym(p.f.nil)]),
+            Term::var(xs),
+        );
+        let (proof, _) = structural_induction(&p.prog, goal, vars, xs).unwrap();
+        check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+    }
+
+    #[test]
+    fn associativity_by_induction_on_first_variable() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        let z = vars.fresh("z", p.f.nat_ty());
+        let goal = Equation::new(
+            Term::apps(
+                p.f.add,
+                vec![Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]), Term::var(z)],
+            ),
+            Term::apps(
+                p.f.add,
+                vec![Term::var(x), Term::apps(p.f.add, vec![Term::var(y), Term::var(z)])],
+            ),
+        );
+        let (proof, _) = structural_induction(&p.prog, goal, vars, x).unwrap();
+        check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+    }
+
+    #[test]
+    fn commutativity_defeats_plain_structural_induction() {
+        // The fixed scheme cannot prove add x y ≈ add y x: the Z branch
+        // leaves y ≈ add y Z, which needs a *nested* induction — the cyclic
+        // search finds it (Fig. 4), the one-variable scheme does not.
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        let goal = Equation::new(
+            Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+            Term::apps(p.f.add, vec![Term::var(y), Term::var(x)]),
+        );
+        let err = structural_induction(&p.prog, goal, vars, x).unwrap_err();
+        assert!(matches!(err, InductionError::BranchStuck { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn non_datatype_variables_are_rejected() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let f = vars.fresh(
+            "f",
+            cycleq_term::Type::arrow(p.f.nat_ty(), p.f.nat_ty()),
+        );
+        let goal = Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero));
+        assert_eq!(
+            structural_induction(&p.prog, goal, vars, f).unwrap_err(),
+            InductionError::NotADatatype
+        );
+    }
+}

@@ -1,0 +1,803 @@
+//! Goal-directed cyclic proof search (§5.1, §6).
+//!
+//! The search is a bounded depth-first search over the inference rules,
+//! prioritised as in the paper: reduction, reflexivity, congruence, function
+//! extensionality, substitution, case analysis. The first four always
+//! simplify the goal without loss of generality and are therefore
+//! *committed* — the search never backtracks past them. `(Subst)` and
+//! `(Case)` are choice points.
+//!
+//! `(Subst)` acts as the matching function for cycle detection: the lemma is
+//! always an existing node of the proof (restricted by
+//! [`LemmaPolicy`](crate::LemmaPolicy) to `(Case)`-justified nodes, §5.1) or
+//! a previously proven hint. Whenever a `(Subst)` back edge is created, the
+//! incremental size-change closure is extended; if an idempotent self-loop
+//! without a strict self-edge appears, the cycle can never satisfy the
+//! global condition and the candidate is pruned immediately (§5.2).
+
+use std::time::Instant;
+
+use cycleq_proof::{
+    edge_graph, CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp,
+};
+use cycleq_rewrite::{case_candidates, Program, Rewriter};
+use cycleq_sizechange::{IncrementalClosure, Mark, Soundness};
+use cycleq_term::{
+    match_term, CanonKey, Equation, Subst, Term, TyUnifier, Type, VarId, VarStore,
+};
+
+use crate::config::{LemmaPolicy, SearchConfig, SearchStats};
+
+/// Floor above which type variables are inference metavariables (below are
+/// the rigid variables of the goal's polymorphic types).
+const TYVAR_FLOOR: u32 = 100_000;
+
+/// The verdict of a proof attempt.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// A cyclic proof was found; `root` is the goal's node.
+    Proved {
+        /// The node carrying the original goal.
+        root: NodeId,
+    },
+    /// The goal was refuted: case analysis and reduction alone led to a
+    /// constructor clash, so some ground instance of the goal is false.
+    Refuted,
+    /// The bounded search space was exhausted without a proof.
+    Exhausted,
+    /// The wall-clock budget ran out.
+    Timeout,
+    /// The node budget ran out.
+    NodeBudget,
+    /// A hint lemma could not be proved first.
+    HintFailed {
+        /// Index of the failing hint.
+        index: usize,
+    },
+}
+
+impl Outcome {
+    /// Whether the outcome is a proof.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Outcome::Proved { .. })
+    }
+}
+
+/// The result of a proof attempt: verdict, the (pre)proof built, and search
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct ProofResult {
+    /// The verdict.
+    pub outcome: Outcome,
+    /// The proof on success; the partial preproof otherwise (diagnostics).
+    pub proof: Preproof,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+/// A cyclic equational prover for a fixed program.
+#[derive(Clone, Debug)]
+pub struct Prover<'a> {
+    prog: &'a Program,
+    config: SearchConfig,
+}
+
+impl<'a> Prover<'a> {
+    /// A prover with the default configuration.
+    pub fn new(prog: &'a Program) -> Prover<'a> {
+        Prover { prog, config: SearchConfig::default() }
+    }
+
+    /// A prover with an explicit configuration.
+    pub fn with_config(prog: &'a Program, config: SearchConfig) -> Prover<'a> {
+        Prover { prog, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Attempts to prove `goal`, whose variables live in `vars`.
+    pub fn prove(&self, goal: Equation, vars: VarStore) -> ProofResult {
+        self.prove_with_hints(goal, vars, &[])
+    }
+
+    /// Attempts to prove `goal` after first proving each `hint` equation
+    /// (over the same variable store) and making the proven hints available
+    /// as `(Subst)` lemmas.
+    ///
+    /// This realises the paper's observation (§6.2) that problems such as
+    /// IsaPlanner 47/54/65/69 become provable once the commutativity of
+    /// `max`/`add` is supplied — here the hint itself is proved by the same
+    /// engine, so the final proof is checkable end to end.
+    pub fn prove_with_hints(
+        &self,
+        goal: Equation,
+        vars: VarStore,
+        hints: &[Equation],
+    ) -> ProofResult {
+        let start = Instant::now();
+        let deadline = self.config.timeout.map(|d| start + d);
+        let mut depth = self.config.initial_depth.min(self.config.max_depth).max(1);
+        let mut total = SearchStats::default();
+        loop {
+            let (result, hit_depth_limit) =
+                self.prove_round(goal.clone(), vars.clone(), hints, deadline, depth);
+            total.nodes_created += result.stats.nodes_created;
+            total.case_splits += result.stats.case_splits;
+            total.subst_attempts += result.stats.subst_attempts;
+            total.unsound_cycles_pruned += result.stats.unsound_cycles_pruned;
+            total.depth_limit_hits += result.stats.depth_limit_hits;
+            total.closure_graphs = result.stats.closure_graphs;
+            let deepen = matches!(result.outcome, Outcome::Exhausted)
+                && hit_depth_limit
+                && depth < self.config.max_depth;
+            if !deepen {
+                let mut stats = total;
+                stats.elapsed = start.elapsed();
+                return ProofResult { outcome: result.outcome, proof: result.proof, stats };
+            }
+            depth = (depth + self.config.depth_step).min(self.config.max_depth);
+        }
+    }
+
+    /// One bounded-DFS round at a fixed depth limit.
+    fn prove_round(
+        &self,
+        goal: Equation,
+        vars: VarStore,
+        hints: &[Equation],
+        deadline: Option<Instant>,
+        depth_limit: usize,
+    ) -> (ProofResult, bool) {
+        let mut search = Search {
+            prog: self.prog,
+            config: &self.config,
+            depth_limit,
+            proof: Preproof::with_vars(vars),
+            closure: IncrementalClosure::new(),
+            lemmas: Vec::new(),
+            path_keys: Vec::new(),
+            stats: SearchStats::default(),
+            deadline,
+        };
+        let mut outcome = None;
+        for (i, hint) in hints.iter().enumerate() {
+            let id = search.push_node(hint.clone());
+            match search.solve(id, 0, true) {
+                Ok(Solve::Solved) => search.lemmas.push(id),
+                Ok(Solve::Failed) => {
+                    outcome = Some(Outcome::HintFailed { index: i });
+                    break;
+                }
+                Err(stop) => {
+                    outcome = Some(stop_outcome(stop));
+                    break;
+                }
+            }
+        }
+        let root = search.push_node(goal);
+        let outcome = outcome.unwrap_or_else(|| match search.solve(root, 0, true) {
+            Ok(Solve::Solved) => Outcome::Proved { root },
+            Ok(Solve::Failed) => Outcome::Exhausted,
+            Err(stop) => stop_outcome(stop),
+        });
+        let mut stats = search.stats;
+        stats.closure_graphs = search.closure.num_graphs();
+        let hit = stats.depth_limit_hits > 0;
+        (ProofResult { outcome, proof: search.proof, stats }, hit)
+    }
+}
+
+fn stop_outcome(stop: Stop) -> Outcome {
+    match stop {
+        Stop::Timeout => Outcome::Timeout,
+        Stop::Budget => Outcome::NodeBudget,
+        Stop::Refuted => Outcome::Refuted,
+    }
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Solve {
+    Solved,
+    Failed,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+enum Stop {
+    Timeout,
+    Budget,
+    Refuted,
+}
+
+type SolveResult = Result<Solve, Stop>;
+
+struct Frame {
+    proof: (usize, usize),
+    closure: Mark,
+    lemmas: usize,
+}
+
+struct Search<'a> {
+    prog: &'a Program,
+    config: &'a SearchConfig,
+    /// Depth bound of the current iterative-deepening round.
+    depth_limit: usize,
+    proof: Preproof,
+    closure: IncrementalClosure<VarId, NodeId>,
+    /// Lemma candidates: `(Case)`-justified ancestors/cousins plus proven
+    /// hints, in creation order.
+    lemmas: Vec<NodeId>,
+    /// Canonical keys of the goals on the current DFS path; used to prune
+    /// `(Subst)` continuations that recreate an ancestor goal verbatim.
+    path_keys: Vec<CanonKey>,
+    stats: SearchStats,
+    deadline: Option<Instant>,
+}
+
+impl<'a> Search<'a> {
+    fn push_node(&mut self, eq: Equation) -> NodeId {
+        self.stats.nodes_created += 1;
+        self.proof.push_open(eq)
+    }
+
+    fn mark(&self) -> Frame {
+        Frame {
+            proof: self.proof.mark(),
+            closure: self.closure.mark(),
+            lemmas: self.lemmas.len(),
+        }
+    }
+
+    fn undo(&mut self, frame: Frame, node: NodeId) {
+        self.proof.truncate(frame.proof);
+        self.proof.reopen(node);
+        self.closure.undo_to(frame.closure);
+        self.lemmas.truncate(frame.lemmas);
+    }
+
+    /// Adds the size-change edge for premise `i` of `v` to the incremental
+    /// closure.
+    fn add_proof_edge(&mut self, v: NodeId, i: usize) -> Soundness {
+        let g = edge_graph(&self.proof, v, i);
+        let p = self.proof.node(v).premises[i];
+        self.closure.add_edge(v, p, g)
+    }
+
+    fn check_limits(&mut self) -> Result<(), Stop> {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Stop::Timeout);
+            }
+        }
+        if self.stats.nodes_created > self.config.max_nodes {
+            return Err(Stop::Budget);
+        }
+        Ok(())
+    }
+
+    fn solve(&mut self, node: NodeId, depth: usize, pure_path: bool) -> SolveResult {
+        self.check_limits()?;
+        let eq = self.proof.node(node).eq.clone();
+
+        // 1. (Reduce) — committed.
+        let rw = Rewriter::new(&self.prog.sig, &self.prog.trs)
+            .with_fuel(self.config.reduction_fuel);
+        let ln = rw.normalize(eq.lhs());
+        let rn = rw.normalize(eq.rhs());
+        if !ln.in_normal_form || !rn.in_normal_form {
+            // Suspected divergence; give up on this branch.
+            return Ok(Solve::Failed);
+        }
+        if &ln.term != eq.lhs() || &rn.term != eq.rhs() {
+            let child = self.push_node(Equation::new(ln.term, rn.term));
+            self.proof.justify(node, RuleApp::Reduce, vec![child]);
+            self.add_proof_edge(node, 0);
+            return self.solve(child, depth, pure_path);
+        }
+
+        // 2. (Refl).
+        if eq.is_trivial() {
+            self.proof.justify(node, RuleApp::Refl, vec![]);
+            return Ok(Solve::Solved);
+        }
+
+        // 3. Constructor decomposition: clash refutation or congruence —
+        //    committed.
+        let lc = eq.lhs().as_constructor(&self.prog.sig).map(|(k, _)| k);
+        let rc = eq.rhs().as_constructor(&self.prog.sig).map(|(k, _)| k);
+        if let (Some(k1), Some(k2)) = (lc, rc) {
+            if k1 != k2 {
+                // Constructors are free: no instance satisfies the equation.
+                return if pure_path { Err(Stop::Refuted) } else { Ok(Solve::Failed) };
+            }
+            let n = eq.lhs().args().len();
+            let mut premises = Vec::with_capacity(n);
+            for i in 0..n {
+                let sub_eq = Equation::new(
+                    eq.lhs().args()[i].clone(),
+                    eq.rhs().args()[i].clone(),
+                );
+                premises.push(self.push_node(sub_eq));
+            }
+            self.proof.justify(node, RuleApp::Cong, premises.clone());
+            for i in 0..n {
+                self.add_proof_edge(node, i);
+            }
+            for p in premises {
+                match self.solve(p, depth + 1, pure_path)? {
+                    Solve::Solved => {}
+                    Solve::Failed => return Ok(Solve::Failed),
+                }
+            }
+            return Ok(Solve::Solved);
+        }
+
+        // 4. Function extensionality — committed when the goal has arrow
+        //    type. Residual inference metavariables in the argument type are
+        //    implicitly universally quantified and are generalised to fresh
+        //    rigid type variables.
+        let mut uni = TyUnifier::new(TYVAR_FLOOR);
+        if let Ok(ty) = eq.lhs().infer_type(&self.prog.sig, self.proof.vars(), &mut uni) {
+            if let Type::Arrow(arg, _) = &ty {
+                let arg_ty = generalize_metas((**arg).clone(), self.proof.vars());
+                let x = self.proof.vars_mut().fresh("x", arg_ty);
+                let prem = Equation::new(
+                    Term::app(eq.lhs().clone(), Term::var(x)),
+                    Term::app(eq.rhs().clone(), Term::var(x)),
+                );
+                let child = self.push_node(prem);
+                self.proof.justify(node, RuleApp::FunExt { fresh: x }, vec![child]);
+                self.add_proof_edge(node, 0);
+                return self.solve(child, depth + 1, pure_path);
+            }
+        }
+
+        if depth >= self.depth_limit {
+            self.stats.depth_limit_hits += 1;
+            return Ok(Solve::Failed);
+        }
+
+        self.path_keys.push(eq.canonical_key());
+        let result = self.solve_choice_points(node, depth, &eq);
+        self.path_keys.pop();
+        result
+    }
+
+    /// The backtrackable rules: `(Subst)` then `(Case)`.
+    fn solve_choice_points(
+        &mut self,
+        node: NodeId,
+        depth: usize,
+        eq: &Equation,
+    ) -> SolveResult {
+        // 5. (Subst): try existing lemmas, most recent first.
+        let candidates: Vec<NodeId> = match self.config.lemma_policy {
+            LemmaPolicy::CaseOnly => self.lemmas.iter().rev().copied().collect(),
+            LemmaPolicy::AllNodes => {
+                let mut all: Vec<NodeId> = self
+                    .proof
+                    .nodes()
+                    .filter(|(id, n)| *id != node && !matches!(n.rule, RuleApp::Open))
+                    .map(|(id, _)| id)
+                    .collect();
+                all.reverse();
+                all
+            }
+        };
+        for lemma_id in candidates {
+            if lemma_id == node {
+                continue;
+            }
+            let lemma_eq = self.proof.node(lemma_id).eq.clone();
+            for flipped in [false, true] {
+                let (from, to) = if flipped {
+                    (lemma_eq.rhs(), lemma_eq.lhs())
+                } else {
+                    (lemma_eq.lhs(), lemma_eq.rhs())
+                };
+                // The pattern side must be a genuine pattern: not a bare
+                // variable (would match everything), and binding every
+                // variable of the replacement side.
+                if from.as_var().is_some() || from.head_sym().is_none() {
+                    continue;
+                }
+                if !to.vars().is_subset(&from.vars()) {
+                    continue;
+                }
+                for side in [Side::Lhs, Side::Rhs] {
+                    let side_term = side.of(eq).clone();
+                    for (pos, sub) in side_term.positions() {
+                        if sub.as_var().is_some() {
+                            continue;
+                        }
+                        let Some(theta) = match_term(from, sub) else {
+                            continue;
+                        };
+                        let replacement = theta.apply(to);
+                        if &replacement == sub {
+                            continue;
+                        }
+                        self.stats.subst_attempts += 1;
+                        let rewritten =
+                            side_term.replace_at(&pos, replacement).expect("valid position");
+                        let cont_eq = match side {
+                            Side::Lhs => Equation::new(rewritten, eq.rhs().clone()),
+                            Side::Rhs => Equation::new(eq.lhs().clone(), rewritten),
+                        };
+                        // Prune continuations that recreate a goal already on
+                        // the DFS path (directly or after normalisation):
+                        // re-deriving an ancestor goal by rewriting is a loop,
+                        // not progress. Cycles must close via the lemma back
+                        // edge instead.
+                        if self.path_keys.contains(&cont_eq.canonical_key()) {
+                            continue;
+                        }
+                        let rw = Rewriter::new(&self.prog.sig, &self.prog.trs)
+                            .with_fuel(self.config.reduction_fuel);
+                        let norm_key = Equation::new(
+                            rw.normalize(cont_eq.lhs()).term,
+                            rw.normalize(cont_eq.rhs()).term,
+                        )
+                        .canonical_key();
+                        if self.path_keys.contains(&norm_key) {
+                            continue;
+                        }
+                        let frame = self.mark();
+                        let cont = self.push_node(cont_eq);
+                        self.proof.justify(
+                            node,
+                            RuleApp::Subst(SubstApp {
+                                side,
+                                pos: pos.clone(),
+                                theta: theta.clone(),
+                                lemma_flipped: flipped,
+                            }),
+                            vec![lemma_id, cont],
+                        );
+                        let s0 = self.add_proof_edge(node, 0);
+                        let s1 = self.add_proof_edge(node, 1);
+                        if s0 == Soundness::Unsound || s1 == Soundness::Unsound {
+                            self.stats.unsound_cycles_pruned += 1;
+                            self.undo(frame, node);
+                            continue;
+                        }
+                        match self.solve(cont, depth + 1, false)? {
+                            Solve::Solved => return Ok(Solve::Solved),
+                            Solve::Failed => self.undo(frame, node),
+                        }
+                    }
+                }
+            }
+        }
+
+        // 6. (Case): split on a variable blocking reduction.
+        let mut cands =
+            case_candidates(&self.prog.sig, &self.prog.trs, eq.lhs());
+        for v in case_candidates(&self.prog.sig, &self.prog.trs, eq.rhs()) {
+            if !cands.contains(&v) {
+                cands.push(v);
+            }
+        }
+        for v in cands {
+            let vty = self.proof.vars().ty(v).clone();
+            let Some((data, ty_args)) = vty.as_data() else {
+                continue;
+            };
+            let ty_args = ty_args.to_vec();
+            let cons: Vec<_> = self.prog.sig.constructors_of(data).to_vec();
+            if cons.is_empty() {
+                continue;
+            }
+            self.stats.case_splits += 1;
+            let frame = self.mark();
+            let mut branches = Vec::with_capacity(cons.len());
+            let mut premises = Vec::with_capacity(cons.len());
+            for &k in &cons {
+                let inst = self
+                    .prog
+                    .sig
+                    .sym(k)
+                    .scheme()
+                    .instantiate_with(&ty_args)
+                    .expect("constructor scheme arity matches datatype");
+                let (arg_tys, _) = inst.uncurry();
+                let base = self.proof.vars().name(v).to_string();
+                let fresh: Vec<VarId> = arg_tys
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        let name = if arg_tys.len() == 1 {
+                            format!("{base}'")
+                        } else {
+                            format!("{base}'{}", i + 1)
+                        };
+                        self.proof.vars_mut().fresh(&name, (*t).clone())
+                    })
+                    .collect();
+                let pattern = Term::apps(k, fresh.iter().map(|w| Term::var(*w)).collect());
+                let branch_eq = eq.subst(&Subst::singleton(v, pattern));
+                premises.push(self.push_node(branch_eq));
+                branches.push(CaseBranch { con: k, fresh });
+            }
+            self.proof
+                .justify(node, RuleApp::Case { var: v, branches }, premises.clone());
+            for i in 0..premises.len() {
+                self.add_proof_edge(node, i);
+            }
+            // The node is now (Case)-justified: it becomes a lemma candidate
+            // for its own subtree — this is how cycles form.
+            self.lemmas.push(node);
+            let mut all = true;
+            for p in &premises {
+                match self.solve(*p, depth + 1, true)? {
+                    Solve::Solved => {}
+                    Solve::Failed => {
+                        all = false;
+                        break;
+                    }
+                }
+            }
+            if all {
+                return Ok(Solve::Solved);
+            }
+            self.undo(frame, node);
+        }
+
+        Ok(Solve::Failed)
+    }
+}
+
+/// Replaces inference metavariables (ids ≥ [`TYVAR_FLOOR`]) by fresh rigid
+/// type variables above every rigid id currently used by the store.
+fn generalize_metas(ty: Type, vars: &VarStore) -> Type {
+    let metas: Vec<_> = ty.vars().into_iter().filter(|v| v.0 >= TYVAR_FLOOR).collect();
+    if metas.is_empty() {
+        return ty;
+    }
+    let mut next = vars
+        .iter()
+        .flat_map(|(_, _, t)| t.vars())
+        .filter(|v| v.0 < TYVAR_FLOOR)
+        .map(|v| v.0 + 1)
+        .max()
+        .unwrap_or(0);
+    let map: std::collections::BTreeMap<_, _> = metas
+        .into_iter()
+        .map(|m| {
+            let rigid = cycleq_term::TyVarId(next);
+            next += 1;
+            (m, Type::Var(rigid))
+        })
+        .collect();
+    ty.subst(&map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycleq_proof::{check, GlobalCheck};
+    use cycleq_rewrite::fixtures::nat_list_program;
+
+    fn prove_fixture(goal: impl FnOnce(&cycleq_rewrite::fixtures::ProgramFixture, &mut VarStore) -> Equation) -> (ProofResult, cycleq_rewrite::fixtures::ProgramFixture) {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let eq = goal(&p, &mut vars);
+        let prover = Prover::new(&p.prog);
+        let res = prover.prove(eq, vars);
+        (res, p)
+    }
+
+    #[test]
+    fn proves_ground_addition() {
+        let (res, p) = prove_fixture(|p, _| {
+            Equation::new(
+                Term::apps(p.f.add, vec![p.f.num(2), p.f.num(2)]),
+                p.f.num(4),
+            )
+        });
+        assert!(res.outcome.is_proved(), "{:?}", res.outcome);
+        check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+    }
+
+    #[test]
+    fn proves_add_zero_left() {
+        // add Z y ≈ y reduces away.
+        let (res, p) = prove_fixture(|p, vars| {
+            let y = vars.fresh("y", p.f.nat_ty());
+            Equation::new(
+                Term::apps(p.f.add, vec![Term::sym(p.f.zero), Term::var(y)]),
+                Term::var(y),
+            )
+        });
+        assert!(res.outcome.is_proved());
+        check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+    }
+
+    #[test]
+    fn proves_add_zero_right_by_induction() {
+        // add x Z ≈ x needs a cycle.
+        let (res, p) = prove_fixture(|p, vars| {
+            let x = vars.fresh("x", p.f.nat_ty());
+            Equation::new(
+                Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]),
+                Term::var(x),
+            )
+        });
+        assert!(res.outcome.is_proved(), "{:?}", res.outcome);
+        let report = check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        assert!(report.back_edges >= 1, "expected a cycle");
+    }
+
+    #[test]
+    fn proves_commutativity_of_addition() {
+        // The headline example (Fig. 4): no hints, no external lemmas.
+        let (res, p) = prove_fixture(|p, vars| {
+            let x = vars.fresh("x", p.f.nat_ty());
+            let y = vars.fresh("y", p.f.nat_ty());
+            Equation::new(
+                Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+                Term::apps(p.f.add, vec![Term::var(y), Term::var(x)]),
+            )
+        });
+        assert!(res.outcome.is_proved(), "{:?}", res.outcome);
+        let report = check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        assert!(report.back_edges >= 2, "commutativity needs nested cycles");
+    }
+
+    #[test]
+    fn proves_add_succ_right() {
+        // add x (S y) ≈ S (add x y) — the lemma Cyclist needs as a hint.
+        let (res, p) = prove_fixture(|p, vars| {
+            let x = vars.fresh("x", p.f.nat_ty());
+            let y = vars.fresh("y", p.f.nat_ty());
+            Equation::new(
+                Term::apps(p.f.add, vec![Term::var(x), p.f.s(Term::var(y))]),
+                p.f.s(Term::apps(p.f.add, vec![Term::var(x), Term::var(y)])),
+            )
+        });
+        assert!(res.outcome.is_proved(), "{:?}", res.outcome);
+        check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+    }
+
+    #[test]
+    fn proves_associativity_of_addition() {
+        let (res, p) = prove_fixture(|p, vars| {
+            let x = vars.fresh("x", p.f.nat_ty());
+            let y = vars.fresh("y", p.f.nat_ty());
+            let z = vars.fresh("z", p.f.nat_ty());
+            Equation::new(
+                Term::apps(
+                    p.f.add,
+                    vec![Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]), Term::var(z)],
+                ),
+                Term::apps(
+                    p.f.add,
+                    vec![Term::var(x), Term::apps(p.f.add, vec![Term::var(y), Term::var(z)])],
+                ),
+            )
+        });
+        assert!(res.outcome.is_proved(), "{:?}", res.outcome);
+        check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+    }
+
+    #[test]
+    fn proves_length_of_append() {
+        // len (app xs ys) ≈ add (len xs) (len ys).
+        let (res, p) = prove_fixture(|p, vars| {
+            let nat_list = p.f.list_ty(p.f.nat_ty());
+            let xs = vars.fresh("xs", nat_list.clone());
+            let ys = vars.fresh("ys", nat_list);
+            Equation::new(
+                Term::apps(p.f.len, vec![Term::apps(p.f.app, vec![Term::var(xs), Term::var(ys)])]),
+                Term::apps(
+                    p.f.add,
+                    vec![
+                        Term::apps(p.f.len, vec![Term::var(xs)]),
+                        Term::apps(p.f.len, vec![Term::var(ys)]),
+                    ],
+                ),
+            )
+        });
+        assert!(res.outcome.is_proved(), "{:?}", res.outcome);
+        check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+    }
+
+    #[test]
+    fn refutes_false_ground_equation() {
+        let (res, _) = prove_fixture(|p, _| {
+            Equation::new(
+                Term::apps(p.f.add, vec![p.f.num(1), p.f.num(1)]),
+                p.f.num(3),
+            )
+        });
+        assert_eq!(res.outcome, Outcome::Refuted);
+    }
+
+    #[test]
+    fn refutes_false_open_equation() {
+        // add x Z ≈ Z fails at x = S x'.
+        let (res, _) = prove_fixture(|p, vars| {
+            let x = vars.fresh("x", p.f.nat_ty());
+            Equation::new(
+                Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]),
+                Term::sym(p.f.zero),
+            )
+        });
+        assert_eq!(res.outcome, Outcome::Refuted);
+    }
+
+    #[test]
+    fn unprovable_within_budget_is_exhausted_or_times_out() {
+        // add x y ≈ add y (S x) is false; refutation requires noticing
+        // S-towers never match, which the clash finds quickly.
+        let (res, _) = prove_fixture(|p, vars| {
+            let x = vars.fresh("x", p.f.nat_ty());
+            let y = vars.fresh("y", p.f.nat_ty());
+            Equation::new(
+                Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+                Term::apps(p.f.add, vec![Term::var(y), p.f.s(Term::var(x))]),
+            )
+        });
+        assert!(
+            matches!(res.outcome, Outcome::Refuted | Outcome::Exhausted | Outcome::Timeout),
+            "{:?}",
+            res.outcome
+        );
+    }
+
+    #[test]
+    fn hints_enable_and_are_checked() {
+        // Prove add x (S y) ≈ S (add x y) as a hint, then use it.
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        let hint = Equation::new(
+            Term::apps(p.f.add, vec![Term::var(x), p.f.s(Term::var(y))]),
+            p.f.s(Term::apps(p.f.add, vec![Term::var(x), Term::var(y)])),
+        );
+        let goal = Equation::new(
+            Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+            Term::apps(p.f.add, vec![Term::var(y), Term::var(x)]),
+        );
+        let prover = Prover::new(&p.prog);
+        let res = prover.prove_with_hints(goal, vars, &[hint]);
+        assert!(res.outcome.is_proved(), "{:?}", res.outcome);
+        check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (res, _) = prove_fixture(|p, vars| {
+            let x = vars.fresh("x", p.f.nat_ty());
+            Equation::new(
+                Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]),
+                Term::var(x),
+            )
+        });
+        assert!(res.stats.nodes_created > 0);
+        assert!(res.stats.case_splits >= 1);
+        assert!(res.stats.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn all_nodes_policy_also_proves() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let goal = Equation::new(
+            Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]),
+            Term::var(x),
+        );
+        let config = SearchConfig {
+            lemma_policy: LemmaPolicy::AllNodes,
+            ..SearchConfig::default()
+        };
+        let prover = Prover::with_config(&p.prog, config);
+        let res = prover.prove(goal, vars);
+        assert!(res.outcome.is_proved(), "{:?}", res.outcome);
+        check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+    }
+}

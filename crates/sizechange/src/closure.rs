@@ -1,0 +1,196 @@
+//! Batch closure of a set of size-change graphs (Definition 5.4) and the
+//! Theorem 5.2 soundness check.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+use crate::graph::ScGraph;
+
+/// Result of the Theorem 5.2 check.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Soundness {
+    /// Every idempotent self-loop graph in the closure has a strict
+    /// self-edge: the preproof is a proof.
+    Sound,
+    /// Some idempotent self-loop graph has no strict self-edge: the global
+    /// condition fails.
+    Unsound,
+}
+
+/// The closure of a set of annotated edges under composition
+/// (Definition 5.4), computed by batch saturation.
+///
+/// `V` is the variable type labelling graph endpoints; `N` identifies the
+/// nodes (proof vertices or program functions).
+#[derive(Clone, Debug)]
+pub struct Closure<V, N> {
+    graphs: HashMap<(N, N), HashSet<ScGraph<V>>>,
+}
+
+impl<V, N> Closure<V, N>
+where
+    V: Copy + Ord + Hash,
+    N: Copy + Ord + Hash,
+{
+    /// Saturates the given edges under composition.
+    ///
+    /// Worst-case the closure is exponential in the number of variables per
+    /// node (as in classical SCT), but proof graphs keep environments small.
+    pub fn from_edges(edges: impl IntoIterator<Item = (N, N, ScGraph<V>)>) -> Closure<V, N> {
+        let mut closure = Closure { graphs: HashMap::new() };
+        let mut worklist: Vec<(N, N, ScGraph<V>)> = Vec::new();
+        for (a, b, g) in edges {
+            worklist.push((a, b, g));
+        }
+        while let Some((a, b, g)) = worklist.pop() {
+            if !closure
+                .graphs
+                .entry((a, b))
+                .or_default()
+                .insert(g.clone())
+            {
+                continue;
+            }
+            // Compose with everything ending at `a` and starting at `b`.
+            let mut new = Vec::new();
+            for (&(c, d), set) in &closure.graphs {
+                if d == a {
+                    for h in set {
+                        new.push((c, b, h.seq(&g)));
+                    }
+                }
+                if c == b {
+                    for h in set {
+                        new.push((a, d, g.seq(h)));
+                    }
+                }
+            }
+            worklist.extend(new);
+        }
+        closure
+    }
+
+    /// The set of graphs between `a` and `b` in the closure.
+    pub fn between(&self, a: N, b: N) -> impl Iterator<Item = &ScGraph<V>> {
+        self.graphs.get(&(a, b)).into_iter().flatten()
+    }
+
+    /// The total number of graphs in the closure.
+    pub fn num_graphs(&self) -> usize {
+        self.graphs.values().map(HashSet::len).sum()
+    }
+
+    /// Theorem 5.2: the annotated preproof is a proof iff every idempotent
+    /// `G : v → v` in the closure has a strict self-edge.
+    pub fn check(&self) -> Soundness {
+        for (&(a, b), set) in &self.graphs {
+            if a != b {
+                continue;
+            }
+            for g in set {
+                if g.is_idempotent() && !g.has_strict_self_edge() {
+                    return Soundness::Unsound;
+                }
+            }
+        }
+        Soundness::Sound
+    }
+
+    /// Returns a witness of unsoundness: a node and an idempotent self-loop
+    /// graph without a strict self-edge, if one exists.
+    pub fn unsound_witness(&self) -> Option<(N, &ScGraph<V>)> {
+        for (&(a, b), set) in &self.graphs {
+            if a != b {
+                continue;
+            }
+            for g in set {
+                if g.is_idempotent() && !g.has_strict_self_edge() {
+                    return Some((a, g));
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Label;
+
+    fn strict_loop() -> ScGraph<u32> {
+        [(0, 0, Label::Strict)].into_iter().collect()
+    }
+
+    #[test]
+    fn single_strict_loop_is_sound() {
+        let c = Closure::from_edges([(0usize, 0usize, strict_loop())]);
+        assert_eq!(c.check(), Soundness::Sound);
+    }
+
+    #[test]
+    fn single_nonstrict_loop_is_unsound() {
+        let g: ScGraph<u32> = [(0, 0, Label::NonStrict)].into_iter().collect();
+        let c = Closure::from_edges([(0usize, 0usize, g)]);
+        assert_eq!(c.check(), Soundness::Unsound);
+        assert!(c.unsound_witness().is_some());
+    }
+
+    #[test]
+    fn empty_loop_graph_is_unsound() {
+        // A cycle with no trace information at all: the empty graph is
+        // idempotent and has no strict self-edge.
+        let c = Closure::from_edges([(0usize, 0usize, ScGraph::<u32>::new())]);
+        assert_eq!(c.check(), Soundness::Unsound);
+    }
+
+    #[test]
+    fn two_edge_cycle_composes() {
+        // 0 → 1 with x ≲ x, 1 → 0 with x ≃ x: the composite loop is strict.
+        let g: ScGraph<u32> = [(0, 0, Label::Strict)].into_iter().collect();
+        let h: ScGraph<u32> = [(0, 0, Label::NonStrict)].into_iter().collect();
+        let c = Closure::from_edges([(0usize, 1usize, g), (1usize, 0usize, h)]);
+        assert_eq!(c.check(), Soundness::Sound);
+        assert!(c.between(0, 0).count() >= 1);
+    }
+
+    #[test]
+    fn swap_cycle_without_decrease_is_unsound() {
+        // The cycle permutes two variables with no decrease; its square is
+        // the identity — idempotent with no strict edge.
+        let swap: ScGraph<u32> = [(0, 1, Label::NonStrict), (1, 0, Label::NonStrict)]
+            .into_iter()
+            .collect();
+        let c = Closure::from_edges([(0usize, 0usize, swap)]);
+        assert_eq!(c.check(), Soundness::Unsound);
+    }
+
+    #[test]
+    fn swap_cycle_with_decrease_is_sound() {
+        // Permutation with a strict hop: every idempotent iterate carries a
+        // strict self-edge (classic LJB example).
+        let swap: ScGraph<u32> = [(0, 1, Label::Strict), (1, 0, Label::NonStrict)]
+            .into_iter()
+            .collect();
+        let c = Closure::from_edges([(0usize, 0usize, swap)]);
+        assert_eq!(c.check(), Soundness::Sound);
+    }
+
+    #[test]
+    fn disconnected_acyclic_graphs_are_sound() {
+        let g: ScGraph<u32> = [(0, 1, Label::NonStrict)].into_iter().collect();
+        let c = Closure::from_edges([(0usize, 1usize, g)]);
+        assert_eq!(c.check(), Soundness::Sound);
+        assert_eq!(c.num_graphs(), 1);
+    }
+
+    #[test]
+    fn closure_contains_all_path_compositions() {
+        let ab: ScGraph<u32> = [(0, 0, Label::NonStrict)].into_iter().collect();
+        let bc: ScGraph<u32> = [(0, 0, Label::Strict)].into_iter().collect();
+        let c = Closure::from_edges([(0usize, 1usize, ab), (1usize, 2usize, bc)]);
+        let through: Vec<_> = c.between(0, 2).collect();
+        assert_eq!(through.len(), 1);
+        assert_eq!(through[0].label(0, 0), Some(Label::Strict));
+    }
+}

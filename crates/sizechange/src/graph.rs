@@ -1,0 +1,240 @@
+//! Size-change graphs (Definition 5.1) and their composition
+//! (Definition 5.2).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An edge label: equality (`≃`) or a possible decrease (`≲`).
+///
+/// Labels form the two-point lattice with `Strict > NonStrict`
+/// (Definition 5.1); composition joins labels, so a composite edge is
+/// decreasing when either constituent is.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Label {
+    /// `x ≃ y`: there is a trace from `x` to `y`.
+    NonStrict,
+    /// `x ≲ y`: there is a trace from `x` to `y` with a progress point.
+    Strict,
+}
+
+impl Label {
+    /// Lattice join: `Strict` dominates.
+    pub fn join(self, other: Label) -> Label {
+        self.max(other)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::NonStrict => write!(f, "≃"),
+            Label::Strict => write!(f, "≲"),
+        }
+    }
+}
+
+/// A size-change graph: a labelled bipartite graph between the variables of
+/// a source node and those of a target node.
+///
+/// At most one edge is stored per variable pair, carrying the join of all
+/// labels inserted for that pair — a strict edge subsumes a non-strict one,
+/// since a trace with a progress point is in particular a trace.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct ScGraph<V> {
+    edges: BTreeMap<(V, V), Label>,
+}
+
+impl<V: Copy + Ord> ScGraph<V> {
+    /// The empty graph (no trace information).
+    pub fn new() -> ScGraph<V> {
+        ScGraph { edges: BTreeMap::new() }
+    }
+
+    /// The identity graph `z ≃ z` on the given variables, used for rule
+    /// edges that neither instantiate nor analyse variables
+    /// (Definition 5.3, final case).
+    pub fn identity(vars: impl IntoIterator<Item = V>) -> ScGraph<V> {
+        let mut g = ScGraph::new();
+        for v in vars {
+            g.insert(v, v, Label::NonStrict);
+        }
+        g
+    }
+
+    /// Inserts an edge, joining with any existing label for the pair.
+    pub fn insert(&mut self, from: V, to: V, label: Label) {
+        self.edges
+            .entry((from, to))
+            .and_modify(|l| *l = l.join(label))
+            .or_insert(label);
+    }
+
+    /// The label on `(from, to)`, if any.
+    pub fn label(&self, from: V, to: V) -> Option<Label> {
+        self.edges.get(&(from, to)).copied()
+    }
+
+    /// Iterates over edges as `(from, to, label)`.
+    pub fn edges(&self) -> impl Iterator<Item = (V, V, Label)> + '_ {
+        self.edges.iter().map(|(&(a, b), &l)| (a, b, l))
+    }
+
+    /// The number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Sequential composition: `self : u → v` followed by `other : v → w`
+    /// gives `self.seq(other) : u → w`.
+    ///
+    /// In the paper's notation (Definition 5.2) this is `other ∘ self`. An
+    /// edge `x → z` exists when there is `x → y` in `self` and `y → z` in
+    /// `other`; its label is the join, so it is decreasing when either hop
+    /// is.
+    pub fn seq(&self, other: &ScGraph<V>) -> ScGraph<V> {
+        let mut out = ScGraph::new();
+        for (&(x, y), &l1) in &self.edges {
+            for (&(y2, z), &l2) in &other.edges {
+                if y == y2 {
+                    out.insert(x, z, l1.join(l2));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the graph has a strict self-edge `x ≲ x` (the Theorem 5.2
+    /// requirement for idempotent cyclic graphs).
+    pub fn has_strict_self_edge(&self) -> bool {
+        self.edges
+            .iter()
+            .any(|(&(a, b), &l)| a == b && l == Label::Strict)
+    }
+
+    /// Whether the graph is idempotent: `self.seq(self) == self`.
+    pub fn is_idempotent(&self) -> bool {
+        &self.seq(self) == self
+    }
+}
+
+impl<V: Copy + Ord + fmt::Display> fmt::Display for ScGraph<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (&(a, b), &l)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a} {l} {b}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<V: Copy + Ord> FromIterator<(V, V, Label)> for ScGraph<V> {
+    fn from_iter<I: IntoIterator<Item = (V, V, Label)>>(iter: I) -> ScGraph<V> {
+        let mut g = ScGraph::new();
+        for (a, b, l) in iter {
+            g.insert(a, b, l);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_joins_labels() {
+        let mut g = ScGraph::new();
+        g.insert(0u32, 1u32, Label::NonStrict);
+        g.insert(0, 1, Label::Strict);
+        assert_eq!(g.label(0, 1), Some(Label::Strict));
+        g.insert(0, 1, Label::NonStrict);
+        assert_eq!(g.label(0, 1), Some(Label::Strict), "strict must not be demoted");
+    }
+
+    #[test]
+    fn seq_composes_through_shared_variables() {
+        let g: ScGraph<u32> = [(0, 1, Label::NonStrict)].into_iter().collect();
+        let h: ScGraph<u32> = [(1, 2, Label::Strict)].into_iter().collect();
+        let gh = g.seq(&h);
+        assert_eq!(gh.label(0, 2), Some(Label::Strict));
+        assert_eq!(gh.len(), 1);
+    }
+
+    #[test]
+    fn seq_requires_matching_midpoint() {
+        let g: ScGraph<u32> = [(0, 1, Label::Strict)].into_iter().collect();
+        let h: ScGraph<u32> = [(2, 3, Label::Strict)].into_iter().collect();
+        assert!(g.seq(&h).is_empty());
+    }
+
+    #[test]
+    fn identity_is_neutral_for_seq() {
+        let g: ScGraph<u32> = [(0, 1, Label::Strict), (1, 0, Label::NonStrict)]
+            .into_iter()
+            .collect();
+        let id = ScGraph::identity(0..2u32);
+        assert_eq!(g.seq(&id), g);
+        assert_eq!(id.seq(&g), g);
+    }
+
+    #[test]
+    fn seq_is_associative_on_samples() {
+        let g: ScGraph<u32> = [(0, 1, Label::NonStrict), (1, 1, Label::Strict)]
+            .into_iter()
+            .collect();
+        let h: ScGraph<u32> = [(1, 0, Label::NonStrict), (1, 1, Label::NonStrict)]
+            .into_iter()
+            .collect();
+        let k: ScGraph<u32> = [(0, 0, Label::Strict), (0, 1, Label::NonStrict)]
+            .into_iter()
+            .collect();
+        assert_eq!(g.seq(&h).seq(&k), g.seq(&h.seq(&k)));
+    }
+
+    #[test]
+    fn strict_self_edge_detection() {
+        let mut g = ScGraph::new();
+        g.insert(3u32, 3u32, Label::NonStrict);
+        assert!(!g.has_strict_self_edge());
+        g.insert(3, 3, Label::Strict);
+        assert!(g.has_strict_self_edge());
+    }
+
+    #[test]
+    fn idempotence() {
+        let id = ScGraph::identity(0..3u32);
+        assert!(id.is_idempotent());
+        let swap: ScGraph<u32> = [(0, 1, Label::NonStrict), (1, 0, Label::NonStrict)]
+            .into_iter()
+            .collect();
+        assert!(!swap.is_idempotent());
+        // swap² is the identity on {0,1}, which is idempotent.
+        assert!(swap.seq(&swap).is_idempotent());
+    }
+
+    #[test]
+    fn multiple_paths_keep_best_label() {
+        // 0 → 1 and 0 → 2 both reach 3; one path is strict.
+        let g: ScGraph<u32> = [(0, 1, Label::NonStrict), (0, 2, Label::Strict)]
+            .into_iter()
+            .collect();
+        let h: ScGraph<u32> = [(1, 3, Label::NonStrict), (2, 3, Label::NonStrict)]
+            .into_iter()
+            .collect();
+        assert_eq!(g.seq(&h).label(0, 3), Some(Label::Strict));
+    }
+
+    #[test]
+    fn display_renders_edges() {
+        let g: ScGraph<u32> = [(0, 1, Label::Strict)].into_iter().collect();
+        assert_eq!(g.to_string(), "{0 ≲ 1}");
+    }
+}

@@ -1,0 +1,250 @@
+//! Incremental closure with checkpoint/undo, for verifying cycles *during*
+//! proof search (§5.2).
+//!
+//! The key observations, from the paper:
+//!
+//! 1. Goal-directed proof search is incremental: candidate proofs share a
+//!    common prefix, so re-verifying the whole proof after every extension
+//!    (as Cyclist does with Büchi inclusion) recomputes the same
+//!    information over and over.
+//! 2. "As soon as a cycle that does not satisfy the global condition is
+//!    detected, there is no advantage to completing the proof."
+//!
+//! [`IncrementalClosure`] maintains the composition closure as edges are
+//! added, records every insertion on a trail so that backtracking can
+//! restore any earlier state, and reports immediately when an idempotent
+//! self-loop graph without a strict self-edge appears. Because closures only
+//! ever grow along a search branch, such a graph can never be repaired by
+//! adding more proof — the branch can be pruned on the spot.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+use crate::closure::Soundness;
+use crate::graph::ScGraph;
+
+/// A checkpoint into the trail of an [`IncrementalClosure`]; obtain with
+/// [`IncrementalClosure::mark`] and restore with
+/// [`IncrementalClosure::undo_to`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Mark(usize);
+
+/// The composition closure of a growing set of proof edges, with undo.
+#[derive(Clone, Debug)]
+pub struct IncrementalClosure<V, N> {
+    graphs: HashMap<(N, N), HashSet<ScGraph<V>>>,
+    /// Insertion log: (src, dst, graph, was_bad).
+    trail: Vec<(N, N, ScGraph<V>, bool)>,
+    /// Number of currently-present idempotent self-loops without a strict
+    /// self-edge. Non-zero means the current preproof cannot satisfy the
+    /// global condition.
+    bad: usize,
+}
+
+impl<V, N> Default for IncrementalClosure<V, N> {
+    fn default() -> Self {
+        IncrementalClosure { graphs: HashMap::new(), trail: Vec::new(), bad: 0 }
+    }
+}
+
+impl<V, N> IncrementalClosure<V, N>
+where
+    V: Copy + Ord + Hash,
+    N: Copy + Ord + Hash,
+{
+    /// Creates an empty closure.
+    pub fn new() -> IncrementalClosure<V, N> {
+        IncrementalClosure::default()
+    }
+
+    /// A checkpoint capturing the current state.
+    pub fn mark(&self) -> Mark {
+        Mark(self.trail.len())
+    }
+
+    /// Adds a proof edge and saturates the closure with it.
+    ///
+    /// Returns [`Soundness::Unsound`] if the closure now contains an
+    /// idempotent self-loop graph without a strict self-edge; the search
+    /// should undo to the last checkpoint and try a different step. The
+    /// closure remains internally consistent either way.
+    pub fn add_edge(&mut self, src: N, dst: N, graph: ScGraph<V>) -> Soundness {
+        let mut worklist: Vec<(N, N, ScGraph<V>)> = vec![(src, dst, graph)];
+        while let Some((a, b, g)) = worklist.pop() {
+            if self
+                .graphs
+                .get(&(a, b))
+                .is_some_and(|set| set.contains(&g))
+            {
+                continue;
+            }
+            let is_bad = a == b && g.is_idempotent() && !g.has_strict_self_edge();
+            if is_bad {
+                self.bad += 1;
+            }
+            self.graphs.entry((a, b)).or_default().insert(g.clone());
+            self.trail.push((a, b, g.clone(), is_bad));
+            for (&(c, d), set) in &self.graphs {
+                if d == a {
+                    for h in set {
+                        worklist.push((c, b, h.seq(&g)));
+                    }
+                }
+                if c == b {
+                    for h in set {
+                        worklist.push((a, d, g.seq(h)));
+                    }
+                }
+            }
+        }
+        self.soundness()
+    }
+
+    /// The current verdict: sound unless some idempotent self-loop without a
+    /// strict self-edge is present.
+    pub fn soundness(&self) -> Soundness {
+        if self.bad == 0 {
+            Soundness::Sound
+        } else {
+            Soundness::Unsound
+        }
+    }
+
+    /// Restores the state captured by `mark`, removing every graph inserted
+    /// since.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` does not come from this closure's past (the trail is
+    /// shorter than the mark).
+    pub fn undo_to(&mut self, mark: Mark) {
+        assert!(mark.0 <= self.trail.len(), "mark is in the future");
+        while self.trail.len() > mark.0 {
+            let (a, b, g, was_bad) = self.trail.pop().expect("trail non-empty");
+            if was_bad {
+                self.bad -= 1;
+            }
+            if let Some(set) = self.graphs.get_mut(&(a, b)) {
+                set.remove(&g);
+                if set.is_empty() {
+                    self.graphs.remove(&(a, b));
+                }
+            }
+        }
+    }
+
+    /// The total number of graphs currently in the closure.
+    pub fn num_graphs(&self) -> usize {
+        self.graphs.values().map(HashSet::len).sum()
+    }
+
+    /// The graphs currently recorded between `a` and `b`.
+    pub fn between(&self, a: N, b: N) -> impl Iterator<Item = &ScGraph<V>> {
+        self.graphs.get(&(a, b)).into_iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Label;
+
+    #[test]
+    fn strict_loop_is_sound() {
+        let mut c = IncrementalClosure::new();
+        let g: ScGraph<u32> = [(0, 0, Label::Strict)].into_iter().collect();
+        assert_eq!(c.add_edge(0usize, 0usize, g), Soundness::Sound);
+    }
+
+    #[test]
+    fn nonstrict_loop_is_detected_immediately() {
+        let mut c = IncrementalClosure::new();
+        let g: ScGraph<u32> = [(0, 0, Label::NonStrict)].into_iter().collect();
+        assert_eq!(c.add_edge(0usize, 0usize, g), Soundness::Unsound);
+    }
+
+    #[test]
+    fn undo_restores_soundness() {
+        let mut c = IncrementalClosure::new();
+        let mark = c.mark();
+        let g: ScGraph<u32> = [(0, 0, Label::NonStrict)].into_iter().collect();
+        assert_eq!(c.add_edge(0usize, 0usize, g), Soundness::Unsound);
+        c.undo_to(mark);
+        assert_eq!(c.soundness(), Soundness::Sound);
+        assert_eq!(c.num_graphs(), 0);
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_multi_edge_cycle() {
+        // Build the add-commutativity-style shape: two nodes, tree edge with
+        // a strict hop, back edge with a renaming.
+        let case_edge: ScGraph<u32> =
+            [(0, 0, Label::Strict), (1, 1, Label::NonStrict)].into_iter().collect();
+        let back_edge: ScGraph<u32> =
+            [(0, 0, Label::NonStrict), (1, 1, Label::NonStrict)].into_iter().collect();
+
+        let mut inc = IncrementalClosure::new();
+        assert_eq!(inc.add_edge(0usize, 1usize, case_edge.clone()), Soundness::Sound);
+        assert_eq!(inc.add_edge(1usize, 0usize, back_edge.clone()), Soundness::Sound);
+
+        let batch = crate::Closure::from_edges([
+            (0usize, 1usize, case_edge),
+            (1usize, 0usize, back_edge),
+        ]);
+        assert_eq!(batch.check(), Soundness::Sound);
+        assert_eq!(inc.num_graphs(), batch.num_graphs());
+    }
+
+    #[test]
+    fn incremental_detects_unsound_composite_cycle() {
+        // Neither edge is a self-loop, but their composition is a loop with
+        // no decrease.
+        let fwd: ScGraph<u32> = [(0, 0, Label::NonStrict)].into_iter().collect();
+        let back: ScGraph<u32> = [(0, 0, Label::NonStrict)].into_iter().collect();
+        let mut inc = IncrementalClosure::new();
+        assert_eq!(inc.add_edge(0usize, 1usize, fwd), Soundness::Sound);
+        assert_eq!(inc.add_edge(1usize, 0usize, back), Soundness::Unsound);
+    }
+
+    #[test]
+    fn nested_marks_unwind_in_order() {
+        let mut c = IncrementalClosure::<u32, usize>::new();
+        let g: ScGraph<u32> = [(0, 1, Label::NonStrict)].into_iter().collect();
+        let m0 = c.mark();
+        c.add_edge(0, 1, g.clone());
+        let m1 = c.mark();
+        c.add_edge(1, 2, g.clone());
+        assert!(c.num_graphs() >= 2);
+        c.undo_to(m1);
+        assert_eq!(c.num_graphs(), 1);
+        c.undo_to(m0);
+        assert_eq!(c.num_graphs(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mark is in the future")]
+    fn future_marks_panic() {
+        let mut c = IncrementalClosure::<u32, usize>::new();
+        c.undo_to(Mark(5));
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let mut c = IncrementalClosure::new();
+        let g: ScGraph<u32> = [(0, 0, Label::Strict)].into_iter().collect();
+        c.add_edge(0usize, 0usize, g.clone());
+        let n = c.num_graphs();
+        c.add_edge(0usize, 0usize, g);
+        assert_eq!(c.num_graphs(), n);
+    }
+
+    #[test]
+    fn growth_only_monotone_unsound_stays_unsound() {
+        let mut c = IncrementalClosure::new();
+        let bad: ScGraph<u32> = ScGraph::new();
+        assert_eq!(c.add_edge(0usize, 0usize, bad), Soundness::Unsound);
+        let good: ScGraph<u32> = [(0, 0, Label::Strict)].into_iter().collect();
+        // Adding a sound cycle elsewhere does not clear the verdict.
+        assert_eq!(c.add_edge(1usize, 1usize, good), Soundness::Unsound);
+    }
+}

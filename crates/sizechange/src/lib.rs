@@ -1,0 +1,64 @@
+//! Size-change graphs and the global-correctness machinery of CycleQ (§5.2).
+//!
+//! The global condition on cyclic preproofs — every infinite path has a
+//! suffix carrying a trace with infinitely many progress points — is
+//! undecidable in general. CycleQ restricts attention to *variable-based*
+//! traces, for which the condition reduces to Lee, Jones and Ben-Amram's
+//! size-change principle: annotate every proof edge with a size-change graph
+//! (Definition 5.3), close the set of graphs under composition
+//! (Definition 5.4), and require every idempotent self-loop graph to carry a
+//! strict self-edge (Theorem 5.2).
+//!
+//! This crate is independent of the term language: graphs are generic over
+//! the variable type `V` and the node type `N`, so the same machinery
+//! verifies proofs (variables = term variables, nodes = proof vertices) and
+//! program termination (variables = argument positions, nodes = function
+//! symbols).
+//!
+//! Two closure engines are provided:
+//!
+//! - [`Closure`]: batch saturation from a fixed edge set, used by the
+//!   stand-alone proof checker.
+//! - [`IncrementalClosure`]: trail-based saturation that supports
+//!   checkpoint/undo, used *during* proof search so that unsound cycles are
+//!   detected the moment they are created and shared proof prefixes are
+//!   never re-verified — the paper's answer to the soundness-checking
+//!   bottleneck observed in Cyclist.
+
+mod closure;
+mod graph;
+mod incremental;
+
+pub use closure::{Closure, Soundness};
+pub use graph::{Label, ScGraph};
+pub use incremental::{IncrementalClosure, Mark};
+
+/// Convenience entry point: size-change termination of a call graph.
+///
+/// Each element of `edges` is `(source, target, graph)`. Returns `true` when
+/// the multipath closure satisfies Theorem 5.2, i.e. every idempotent cyclic
+/// composition has a strict self-edge.
+///
+/// # Example
+///
+/// ```
+/// use cycleq_sizechange::{is_size_change_terminating, Label, ScGraph};
+///
+/// // A single recursive function whose first argument strictly decreases.
+/// let mut g = ScGraph::new();
+/// g.insert(0u32, 0u32, Label::Strict);
+/// assert!(is_size_change_terminating(&[("f", "f", g.clone())]));
+///
+/// // A function that shuffles its arguments without decrease diverges.
+/// let mut swap = ScGraph::new();
+/// swap.insert(0u32, 1u32, Label::NonStrict);
+/// swap.insert(1u32, 0u32, Label::NonStrict);
+/// assert!(!is_size_change_terminating(&[("f", "f", swap)]));
+/// ```
+pub fn is_size_change_terminating<V, N>(edges: &[(N, N, ScGraph<V>)]) -> bool
+where
+    V: Copy + Ord + std::hash::Hash,
+    N: Copy + Ord + std::hash::Hash,
+{
+    Closure::from_edges(edges.iter().cloned()).check() == Soundness::Sound
+}

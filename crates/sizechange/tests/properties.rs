@@ -1,0 +1,123 @@
+//! Property tests for the size-change machinery: the incremental closure
+//! must agree with batch saturation on arbitrary edge sets, and undo must be
+//! exact.
+
+use cycleq_sizechange::{Closure, IncrementalClosure, Label, ScGraph, Soundness};
+use proptest::prelude::*;
+use proptest::test_runner::Config;
+
+const NODES: usize = 4;
+const VARS: u32 = 3;
+
+fn arb_graph() -> impl Strategy<Value = ScGraph<u32>> {
+    proptest::collection::vec(
+        (0..VARS, 0..VARS, prop_oneof![Just(Label::NonStrict), Just(Label::Strict)]),
+        0..6,
+    )
+    .prop_map(|edges| edges.into_iter().collect())
+}
+
+fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize, ScGraph<u32>)>> {
+    proptest::collection::vec((0..NODES, 0..NODES, arb_graph()), 1..6)
+}
+
+fn cfg() -> Config {
+    Config { cases: 96, ..Config::default() }
+}
+
+#[test]
+fn incremental_agrees_with_batch() {
+    proptest!(cfg(), |(edges in arb_edges())| {
+        let batch = Closure::from_edges(edges.iter().cloned());
+        let mut inc = IncrementalClosure::new();
+        let mut verdict = Soundness::Sound;
+        for (a, b, g) in &edges {
+            verdict = inc.add_edge(*a, *b, g.clone());
+        }
+        prop_assert_eq!(verdict, batch.check());
+        prop_assert_eq!(inc.num_graphs(), batch.num_graphs());
+        // Same graphs per pair.
+        for a in 0..NODES {
+            for b in 0..NODES {
+                let mut i: Vec<_> = inc.between(a, b).cloned().collect();
+                let mut j: Vec<_> = batch.between(a, b).cloned().collect();
+                i.sort_by_key(|g| format!("{g:?}"));
+                j.sort_by_key(|g| format!("{g:?}"));
+                prop_assert_eq!(i, j);
+            }
+        }
+    });
+}
+
+#[test]
+fn undo_is_exact() {
+    proptest!(cfg(), |(prefix in arb_edges(), suffix in arb_edges())| {
+        let mut inc = IncrementalClosure::new();
+        for (a, b, g) in &prefix {
+            inc.add_edge(*a, *b, g.clone());
+        }
+        let snapshot_count = inc.num_graphs();
+        let snapshot_sound = inc.soundness();
+        let mark = inc.mark();
+        for (a, b, g) in &suffix {
+            inc.add_edge(*a, *b, g.clone());
+        }
+        inc.undo_to(mark);
+        prop_assert_eq!(inc.num_graphs(), snapshot_count);
+        prop_assert_eq!(inc.soundness(), snapshot_sound);
+        // And the state still behaves like a fresh closure of the prefix.
+        let batch = Closure::from_edges(prefix.iter().cloned());
+        prop_assert_eq!(inc.num_graphs(), batch.num_graphs());
+    });
+}
+
+#[test]
+fn insertion_order_is_irrelevant() {
+    proptest!(cfg(), |(edges in arb_edges())| {
+        let mut fwd = IncrementalClosure::new();
+        for (a, b, g) in &edges {
+            fwd.add_edge(*a, *b, g.clone());
+        }
+        let mut rev = IncrementalClosure::new();
+        for (a, b, g) in edges.iter().rev() {
+            rev.add_edge(*a, *b, g.clone());
+        }
+        prop_assert_eq!(fwd.num_graphs(), rev.num_graphs());
+        prop_assert_eq!(fwd.soundness(), rev.soundness());
+    });
+}
+
+#[test]
+fn composition_is_associative() {
+    proptest!(cfg(), |(g in arb_graph(), h in arb_graph(), k in arb_graph())| {
+        prop_assert_eq!(g.seq(&h).seq(&k), g.seq(&h.seq(&k)));
+    });
+}
+
+#[test]
+fn identity_is_neutral() {
+    proptest!(cfg(), |(g in arb_graph())| {
+        let id = ScGraph::identity(0..VARS);
+        prop_assert_eq!(g.seq(&id), g.clone());
+        prop_assert_eq!(id.seq(&g), g);
+    });
+}
+
+#[test]
+fn strict_edges_dominate_in_composition() {
+    proptest!(cfg(), |(g in arb_graph(), h in arb_graph())| {
+        let gh = g.seq(&h);
+        for (x, z, l) in gh.edges() {
+            // If the composite edge is strict, some witness hop is strict.
+            if l == Label::Strict {
+                let witness = g.edges().any(|(a, b, l1)| {
+                    a == x
+                        && h.edges().any(|(b2, c, l2)| {
+                            b2 == b && c == z && (l1 == Label::Strict || l2 == Label::Strict)
+                        })
+                });
+                prop_assert!(witness, "strict composite without strict witness");
+            }
+        }
+    });
+}

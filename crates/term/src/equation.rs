@@ -1,0 +1,192 @@
+//! Equations: *unordered* pairs of terms of a common datatype (§2).
+//!
+//! Equations are written `M ≈ N` and are interchangeable with `N ≈ M`
+//! (symmetry is built into the representation rather than being an inference
+//! rule, Remark 3.1). [`Equation::canonical_key`] produces an
+//! α-invariant, orientation-invariant fingerprint used for memoisation and
+//! lemma deduplication during proof search.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::signature::Signature;
+use crate::subst::Subst;
+use crate::term::Term;
+use crate::var::{VarId, VarStore};
+
+/// An unordered equation between two terms.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Equation {
+    lhs: Term,
+    rhs: Term,
+}
+
+/// An α- and orientation-invariant fingerprint of an equation.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CanonKey(Vec<u32>);
+
+impl Equation {
+    /// Creates the equation `lhs ≈ rhs`.
+    pub fn new(lhs: Term, rhs: Term) -> Equation {
+        Equation { lhs, rhs }
+    }
+
+    /// The left-hand side (of the stored orientation; equations are
+    /// semantically unordered).
+    pub fn lhs(&self) -> &Term {
+        &self.lhs
+    }
+
+    /// The right-hand side.
+    pub fn rhs(&self) -> &Term {
+        &self.rhs
+    }
+
+    /// Both sides, in stored order.
+    pub fn sides(&self) -> [&Term; 2] {
+        [&self.lhs, &self.rhs]
+    }
+
+    /// The same equation with the stored orientation flipped.
+    pub fn flipped(&self) -> Equation {
+        Equation { lhs: self.rhs.clone(), rhs: self.lhs.clone() }
+    }
+
+    /// Whether both sides are syntactically identical (dischargeable by
+    /// `(Refl)`).
+    pub fn is_trivial(&self) -> bool {
+        self.lhs == self.rhs
+    }
+
+    /// The free variables of the equation — its type environment `Γ`, with
+    /// types recovered from the proof's [`VarStore`].
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        let mut acc = BTreeSet::new();
+        self.lhs.collect_vars(&mut acc);
+        self.rhs.collect_vars(&mut acc);
+        acc
+    }
+
+    /// Applies a substitution to both sides.
+    pub fn subst(&self, theta: &Subst) -> Equation {
+        Equation { lhs: theta.apply(&self.lhs), rhs: theta.apply(&self.rhs) }
+    }
+
+    /// The total size of both sides.
+    pub fn size(&self) -> usize {
+        self.lhs.size() + self.rhs.size()
+    }
+
+    /// An α-invariant, orientation-invariant key: the lexicographically
+    /// smaller of the canonical encodings of `(lhs, rhs)` and `(rhs, lhs)`.
+    pub fn canonical_key(&self) -> CanonKey {
+        fn encode(a: &Term, b: &Term) -> Vec<u32> {
+            let mut rename = BTreeMap::new();
+            let mut out = Vec::new();
+            a.encode_canonical(&mut rename, &mut out);
+            out.push(u32::MAX); // separator
+            b.encode_canonical(&mut rename, &mut out);
+            out
+        }
+        let fwd = encode(&self.lhs, &self.rhs);
+        let bwd = encode(&self.rhs, &self.lhs);
+        CanonKey(fwd.min(bwd))
+    }
+
+    /// Renders the equation against a signature and variable store.
+    pub fn display<'a>(
+        &'a self,
+        sig: &'a Signature,
+        vars: &'a VarStore,
+    ) -> EquationDisplay<'a> {
+        EquationDisplay { eq: self, sig, vars }
+    }
+}
+
+/// Displays an equation with names resolved; produced by
+/// [`Equation::display`].
+#[derive(Copy, Clone, Debug)]
+pub struct EquationDisplay<'a> {
+    eq: &'a Equation,
+    sig: &'a Signature,
+    vars: &'a VarStore,
+}
+
+impl fmt::Display for EquationDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ≈ {}",
+            self.eq.lhs.display(self.sig, self.vars),
+            self.eq.rhs.display(self.sig, self.vars)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::NatList;
+
+    #[test]
+    fn canonical_key_is_orientation_invariant() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        let e1 = Equation::new(
+            Term::apps(f.add, vec![Term::var(x), Term::var(y)]),
+            Term::apps(f.add, vec![Term::var(y), Term::var(x)]),
+        );
+        assert_eq!(e1.canonical_key(), e1.flipped().canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_is_alpha_invariant() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        let e1 = Equation::new(Term::var(x), f.s(Term::var(x)));
+        let e2 = Equation::new(Term::var(y), f.s(Term::var(y)));
+        let e3 = Equation::new(Term::var(x), f.s(Term::var(y)));
+        assert_eq!(e1.canonical_key(), e2.canonical_key());
+        assert_ne!(e1.canonical_key(), e3.canonical_key());
+    }
+
+    #[test]
+    fn distinct_equations_have_distinct_keys() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let e1 = Equation::new(Term::var(x), Term::sym(f.zero));
+        let e2 = Equation::new(Term::var(x), f.s(Term::sym(f.zero)));
+        assert_ne!(e1.canonical_key(), e2.canonical_key());
+    }
+
+    #[test]
+    fn trivial_detection() {
+        let f = NatList::new();
+        let t = Term::sym(f.zero);
+        assert!(Equation::new(t.clone(), t.clone()).is_trivial());
+        assert!(!Equation::new(t.clone(), f.s(t)).is_trivial());
+    }
+
+    #[test]
+    fn vars_unions_both_sides() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        let e = Equation::new(Term::var(x), Term::var(y));
+        assert_eq!(e.vars().len(), 2);
+    }
+
+    #[test]
+    fn display_uses_unordered_symbol() {
+        let f = NatList::new();
+        let vars = VarStore::new();
+        let e = Equation::new(Term::sym(f.zero), Term::sym(f.zero));
+        assert_eq!(e.display(&f.sig, &vars).to_string(), "Z ≈ Z");
+    }
+}

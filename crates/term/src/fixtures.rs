@@ -1,0 +1,191 @@
+//! Shared test and example fixtures: a small signature with natural numbers,
+//! polymorphic lists and booleans.
+//!
+//! This module is part of the public API so that downstream crates (rewrite,
+//! proof, search, …) can reuse the same fixture in their tests and examples;
+//! it is not intended for production use.
+
+use crate::signature::{DataId, Signature, SymId};
+use crate::term::Term;
+use crate::types::{TyVarId, Type, TypeScheme};
+
+/// A signature with `Nat`, `List a`, `Bool` and the defined symbols `add`,
+/// `app` (list append), `len`, and `map`.
+#[derive(Clone, Debug)]
+pub struct NatList {
+    /// The signature holding all declarations below.
+    pub sig: Signature,
+    /// The datatype `Nat`.
+    pub nat: DataId,
+    /// The datatype `List` (arity 1).
+    pub list: DataId,
+    /// The datatype `Bool`.
+    pub bool_: DataId,
+    /// Constructor `Z : Nat`.
+    pub zero: SymId,
+    /// Constructor `S : Nat -> Nat`.
+    pub succ: SymId,
+    /// Constructor `Nil : List a`.
+    pub nil: SymId,
+    /// Constructor `Cons : a -> List a -> List a`.
+    pub cons: SymId,
+    /// Constructor `True : Bool`.
+    pub true_: SymId,
+    /// Constructor `False : Bool`.
+    pub false_: SymId,
+    /// Defined `add : Nat -> Nat -> Nat`.
+    pub add: SymId,
+    /// Defined `app : List a -> List a -> List a`.
+    pub app: SymId,
+    /// Defined `len : List a -> Nat`.
+    pub len: SymId,
+    /// Defined `map : (a -> b) -> List a -> List b`.
+    pub map: SymId,
+}
+
+impl NatList {
+    /// Builds the fixture signature.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice; the declarations are statically valid.
+    pub fn new() -> NatList {
+        let mut sig = Signature::new();
+        let nat = sig.add_datatype("Nat", 0).expect("fresh");
+        let list = sig.add_datatype("List", 1).expect("fresh");
+        let bool_ = sig.add_datatype("Bool", 0).expect("fresh");
+        let nat_ty = Type::data0(nat);
+        let a = Type::Var(TyVarId(0));
+        let b = Type::Var(TyVarId(1));
+        let list_a = Type::Data(list, vec![a.clone()]);
+        let list_b = Type::Data(list, vec![b.clone()]);
+
+        let zero = sig.add_constructor("Z", nat, vec![]).expect("fresh");
+        let succ = sig
+            .add_constructor("S", nat, vec![nat_ty.clone()])
+            .expect("fresh");
+        let nil = sig.add_constructor("Nil", list, vec![]).expect("fresh");
+        let cons = sig
+            .add_constructor("Cons", list, vec![a.clone(), list_a.clone()])
+            .expect("fresh");
+        let true_ = sig.add_constructor("True", bool_, vec![]).expect("fresh");
+        let false_ = sig.add_constructor("False", bool_, vec![]).expect("fresh");
+
+        let add = sig
+            .add_defined(
+                "add",
+                TypeScheme::mono(Type::arrows(
+                    vec![nat_ty.clone(), nat_ty.clone()],
+                    nat_ty.clone(),
+                )),
+            )
+            .expect("fresh");
+        let app = sig
+            .add_defined(
+                "app",
+                TypeScheme::poly(
+                    1,
+                    Type::arrows(vec![list_a.clone(), list_a.clone()], list_a.clone()),
+                ),
+            )
+            .expect("fresh");
+        let len = sig
+            .add_defined(
+                "len",
+                TypeScheme::poly(1, Type::arrows(vec![list_a.clone()], nat_ty.clone())),
+            )
+            .expect("fresh");
+        let map = sig
+            .add_defined(
+                "map",
+                TypeScheme::poly(
+                    2,
+                    Type::arrows(
+                        vec![Type::arrow(a.clone(), b.clone()), list_a.clone()],
+                        list_b,
+                    ),
+                ),
+            )
+            .expect("fresh");
+
+        NatList {
+            sig,
+            nat,
+            list,
+            bool_,
+            zero,
+            succ,
+            nil,
+            cons,
+            true_,
+            false_,
+            add,
+            app,
+            len,
+            map,
+        }
+    }
+
+    /// The type `Nat`.
+    pub fn nat_ty(&self) -> Type {
+        Type::data0(self.nat)
+    }
+
+    /// The type `Bool`.
+    pub fn bool_ty(&self) -> Type {
+        Type::data0(self.bool_)
+    }
+
+    /// The type `List elem`.
+    pub fn list_ty(&self, elem: Type) -> Type {
+        Type::Data(self.list, vec![elem])
+    }
+
+    /// The term `S t`.
+    pub fn s(&self, t: Term) -> Term {
+        Term::apps(self.succ, vec![t])
+    }
+
+    /// The numeral `S^n Z`.
+    pub fn num(&self, n: usize) -> Term {
+        let mut t = Term::sym(self.zero);
+        for _ in 0..n {
+            t = self.s(t);
+        }
+        t
+    }
+
+    /// The term `Cons head tail`.
+    pub fn cons_t(&self, head: Term, tail: Term) -> Term {
+        Term::apps(self.cons, vec![head, tail])
+    }
+
+    /// A list literal built from `Cons`/`Nil`.
+    pub fn list_t(&self, items: Vec<Term>) -> Term {
+        items
+            .into_iter()
+            .rev()
+            .fold(Term::sym(self.nil), |acc, x| self.cons_t(x, acc))
+    }
+}
+
+impl Default for NatList {
+    fn default() -> Self {
+        NatList::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds() {
+        let f = NatList::new();
+        assert_eq!(f.sig.constructors_of(f.nat).len(), 2);
+        assert_eq!(f.sig.constructors_of(f.list).len(), 2);
+        assert_eq!(f.num(3).size(), 4);
+        let l = f.list_t(vec![f.num(0), f.num(1)]);
+        assert_eq!(l.size(), 1 + 1 + 1 + 2 + 1); // Cons Z (Cons (S Z) Nil)
+    }
+}

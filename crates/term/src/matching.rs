@@ -1,0 +1,171 @@
+//! Syntactic matching: find `θ` with `pattern·θ = subject`.
+//!
+//! Matching is the workhorse of both reduction (matching rule left-hand
+//! sides) and the `(Subst)` rule (matching lemma sides against goal
+//! subterms, §5.1).
+//!
+//! Spine form admits a mild extension beyond first-order matching: an
+//! *applied* pattern variable `x p1 … pk` matches a subject `h s1 … sm`
+//! (with `m ≥ k`) by binding `x` to the subject's prefix `h s1 … s(m-k)`
+//! and matching the `pi` against the trailing arguments. This is exactly
+//! the fragment needed for lemmas such as `map f xs ≈ …` where `f` occurs
+//! applied on the right-hand side.
+
+use crate::subst::Subst;
+use crate::term::{Head, Term};
+
+/// Attempts to extend `subst` so that `pattern·subst = subject`.
+///
+/// Returns `true` on success, in which case `subst` has been extended;
+/// on failure `subst` may contain partial bindings and should be discarded.
+fn match_into(pattern: &Term, subject: &Term, subst: &mut Subst) -> bool {
+    match pattern.head() {
+        Head::Var(v) => {
+            let k = pattern.args().len();
+            let m = subject.args().len();
+            if m < k {
+                return false;
+            }
+            let split = m - k;
+            let prefix = Term::from_parts(subject.head(), subject.args()[..split].to_vec());
+            match subst.get(v) {
+                Some(bound) => {
+                    if bound != &prefix {
+                        return false;
+                    }
+                }
+                None => {
+                    subst.insert(v, prefix);
+                }
+            }
+            pattern
+                .args()
+                .iter()
+                .zip(&subject.args()[split..])
+                .all(|(p, s)| match_into(p, s, subst))
+        }
+        Head::Sym(f) => {
+            if subject.head() != Head::Sym(f) || pattern.args().len() != subject.args().len() {
+                return false;
+            }
+            pattern
+                .args()
+                .iter()
+                .zip(subject.args())
+                .all(|(p, s)| match_into(p, s, subst))
+        }
+    }
+}
+
+/// Matches `pattern` against `subject`, returning `θ` with
+/// `pattern·θ = subject` if one exists.
+///
+/// # Example
+///
+/// ```
+/// use cycleq_term::{fixtures::NatList, match_term, Term, VarStore};
+///
+/// let f = NatList::new();
+/// let mut vars = VarStore::new();
+/// let x = vars.fresh("x", f.nat_ty());
+/// let pat = f.s(Term::var(x));
+/// let subj = f.s(Term::sym(f.zero));
+/// let theta = match_term(&pat, &subj).expect("matches");
+/// assert_eq!(theta.apply(&pat), subj);
+/// ```
+pub fn match_term(pattern: &Term, subject: &Term) -> Option<Subst> {
+    let mut subst = Subst::new();
+    if match_into(pattern, subject, &mut subst) {
+        Some(subst)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::NatList;
+    use crate::types::Type;
+    use crate::var::VarStore;
+
+    #[test]
+    fn matches_simple_pattern() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        let pat = Term::apps(f.add, vec![Term::var(x), Term::var(y)]);
+        let subj = Term::apps(f.add, vec![Term::sym(f.zero), f.s(Term::sym(f.zero))]);
+        let theta = match_term(&pat, &subj).unwrap();
+        assert_eq!(theta.apply(&pat), subj);
+        assert_eq!(theta.get(x), Some(&Term::sym(f.zero)));
+    }
+
+    #[test]
+    fn nonlinear_pattern_requires_equal_bindings() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let pat = Term::apps(f.add, vec![Term::var(x), Term::var(x)]);
+        let same = Term::apps(f.add, vec![Term::sym(f.zero), Term::sym(f.zero)]);
+        let diff = Term::apps(f.add, vec![Term::sym(f.zero), f.s(Term::sym(f.zero))]);
+        assert!(match_term(&pat, &same).is_some());
+        assert!(match_term(&pat, &diff).is_none());
+    }
+
+    #[test]
+    fn symbol_clash_fails() {
+        let f = NatList::new();
+        let pat = Term::sym(f.zero);
+        let subj = Term::sym(f.nil);
+        assert!(match_term(&pat, &subj).is_none());
+    }
+
+    #[test]
+    fn arity_mismatch_fails() {
+        let f = NatList::new();
+        let pat = Term::apps(f.add, vec![Term::sym(f.zero)]);
+        let subj = Term::apps(f.add, vec![Term::sym(f.zero), Term::sym(f.zero)]);
+        assert!(match_term(&pat, &subj).is_none());
+    }
+
+    #[test]
+    fn applied_variable_matches_prefix() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let g = vars.fresh("g", Type::arrow(f.nat_ty(), f.nat_ty()));
+        let x = vars.fresh("x", f.nat_ty());
+        // Pattern: g x. Subject: add Z (S Z). Binds g ↦ add Z, x ↦ S Z.
+        let pat = Term::var_apps(g, vec![Term::var(x)]);
+        let subj = Term::apps(f.add, vec![Term::sym(f.zero), f.s(Term::sym(f.zero))]);
+        let theta = match_term(&pat, &subj).unwrap();
+        assert_eq!(theta.apply(&pat), subj);
+        assert_eq!(
+            theta.get(g),
+            Some(&Term::apps(f.add, vec![Term::sym(f.zero)]))
+        );
+    }
+
+    #[test]
+    fn applied_variable_needs_enough_arguments() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let g = vars.fresh("g", Type::arrow(f.nat_ty(), f.nat_ty()));
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        let pat = Term::var_apps(g, vec![Term::var(x), Term::var(y)]);
+        let subj = f.s(Term::sym(f.zero)); // only one argument available
+        assert!(match_term(&pat, &subj).is_none());
+    }
+
+    #[test]
+    fn bare_variable_matches_anything() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let subj = Term::apps(f.add, vec![Term::sym(f.zero), Term::sym(f.zero)]);
+        let theta = match_term(&Term::var(x), &subj).unwrap();
+        assert_eq!(theta.get(x), Some(&subj));
+    }
+}

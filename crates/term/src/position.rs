@@ -1,0 +1,207 @@
+//! Positions: paths into spine-form terms, serving as the one-hole contexts
+//! `C[·]` of §2.
+//!
+//! A position is a sequence of argument indices. The empty position is the
+//! trivial context `·`; composition of contexts is concatenation of
+//! positions (Lemma 2.2's partial order `⊑` is the prefix order).
+
+use std::fmt;
+
+use crate::term::Term;
+
+/// A path into a term: the sequence of argument indices from the root.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Position(Vec<u32>);
+
+impl Position {
+    /// The root position (the trivial context `·`).
+    pub fn root() -> Position {
+        Position(Vec::new())
+    }
+
+    /// A position from explicit indices.
+    pub fn from_indices(ix: Vec<u32>) -> Position {
+        Position(ix)
+    }
+
+    /// The indices of the path.
+    pub fn indices(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Whether this is the root position.
+    pub fn is_root(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The depth of the position.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the position is empty (root).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Extends the position by one step.
+    pub fn child(&self, i: u32) -> Position {
+        let mut v = self.0.clone();
+        v.push(i);
+        Position(v)
+    }
+
+    /// Context composition `C ∘ D`: the position of `D`'s hole inside
+    /// `C[D[·]]` is `C.join(D)`.
+    pub fn join(&self, other: &Position) -> Position {
+        let mut v = self.0.clone();
+        v.extend_from_slice(&other.0);
+        Position(v)
+    }
+
+    /// Whether `self` is a prefix of `other` (`self ⊑ other` on contexts).
+    pub fn is_prefix_of(&self, other: &Position) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// Whether the two positions are disjoint (neither is a prefix of the
+    /// other); disjoint positions address non-overlapping subterms.
+    pub fn is_disjoint_from(&self, other: &Position) -> bool {
+        !self.is_prefix_of(other) && !other.is_prefix_of(self)
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "ε");
+        }
+        let parts: Vec<String> = self.0.iter().map(|i| i.to_string()).collect();
+        write!(f, "{}", parts.join("."))
+    }
+}
+
+impl Term {
+    /// The subterm at `pos`, or `None` if the position is invalid.
+    pub fn at(&self, pos: &Position) -> Option<&Term> {
+        let mut cur = self;
+        for &i in pos.indices() {
+            cur = cur.args().get(i as usize)?;
+        }
+        Some(cur)
+    }
+
+    /// Replaces the subterm at `pos` with `new`, returning the new term
+    /// (`C[new]` where `C` is the context at `pos`).
+    ///
+    /// Returns `None` if the position is invalid. Only the siblings along
+    /// the path are cloned; the replaced subtree is never copied.
+    pub fn replace_at(&self, pos: &Position, new: Term) -> Option<Term> {
+        fn go(t: &Term, path: &[u32], new: Term) -> Option<Term> {
+            match path.split_first() {
+                None => Some(new),
+                Some((&i, rest)) => {
+                    let i = i as usize;
+                    let child = go(t.args().get(i)?, rest, new)?;
+                    let mut args = Vec::with_capacity(t.args().len());
+                    args.extend(t.args()[..i].iter().cloned());
+                    args.push(child);
+                    args.extend(t.args()[i + 1..].iter().cloned());
+                    Some(Term::from_parts(t.head(), args))
+                }
+            }
+        }
+        go(self, pos.indices(), new)
+    }
+
+    /// Iterates over all `(position, subterm)` pairs in preorder.
+    pub fn positions(&self) -> Positions<'_> {
+        Positions { stack: vec![(Position::root(), self)] }
+    }
+}
+
+/// Iterator over the positions of a term, produced by [`Term::positions`].
+#[derive(Debug)]
+pub struct Positions<'a> {
+    stack: Vec<(Position, &'a Term)>,
+}
+
+impl<'a> Iterator for Positions<'a> {
+    type Item = (Position, &'a Term);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (pos, t) = self.stack.pop()?;
+        for (i, a) in t.args().iter().enumerate().rev() {
+            self.stack.push((pos.child(i as u32), a));
+        }
+        Some((pos, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::NatList;
+    use crate::var::VarStore;
+
+    #[test]
+    fn at_and_replace_round_trip() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let t = Term::apps(f.add, vec![f.s(Term::var(x)), Term::sym(f.zero)]);
+        let p = Position::from_indices(vec![0, 0]);
+        assert_eq!(t.at(&p), Some(&Term::var(x)));
+        let t2 = t.replace_at(&p, Term::sym(f.zero)).unwrap();
+        assert_eq!(t2.at(&p), Some(&Term::sym(f.zero)));
+        // The original is unchanged (persistent update).
+        assert_eq!(t.at(&p), Some(&Term::var(x)));
+    }
+
+    #[test]
+    fn invalid_positions_return_none() {
+        let f = NatList::new();
+        let t = Term::sym(f.zero);
+        assert!(t.at(&Position::from_indices(vec![0])).is_none());
+        assert!(t.replace_at(&Position::from_indices(vec![1]), t.clone()).is_none());
+    }
+
+    #[test]
+    fn positions_enumerates_preorder() {
+        let f = NatList::new();
+        let t = Term::apps(f.add, vec![Term::sym(f.zero), f.s(Term::sym(f.zero))]);
+        let ps: Vec<String> = t.positions().map(|(p, _)| p.to_string()).collect();
+        assert_eq!(ps, vec!["ε", "0", "1", "1.0"]);
+        assert_eq!(t.positions().count(), t.size());
+    }
+
+    #[test]
+    fn prefix_and_disjoint() {
+        let p = Position::from_indices(vec![0]);
+        let q = Position::from_indices(vec![0, 1]);
+        let r = Position::from_indices(vec![1]);
+        assert!(p.is_prefix_of(&q));
+        assert!(!q.is_prefix_of(&p));
+        assert!(p.is_prefix_of(&p));
+        assert!(q.is_disjoint_from(&r));
+        assert!(!p.is_disjoint_from(&q));
+    }
+
+    #[test]
+    fn join_is_context_composition() {
+        let f = NatList::new();
+        let t = Term::apps(f.add, vec![f.s(f.s(Term::sym(f.zero))), Term::sym(f.zero)]);
+        let c = Position::from_indices(vec![0]);
+        let d = Position::from_indices(vec![0]);
+        let cd = c.join(&d);
+        assert_eq!(t.at(&cd), Some(&f.s(Term::sym(f.zero))));
+    }
+
+    #[test]
+    fn root_replace_returns_new_term() {
+        let f = NatList::new();
+        let t = Term::sym(f.zero);
+        let u = f.s(Term::sym(f.zero));
+        assert_eq!(t.replace_at(&Position::root(), u.clone()), Some(u));
+    }
+}

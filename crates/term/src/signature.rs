@@ -1,0 +1,375 @@
+//! Signatures: the fixed sets of algebraic datatypes `D` and function symbols
+//! `Σ = Σcon ⊎ Σdef` of §2.
+//!
+//! Constructors are required to be at most first order (their argument types
+//! have order 0); this is enforced at registration time.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{TyVarId, Type, TypeScheme};
+
+/// Identifies a datatype in a [`Signature`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DataId(u32);
+
+impl DataId {
+    /// Builds a `DataId` from a raw index. Only meaningful for ids obtained
+    /// from the same signature.
+    pub fn from_index(i: usize) -> DataId {
+        DataId(i as u32)
+    }
+
+    /// The raw index of the datatype.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies a function symbol (constructor or defined) in a [`Signature`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SymId(u32);
+
+impl SymId {
+    /// Builds a `SymId` from a raw index. Only meaningful for ids obtained
+    /// from the same signature.
+    pub fn from_index(i: usize) -> SymId {
+        SymId(i as u32)
+    }
+
+    /// The raw index of the symbol.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether a symbol is a constructor or a defined function.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SymKind {
+    /// A constructor of the given datatype.
+    Constructor(DataId),
+    /// A defined (program) function.
+    Defined,
+}
+
+/// A datatype declaration.
+#[derive(Clone, Debug)]
+pub struct DataDecl {
+    name: String,
+    arity: u32,
+    constructors: Vec<SymId>,
+}
+
+impl DataDecl {
+    /// The datatype's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The number of type parameters.
+    pub fn arity(&self) -> u32 {
+        self.arity
+    }
+
+    /// The constructors of the datatype, in declaration order (`Σcon(d)`).
+    pub fn constructors(&self) -> &[SymId] {
+        &self.constructors
+    }
+}
+
+/// A function-symbol declaration.
+#[derive(Clone, Debug)]
+pub struct SymDecl {
+    name: String,
+    kind: SymKind,
+    scheme: TypeScheme,
+}
+
+impl SymDecl {
+    /// The symbol's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether the symbol is a constructor or defined.
+    pub fn kind(&self) -> SymKind {
+        self.kind
+    }
+
+    /// The symbol's (possibly polymorphic) type.
+    pub fn scheme(&self) -> &TypeScheme {
+        &self.scheme
+    }
+}
+
+/// Errors raised while building a signature.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SignatureError {
+    /// A datatype or symbol name was declared twice.
+    DuplicateName(String),
+    /// A constructor argument type has order > 0 (constructors must be at
+    /// most first order, §2).
+    HigherOrderConstructor {
+        /// The offending constructor name.
+        constructor: String,
+    },
+    /// A referenced datatype id is not part of this signature.
+    UnknownData(DataId),
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::DuplicateName(n) => write!(f, "duplicate declaration of `{n}`"),
+            SignatureError::HigherOrderConstructor { constructor } => write!(
+                f,
+                "constructor `{constructor}` takes a function argument; constructors must be at most first order"
+            ),
+            SignatureError::UnknownData(d) => write!(f, "unknown datatype id {:?}", d),
+        }
+    }
+}
+
+impl Error for SignatureError {}
+
+/// The fixed signature of a problem: datatypes, constructors, defined
+/// symbols, and their types.
+#[derive(Clone, Debug, Default)]
+pub struct Signature {
+    datas: Vec<DataDecl>,
+    syms: Vec<SymDecl>,
+    sym_by_name: HashMap<String, SymId>,
+    data_by_name: HashMap<String, DataId>,
+}
+
+impl Signature {
+    /// Creates an empty signature.
+    pub fn new() -> Signature {
+        Signature::default()
+    }
+
+    /// Declares a datatype with `arity` type parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already taken by another datatype.
+    pub fn add_datatype(&mut self, name: &str, arity: u32) -> Result<DataId, SignatureError> {
+        if self.data_by_name.contains_key(name) {
+            return Err(SignatureError::DuplicateName(name.to_string()));
+        }
+        let id = DataId(self.datas.len() as u32);
+        self.datas.push(DataDecl { name: name.to_string(), arity, constructors: Vec::new() });
+        self.data_by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Declares a constructor for `data` with the given argument types.
+    ///
+    /// The constructor's scheme is `∀ a0 … a(k-1). arg0 → … → argn → data a0 … a(k-1)`
+    /// where `k` is the datatype's arity; argument types may mention
+    /// `TyVarId(0..k)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names, unknown datatypes, or argument types of
+    /// order > 0 (constructors must be at most first order).
+    pub fn add_constructor(
+        &mut self,
+        name: &str,
+        data: DataId,
+        args: Vec<Type>,
+    ) -> Result<SymId, SignatureError> {
+        if self.sym_by_name.contains_key(name) {
+            return Err(SignatureError::DuplicateName(name.to_string()));
+        }
+        let decl = self
+            .datas
+            .get(data.index())
+            .ok_or(SignatureError::UnknownData(data))?;
+        if args.iter().any(|a| a.order() > 0) {
+            return Err(SignatureError::HigherOrderConstructor { constructor: name.to_string() });
+        }
+        let arity = decl.arity;
+        let ret = Type::Data(data, (0..arity).map(|i| Type::Var(TyVarId(i))).collect());
+        let scheme = TypeScheme::poly(arity, Type::arrows(args, ret));
+        let id = SymId(self.syms.len() as u32);
+        self.syms.push(SymDecl {
+            name: name.to_string(),
+            kind: SymKind::Constructor(data),
+            scheme,
+        });
+        self.sym_by_name.insert(name.to_string(), id);
+        self.datas[data.index()].constructors.push(id);
+        Ok(id)
+    }
+
+    /// Declares a defined function with the given type scheme.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the name is already taken.
+    pub fn add_defined(
+        &mut self,
+        name: &str,
+        scheme: TypeScheme,
+    ) -> Result<SymId, SignatureError> {
+        if self.sym_by_name.contains_key(name) {
+            return Err(SignatureError::DuplicateName(name.to_string()));
+        }
+        let id = SymId(self.syms.len() as u32);
+        self.syms.push(SymDecl { name: name.to_string(), kind: SymKind::Defined, scheme });
+        self.sym_by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// The declaration of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this signature.
+    pub fn sym(&self, id: SymId) -> &SymDecl {
+        &self.syms[id.index()]
+    }
+
+    /// The declaration of a datatype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this signature.
+    pub fn data(&self, id: DataId) -> &DataDecl {
+        &self.datas[id.index()]
+    }
+
+    /// Looks up a symbol by name.
+    pub fn sym_by_name(&self, name: &str) -> Option<SymId> {
+        self.sym_by_name.get(name).copied()
+    }
+
+    /// Looks up a datatype by name.
+    pub fn data_by_name(&self, name: &str) -> Option<DataId> {
+        self.data_by_name.get(name).copied()
+    }
+
+    /// Whether the symbol is a constructor.
+    pub fn is_constructor(&self, id: SymId) -> bool {
+        matches!(self.sym(id).kind, SymKind::Constructor(_))
+    }
+
+    /// Whether the symbol is a defined function.
+    pub fn is_defined(&self, id: SymId) -> bool {
+        matches!(self.sym(id).kind, SymKind::Defined)
+    }
+
+    /// The constructors of a datatype (`Σcon(d)`).
+    pub fn constructors_of(&self, data: DataId) -> &[SymId] {
+        self.data(data).constructors()
+    }
+
+    /// Iterates over all symbols with their ids.
+    pub fn syms(&self) -> impl Iterator<Item = (SymId, &SymDecl)> {
+        self.syms.iter().enumerate().map(|(i, d)| (SymId(i as u32), d))
+    }
+
+    /// Iterates over all datatypes with their ids.
+    pub fn datas(&self) -> impl Iterator<Item = (DataId, &DataDecl)> {
+        self.datas.iter().enumerate().map(|(i, d)| (DataId(i as u32), d))
+    }
+
+    /// The number of declared symbols.
+    pub fn num_syms(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// The number of declared datatypes.
+    pub fn num_datas(&self) -> usize {
+        self.datas.len()
+    }
+
+    /// The number of value arguments of a constructor (its type's arity).
+    pub fn constructor_arity(&self, id: SymId) -> usize {
+        self.sym(id).scheme().body().arity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_nat() {
+        let mut sig = Signature::new();
+        let nat = sig.add_datatype("Nat", 0).unwrap();
+        let z = sig.add_constructor("Z", nat, vec![]).unwrap();
+        let s = sig.add_constructor("S", nat, vec![Type::data0(nat)]).unwrap();
+        assert_eq!(sig.constructors_of(nat), &[z, s]);
+        assert_eq!(sig.sym(z).name(), "Z");
+        assert!(sig.is_constructor(s));
+        assert_eq!(sig.constructor_arity(s), 1);
+        assert_eq!(sig.constructor_arity(z), 0);
+    }
+
+    #[test]
+    fn declare_polymorphic_list() {
+        let mut sig = Signature::new();
+        let list = sig.add_datatype("List", 1).unwrap();
+        let a = Type::Var(TyVarId(0));
+        let nil = sig.add_constructor("Nil", list, vec![]).unwrap();
+        let cons = sig
+            .add_constructor("Cons", list, vec![a.clone(), Type::Data(list, vec![a.clone()])])
+            .unwrap();
+        assert_eq!(sig.sym(nil).scheme().num_vars(), 1);
+        assert_eq!(sig.constructor_arity(cons), 2);
+        let nat = sig.add_datatype("Nat", 0).unwrap();
+        let inst = sig
+            .sym(cons)
+            .scheme()
+            .instantiate_with(&[Type::data0(nat)])
+            .unwrap();
+        assert_eq!(inst.arity(), 2);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut sig = Signature::new();
+        sig.add_datatype("Nat", 0).unwrap();
+        assert!(matches!(
+            sig.add_datatype("Nat", 0),
+            Err(SignatureError::DuplicateName(_))
+        ));
+        let nat = sig.data_by_name("Nat").unwrap();
+        sig.add_constructor("Z", nat, vec![]).unwrap();
+        assert!(sig.add_constructor("Z", nat, vec![]).is_err());
+    }
+
+    #[test]
+    fn higher_order_constructor_rejected() {
+        let mut sig = Signature::new();
+        let nat = sig.add_datatype("Nat", 0).unwrap();
+        let fun = Type::arrow(Type::data0(nat), Type::data0(nat));
+        assert!(matches!(
+            sig.add_constructor("Bad", nat, vec![fun]),
+            Err(SignatureError::HigherOrderConstructor { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut sig = Signature::new();
+        let nat = sig.add_datatype("Nat", 0).unwrap();
+        let z = sig.add_constructor("Z", nat, vec![]).unwrap();
+        assert_eq!(sig.sym_by_name("Z"), Some(z));
+        assert_eq!(sig.data_by_name("Nat"), Some(nat));
+        assert_eq!(sig.sym_by_name("missing"), None);
+    }
+
+    #[test]
+    fn defined_symbols() {
+        let mut sig = Signature::new();
+        let nat = sig.add_datatype("Nat", 0).unwrap();
+        let ty = Type::arrows(vec![Type::data0(nat), Type::data0(nat)], Type::data0(nat));
+        let add = sig.add_defined("add", TypeScheme::mono(ty)).unwrap();
+        assert!(sig.is_defined(add));
+        assert!(!sig.is_constructor(add));
+    }
+}

@@ -1,0 +1,203 @@
+//! Substitutions: partial maps from variables to terms (§2).
+//!
+//! Composition follows the paper's convention: `(θ1 ∘ θ0)(x) = (θ0(x))θ1`,
+//! i.e. apply `θ0` first, then `θ1`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::term::{Head, Term};
+use crate::var::VarId;
+
+/// A substitution, a finite map from variables to terms.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Subst {
+    map: BTreeMap<VarId, Term>,
+}
+
+impl Subst {
+    /// The empty (identity) substitution.
+    pub fn new() -> Subst {
+        Subst::default()
+    }
+
+    /// The singleton substitution `[t/v]`.
+    pub fn singleton(v: VarId, t: Term) -> Subst {
+        let mut s = Subst::new();
+        s.insert(v, t);
+        s
+    }
+
+    /// Binds `v` to `t`, replacing any previous binding.
+    pub fn insert(&mut self, v: VarId, t: Term) -> Option<Term> {
+        self.map.insert(v, t)
+    }
+
+    /// The binding of `v`, if any.
+    pub fn get(&self, v: VarId) -> Option<&Term> {
+        self.map.get(&v)
+    }
+
+    /// Whether the substitution is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Iterates over the bindings in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Term)> {
+        self.map.iter().map(|(v, t)| (*v, t))
+    }
+
+    /// The domain of the substitution.
+    pub fn domain(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Applies the substitution to a term.
+    ///
+    /// For a variable head with arguments (`x M0 … Mn`), the binding of `x`
+    /// is spliced in and the instantiated arguments are appended to its
+    /// spine, preserving the applicative reading.
+    pub fn apply(&self, t: &Term) -> Term {
+        let new_args: Vec<Term> = t.args().iter().map(|a| self.apply(a)).collect();
+        match t.head() {
+            Head::Var(v) => match self.map.get(&v) {
+                Some(bound) => bound.clone().apply_args(new_args),
+                None => Term::from_parts(Head::Var(v), new_args),
+            },
+            Head::Sym(s) => Term::from_parts(Head::Sym(s), new_args),
+        }
+    }
+
+    /// Composition `other ∘ self`: apply `self` first, then `other`.
+    ///
+    /// The result maps `x ↦ (self(x)) other` for `x` in `self`'s domain and
+    /// `x ↦ other(x)` for `x` only in `other`'s domain.
+    pub fn then(&self, other: &Subst) -> Subst {
+        let mut map: BTreeMap<VarId, Term> = self
+            .map
+            .iter()
+            .map(|(v, t)| (*v, other.apply(t)))
+            .collect();
+        for (v, t) in &other.map {
+            map.entry(*v).or_insert_with(|| t.clone());
+        }
+        Subst { map }
+    }
+
+    /// Restricts the substitution to the given domain.
+    pub fn restricted_to(&self, dom: impl IntoIterator<Item = VarId>) -> Subst {
+        let keep: std::collections::BTreeSet<VarId> = dom.into_iter().collect();
+        Subst {
+            map: self
+                .map
+                .iter()
+                .filter(|(v, _)| keep.contains(v))
+                .map(|(v, t)| (*v, t.clone()))
+                .collect(),
+        }
+    }
+
+    /// Whether every binding is a bare variable (a renaming, not necessarily
+    /// injective).
+    pub fn is_variable_renaming(&self) -> bool {
+        self.map.values().all(|t| t.as_var().is_some())
+    }
+}
+
+impl FromIterator<(VarId, Term)> for Subst {
+    fn from_iter<I: IntoIterator<Item = (VarId, Term)>>(iter: I) -> Subst {
+        Subst { map: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for Subst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "v{} ↦ {:?}", v.index(), t)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::NatList;
+    use crate::var::VarStore;
+
+    #[test]
+    fn apply_substitutes_variables() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        let t = Term::apps(f.add, vec![Term::var(x), Term::var(y)]);
+        let s = Subst::singleton(x, Term::sym(f.zero));
+        let r = s.apply(&t);
+        assert_eq!(r, Term::apps(f.add, vec![Term::sym(f.zero), Term::var(y)]));
+    }
+
+    #[test]
+    fn apply_splices_applied_variable_heads() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let g = vars.fresh("g", crate::Type::arrow(f.nat_ty(), f.nat_ty()));
+        let x = vars.fresh("x", f.nat_ty());
+        // g x with g ↦ add Z gives add Z x.
+        let t = Term::var_apps(g, vec![Term::var(x)]);
+        let s = Subst::singleton(g, Term::apps(f.add, vec![Term::sym(f.zero)]));
+        let r = s.apply(&t);
+        assert_eq!(
+            r,
+            Term::apps(f.add, vec![Term::sym(f.zero), Term::var(x)])
+        );
+    }
+
+    #[test]
+    fn composition_order_matches_paper() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        // θ0 = [y/x], θ1 = [Z/y]; (θ1 ∘ θ0)(x) = (θ0 x) θ1 = Z.
+        let theta0 = Subst::singleton(x, Term::var(y));
+        let theta1 = Subst::singleton(y, Term::sym(f.zero));
+        let composed = theta0.then(&theta1);
+        assert_eq!(composed.apply(&Term::var(x)), Term::sym(f.zero));
+        assert_eq!(composed.apply(&Term::var(y)), Term::sym(f.zero));
+    }
+
+    #[test]
+    fn restriction_drops_bindings() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        let mut s = Subst::new();
+        s.insert(x, Term::sym(f.zero));
+        s.insert(y, Term::sym(f.zero));
+        let r = s.restricted_to([x]);
+        assert_eq!(r.len(), 1);
+        assert!(r.get(y).is_none());
+    }
+
+    #[test]
+    fn variable_renaming_detection() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        assert!(Subst::singleton(x, Term::var(y)).is_variable_renaming());
+        assert!(!Subst::singleton(x, f.s(Term::var(y))).is_variable_renaming());
+    }
+}

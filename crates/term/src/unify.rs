@@ -1,0 +1,210 @@
+//! First-order syntactic unification over spine-form terms.
+//!
+//! Unification is used by rewriting induction's `Expand` operator
+//! (Definition 4.1), which overlaps goals with rule left-hand sides, and by
+//! the confluence (orthogonality) check's critical-pair computation.
+//!
+//! As with matching, applied variable heads are handled by prefix splitting,
+//! which suffices for the first-order rule heads required by §2.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::subst::Subst;
+use crate::term::{Head, Term};
+use crate::var::VarId;
+
+/// Errors reported by [`unify`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum UnifyError {
+    /// Two distinct symbols (or different arities) clashed.
+    Clash,
+    /// The occurs check failed for the given variable.
+    Occurs(VarId),
+    /// An applied variable could not be given a consistent prefix.
+    PrefixMismatch,
+}
+
+impl fmt::Display for UnifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnifyError::Clash => write!(f, "symbol clash"),
+            UnifyError::Occurs(v) => write!(f, "occurs check failed for v{}", v.index()),
+            UnifyError::PrefixMismatch => write!(f, "applied variable prefix mismatch"),
+        }
+    }
+}
+
+impl Error for UnifyError {}
+
+fn bind(v: VarId, t: &Term, subst: &mut Subst) -> Result<(), UnifyError> {
+    if t.as_var() == Some(v) {
+        return Ok(());
+    }
+    if t.contains_var(v) {
+        return Err(UnifyError::Occurs(v));
+    }
+    // Keep the substitution idempotent: fold the new binding into the
+    // existing ones.
+    let single = Subst::singleton(v, t.clone());
+    let updated: Subst = subst
+        .iter()
+        .map(|(w, u)| (w, single.apply(u)))
+        .collect();
+    *subst = updated;
+    subst.insert(v, t.clone());
+    Ok(())
+}
+
+fn unify_into(a: &Term, b: &Term, subst: &mut Subst) -> Result<(), UnifyError> {
+    let a = subst.apply(a);
+    let b = subst.apply(b);
+    match (a.head(), b.head()) {
+        (Head::Var(v), _) if a.args().is_empty() => bind(v, &b, subst),
+        (_, Head::Var(w)) if b.args().is_empty() => bind(w, &a, subst),
+        (Head::Var(_), _) | (_, Head::Var(_)) => {
+            // At least one side is an applied variable; split the other side.
+            let (shorter, longer) = if a.args().len() <= b.args().len() {
+                (&a, &b)
+            } else {
+                (&b, &a)
+            };
+            let k = shorter.args().len();
+            let m = longer.args().len();
+            let split = m - k;
+            // The shorter side must have a variable head to absorb the
+            // prefix; if both heads are symbols they were handled below.
+            match shorter.head() {
+                Head::Var(v) => {
+                    let prefix =
+                        Term::from_parts(longer.head(), longer.args()[..split].to_vec());
+                    bind(v, &prefix, subst)?;
+                    for (x, y) in shorter.args().iter().zip(&longer.args()[split..]) {
+                        unify_into(x, y, subst)?;
+                    }
+                    Ok(())
+                }
+                Head::Sym(_) => {
+                    // Symbol-headed shorter side vs. variable-headed longer
+                    // side with more arguments: the variable head cannot
+                    // consume a negative number of arguments.
+                    Err(UnifyError::PrefixMismatch)
+                }
+            }
+        }
+        (Head::Sym(f), Head::Sym(g)) => {
+            if f != g || a.args().len() != b.args().len() {
+                return Err(UnifyError::Clash);
+            }
+            for (x, y) in a.args().iter().zip(b.args()) {
+                unify_into(x, y, subst)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Computes a most general unifier of `a` and `b`.
+///
+/// # Errors
+///
+/// Returns [`UnifyError`] when no unifier exists.
+///
+/// # Example
+///
+/// ```
+/// use cycleq_term::{fixtures::NatList, unify, Term, VarStore};
+///
+/// let f = NatList::new();
+/// let mut vars = VarStore::new();
+/// let x = vars.fresh("x", f.nat_ty());
+/// let y = vars.fresh("y", f.nat_ty());
+/// let a = Term::apps(f.add, vec![Term::var(x), Term::sym(f.zero)]);
+/// let b = Term::apps(f.add, vec![f.s(Term::var(y)), Term::var(y)]);
+/// let theta = unify(&a, &b).expect("unifiable");
+/// assert_eq!(theta.apply(&a), theta.apply(&b));
+/// ```
+pub fn unify(a: &Term, b: &Term) -> Result<Subst, UnifyError> {
+    let mut subst = Subst::new();
+    unify_into(a, b, &mut subst)?;
+    Ok(subst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::NatList;
+    use crate::var::VarStore;
+
+    #[test]
+    fn unifies_variable_with_term() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let t = f.s(Term::sym(f.zero));
+        let theta = unify(&Term::var(x), &t).unwrap();
+        assert_eq!(theta.apply(&Term::var(x)), t);
+    }
+
+    #[test]
+    fn occurs_check_rejects_cyclic_solutions() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let t = f.s(Term::var(x));
+        assert_eq!(unify(&Term::var(x), &t), Err(UnifyError::Occurs(x)));
+    }
+
+    #[test]
+    fn clash_between_constructors() {
+        let f = NatList::new();
+        assert_eq!(
+            unify(&Term::sym(f.zero), &Term::sym(f.nil)),
+            Err(UnifyError::Clash)
+        );
+    }
+
+    #[test]
+    fn unifier_is_most_general_on_example() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        // add x Z ≐ add (S y) y requires x = S Z, y = Z? No: unify arg-wise:
+        // x ≐ S y and Z ≐ y, so y = Z and x = S Z.
+        let a = Term::apps(f.add, vec![Term::var(x), Term::sym(f.zero)]);
+        let b = Term::apps(f.add, vec![f.s(Term::var(y)), Term::var(y)]);
+        let theta = unify(&a, &b).unwrap();
+        assert_eq!(theta.apply(&a), theta.apply(&b));
+        assert_eq!(theta.get(y), Some(&Term::sym(f.zero)));
+        assert_eq!(theta.get(x), Some(&f.s(Term::sym(f.zero))));
+    }
+
+    #[test]
+    fn unify_is_symmetric_in_success() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let a = Term::apps(f.add, vec![Term::var(x), Term::sym(f.zero)]);
+        let b = Term::apps(f.add, vec![Term::sym(f.zero), Term::sym(f.zero)]);
+        let t1 = unify(&a, &b).unwrap();
+        let t2 = unify(&b, &a).unwrap();
+        assert_eq!(t1.apply(&a), t2.apply(&b));
+    }
+
+    #[test]
+    fn resulting_substitution_is_idempotent() {
+        let f = NatList::new();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", f.nat_ty());
+        let y = vars.fresh("y", f.nat_ty());
+        let z = vars.fresh("z", f.nat_ty());
+        // x ≐ S y, then y ≐ S z through a chained problem.
+        let a = Term::apps(f.add, vec![Term::var(x), Term::var(y)]);
+        let b = Term::apps(f.add, vec![f.s(Term::var(y)), f.s(Term::var(z))]);
+        let theta = unify(&a, &b).unwrap();
+        for (_, t) in theta.iter() {
+            assert_eq!(&theta.apply(t), t, "binding not idempotent: {t:?}");
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the term layer: substitution laws, matching and
+//! unification soundness, and position round-trips.
+
+use std::collections::BTreeMap;
+
+use cycleq_term::fixtures::NatList;
+use cycleq_term::{match_term, unify, Position, Subst, Term, Type, VarStore};
+use proptest::prelude::*;
+use proptest::test_runner::Config;
+
+/// Number of variables available to generated terms.
+const NUM_VARS: usize = 4;
+
+fn fixture_vars() -> (NatList, VarStore, Vec<cycleq_term::VarId>) {
+    let f = NatList::new();
+    let mut vars = VarStore::new();
+    let vs = (0..NUM_VARS)
+        .map(|i| vars.fresh(&format!("x{i}"), f.nat_ty()))
+        .collect();
+    (f, vars, vs)
+}
+
+/// Strategy for well-typed `Nat` terms over `Z`, `S`, `add` and variables.
+fn nat_term(f: &NatList, vs: &[cycleq_term::VarId]) -> impl Strategy<Value = Term> {
+    let zero = f.zero;
+    let succ = f.succ;
+    let add = f.add;
+    let vs = vs.to_vec();
+    let leaf = prop_oneof![
+        Just(Term::sym(zero)),
+        (0..vs.len()).prop_map(move |i| Term::var(vs[i])),
+    ];
+    leaf.prop_recursive(4, 24, 2, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(move |t| Term::apps(succ, vec![t])),
+            (inner.clone(), inner).prop_map(move |(a, b)| Term::apps(add, vec![a, b])),
+        ]
+    })
+}
+
+/// Strategy for substitutions mapping the fixture variables to `Nat` terms.
+fn nat_subst(f: &NatList, vs: &[cycleq_term::VarId]) -> impl Strategy<Value = Subst> {
+    let term = nat_term(f, vs);
+    let vs = vs.to_vec();
+    proptest::collection::vec(proptest::option::of(term), vs.len()).prop_map(move |opts| {
+        vs.iter()
+            .zip(opts)
+            .filter_map(|(v, t)| t.map(|t| (*v, t)))
+            .collect()
+    })
+}
+
+fn cfg() -> Config {
+    Config { cases: 128, ..Config::default() }
+}
+
+#[test]
+fn substitution_composition_agrees_with_sequential_application() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(t in nat_term(&f, &vs), s0 in nat_subst(&f, &vs), s1 in nat_subst(&f, &vs))| {
+        let seq = s1.apply(&s0.apply(&t));
+        let composed = s0.then(&s1).apply(&t);
+        prop_assert_eq!(seq, composed);
+    });
+}
+
+#[test]
+fn matching_is_sound() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(pat in nat_term(&f, &vs), s in nat_subst(&f, &vs))| {
+        // Build subject = pat·s, then matching must succeed and be sound.
+        let subj = s.apply(&pat);
+        let theta = match_term(&pat, &subj);
+        prop_assert!(theta.is_some(), "pattern must match its own instance");
+        let theta = theta.unwrap();
+        prop_assert_eq!(theta.apply(&pat), subj);
+    });
+}
+
+#[test]
+fn matching_failure_means_no_instance_on_ground_subjects() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(pat in nat_term(&f, &vs), subj in nat_term(&f, &vs))| {
+        prop_assume!(subj.is_ground());
+        if let Some(theta) = match_term(&pat, &subj) {
+            prop_assert_eq!(theta.apply(&pat), subj);
+        }
+    });
+}
+
+#[test]
+fn unification_is_sound_and_idempotent() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(a in nat_term(&f, &vs), b in nat_term(&f, &vs))| {
+        if let Ok(theta) = unify(&a, &b) {
+            prop_assert_eq!(theta.apply(&a), theta.apply(&b));
+            let once = theta.apply(&a);
+            prop_assert_eq!(theta.apply(&once.clone()), once);
+        }
+    });
+}
+
+#[test]
+fn unification_succeeds_on_instances() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(pat in nat_term(&f, &vs), s in nat_subst(&f, &vs))| {
+        // pat and pat·s have the common instance pat·s; unification may only
+        // fail when s introduces a cycle (x bound to a term containing x).
+        let inst = s.apply(&pat);
+        match unify(&pat, &inst) {
+            Ok(theta) => prop_assert_eq!(theta.apply(&pat), theta.apply(&inst)),
+            Err(e) => {
+                let cyclic = s
+                    .iter()
+                    .any(|(v, t)| t.contains_var(v) && t.as_var() != Some(v));
+                prop_assert!(cyclic, "unification failed unexpectedly: {}", e);
+            }
+        }
+    });
+}
+
+#[test]
+fn positions_replace_round_trip() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(t in nat_term(&f, &vs))| {
+        for (pos, sub) in t.positions() {
+            // Replacing a subterm with itself is the identity.
+            let same = t.replace_at(&pos, sub.clone()).unwrap();
+            prop_assert_eq!(&same, &t);
+            // Replacing with Z then reading back yields Z.
+            let z = Term::sym(f.zero);
+            let replaced = t.replace_at(&pos, z.clone()).unwrap();
+            prop_assert_eq!(replaced.at(&pos), Some(&z));
+        }
+    });
+}
+
+#[test]
+fn position_count_equals_term_size() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(t in nat_term(&f, &vs))| {
+        prop_assert_eq!(t.positions().count(), t.size());
+    });
+}
+
+#[test]
+fn canonical_key_invariant_under_renaming() {
+    let (f, vars, vs) = fixture_vars();
+    let mut vars = vars;
+    // Rename every variable v_i to a fresh w_i (injectively).
+    let mut renaming = Subst::new();
+    for (i, v) in vs.iter().enumerate() {
+        let w = vars.fresh(&format!("w{i}"), f.nat_ty());
+        renaming.insert(*v, Term::var(w));
+    }
+    proptest!(cfg(), |(t in nat_term(&f, &vs))| {
+        let t2 = renaming.apply(&t);
+        let e1 = cycleq_term::Equation::new(t.clone(), t.clone());
+        let e2 = cycleq_term::Equation::new(t2.clone(), t2);
+        prop_assert_eq!(e1.canonical_key(), e2.canonical_key());
+    });
+}
+
+#[test]
+fn generated_terms_are_well_typed() {
+    let (f, vars, vs) = fixture_vars();
+    proptest!(cfg(), |(t in nat_term(&f, &vs))| {
+        let mut uni = cycleq_term::TyUnifier::new(1000);
+        let ty = t.infer_type(&f.sig, &vars, &mut uni).unwrap();
+        prop_assert_eq!(ty, Type::data0(f.nat));
+    });
+}
+
+#[test]
+fn position_display_is_stable() {
+    let p = Position::from_indices(vec![0, 2, 1]);
+    assert_eq!(p.to_string(), "0.2.1");
+    assert_eq!(Position::root().to_string(), "ε");
+}
+
+#[test]
+fn encode_canonical_table_is_deterministic() {
+    let f = NatList::new();
+    let mut vars = VarStore::new();
+    let x = vars.fresh("x", f.nat_ty());
+    let t = Term::apps(f.add, vec![Term::var(x), f.num(1)]);
+    let mut m1 = BTreeMap::new();
+    let mut o1 = Vec::new();
+    t.encode_canonical(&mut m1, &mut o1);
+    let mut m2 = BTreeMap::new();
+    let mut o2 = Vec::new();
+    t.encode_canonical(&mut m2, &mut o2);
+    assert_eq!(o1, o2);
+}

@@ -1,0 +1,67 @@
+//! Rewriting induction (§4) side by side with cyclic search.
+//!
+//! Reddy's rewriting induction is subsumed by the cyclic system
+//! (Theorem 4.3): this example runs the RI prover, translates its
+//! derivation into a cyclic preproof, re-checks it with the independent
+//! checker — and then shows the §4 limitation: commutativity cannot be
+//! oriented by a reduction order, while the cyclic search proves it
+//! directly.
+//!
+//! Run with `cargo run --example rewriting_induction`.
+
+use cycleq::{GlobalCheck, Session};
+use cycleq_ri::{RiOutcome, RiProver};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = "
+data Nat = Z | S Nat
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+goal zeroRight: add x Z === x
+goal assoc: add (add x y) z === add x (add y z)
+goal comm: add x y === add y x
+";
+    let session = Session::from_source(source)?;
+    let module = session.module();
+    let ri = RiProver::new(&module.program).expect("program rules are LPO-orientable");
+
+    for goal in ["zeroRight", "assoc", "comm"] {
+        let g = module.goal(goal).expect("declared goal").clone();
+        let result = ri.prove(g.eq, g.vars);
+        match &result.outcome {
+            RiOutcome::Proved { root } => {
+                // The Theorem 4.3 translation produced a cyclic preproof:
+                // locally checkable; its progress points follow the
+                // reduction order (TrustConstruction mode).
+                let report =
+                    cycleq::check(&result.proof, &module.program, GlobalCheck::TrustConstruction)?;
+                println!(
+                    "== RI proves {goal}: {} expansions, {} IH steps, {} nodes, {} back edges ==",
+                    result.stats.expansions,
+                    result.stats.hyp_steps,
+                    result.stats.nodes,
+                    report.back_edges
+                );
+                println!(
+                    "{}",
+                    cycleq::render_text(&result.proof, &module.program.sig, *root)
+                );
+            }
+            RiOutcome::FailedToOrient { goal: eq } => {
+                println!(
+                    "== RI cannot orient {goal}: {} — the §4 limitation ==",
+                    eq.display(&module.program.sig, result.proof.vars())
+                );
+                // The cyclic prover is ambivalent to orientation (§1.2):
+                let verdict = session.prove(goal)?;
+                println!(
+                    "   CycleQ proves it directly: {:?} in {:?}\n",
+                    verdict.result.outcome, verdict.result.stats.elapsed
+                );
+            }
+            other => println!("== RI on {goal}: {other:?} =="),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Umbrella crate for the CycleQ reproduction.
+//!
+//! This crate exists to host the repository-level `examples/` and `tests/`
+//! directories; the actual functionality lives in the `cycleq-*` workspace
+//! crates. Downstream users should depend on the [`cycleq`] facade crate.
+
+pub use cycleq;

@@ -1,0 +1,65 @@
+//! Experiment E5 (§6.2): IsaPlanner properties 47, 54, 65 and 69 are not
+//! provable without lemmas, and become provable when the commutativity of
+//! `max`/`add` is supplied — with the hint proved by the same engine, so
+//! the combined proof is checkable end to end.
+
+use std::time::Duration;
+
+use cycleq::SearchConfig;
+use cycleq_benchsuite::{run_problem, RunConfig, RunStatus, ISAPLANNER};
+
+fn config(with_hints: bool) -> RunConfig {
+    RunConfig {
+        search: SearchConfig {
+            timeout: Some(Duration::from_secs(3)),
+            ..SearchConfig::default()
+        },
+        with_hints,
+        recheck: true,
+    }
+}
+
+fn lemma_problem(id: &str) -> &'static cycleq_benchsuite::Problem {
+    ISAPLANNER
+        .iter()
+        .find(|p| p.id == id)
+        .unwrap_or_else(|| panic!("problem {id} exists"))
+}
+
+#[test]
+fn ip47_needs_max_commutativity() {
+    let p = lemma_problem("IP47");
+    assert!(!run_problem(p, &config(false)).status.is_proved());
+    let hinted = run_problem(p, &config(true));
+    assert_eq!(hinted.status, RunStatus::Proved, "{:?}", hinted.status);
+}
+
+#[test]
+fn ip54_needs_add_commutativity() {
+    let p = lemma_problem("IP54");
+    assert!(!run_problem(p, &config(false)).status.is_proved());
+    assert_eq!(run_problem(p, &config(true)).status, RunStatus::Proved);
+}
+
+#[test]
+fn ip65_needs_add_commutativity() {
+    let p = lemma_problem("IP65");
+    assert!(!run_problem(p, &config(false)).status.is_proved());
+    assert_eq!(run_problem(p, &config(true)).status, RunStatus::Proved);
+}
+
+#[test]
+fn ip69_needs_add_commutativity() {
+    let p = lemma_problem("IP69");
+    assert!(!run_problem(p, &config(false)).status.is_proved());
+    assert_eq!(run_problem(p, &config(true)).status, RunStatus::Proved);
+}
+
+#[test]
+fn hints_are_not_magic_for_unrelated_problems() {
+    // A conditional-reasoning problem stays unsolved even with the
+    // commutativity hints registered elsewhere: IP04 has no hints.
+    let p = lemma_problem("IP04");
+    assert!(p.hints.is_empty());
+    assert!(!run_problem(p, &config(true)).status.is_proved());
+}

@@ -1,0 +1,100 @@
+//! Experiment E8 (§4): rewriting induction proves orientable structural
+//! goals and its derivations translate to locally checkable cyclic proofs
+//! (Theorem 4.3); inherently unorientable goals fail, while the cyclic
+//! search handles them.
+
+use cycleq::{GlobalCheck, Session};
+use cycleq_ri::{RiOutcome, RiProver};
+
+const SRC: &str = "
+data Nat = Z | S Nat
+data List a = Nil | Cons a (List a)
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+app :: List a -> List a -> List a
+app Nil ys = ys
+app (Cons x xs) ys = Cons x (app xs ys)
+len :: List a -> Nat
+len Nil = Z
+len (Cons x xs) = S (len xs)
+goal zeroRight: add x Z === x
+goal succRight: add x (S y) === S (add x y)
+goal assoc: add (add x y) z === add x (add y z)
+goal appAssoc: app (app xs ys) zs === app xs (app ys zs)
+goal lenApp: len (app xs ys) === add (len xs) (len ys)
+goal comm: add x y === add y x
+";
+
+#[test]
+fn ri_proves_orientable_goals_and_translations_check() {
+    let session = Session::from_source(SRC).unwrap();
+    let module = session.module();
+    let ri = RiProver::new(&module.program).unwrap();
+    for goal in ["zeroRight", "succRight", "assoc", "appAssoc", "lenApp"] {
+        let g = module.goal(goal).unwrap().clone();
+        let res = ri.prove(g.eq, g.vars);
+        assert!(res.outcome.is_proved(), "{goal}: {:?}", res.outcome);
+        // Theorem 4.3: the derivation is a (partial) cyclic proof; every
+        // rule instance is locally valid.
+        cycleq::check(&res.proof, &module.program, GlobalCheck::TrustConstruction)
+            .unwrap_or_else(|e| panic!("{goal}: {e}"));
+    }
+}
+
+#[test]
+fn ri_translation_variable_traces_verify_for_structural_proofs() {
+    // For purely structural inductions the reduction-order progress points
+    // coincide with variable traces, so even the decidable size-change
+    // check passes.
+    let session = Session::from_source(SRC).unwrap();
+    let module = session.module();
+    let ri = RiProver::new(&module.program).unwrap();
+    for goal in ["zeroRight", "appAssoc"] {
+        let g = module.goal(goal).unwrap().clone();
+        let res = ri.prove(g.eq, g.vars);
+        assert!(res.outcome.is_proved());
+        cycleq::check(&res.proof, &module.program, GlobalCheck::VariableTraces)
+            .unwrap_or_else(|e| panic!("{goal}: {e}"));
+    }
+}
+
+#[test]
+fn commutativity_is_unorientable_for_ri_but_provable_cyclically() {
+    let session = Session::from_source(SRC).unwrap();
+    let module = session.module();
+    let ri = RiProver::new(&module.program).unwrap();
+    let g = module.goal("comm").unwrap().clone();
+    let res = ri.prove(g.eq, g.vars);
+    assert!(matches!(res.outcome, RiOutcome::FailedToOrient { .. }), "{:?}", res.outcome);
+
+    // The cyclic prover is ambivalent to orientation (§1.2).
+    let v = session.prove("comm").unwrap();
+    assert!(v.is_proved());
+}
+
+#[test]
+fn ri_uses_hypotheses_as_rewrite_rules() {
+    let session = Session::from_source(SRC).unwrap();
+    let module = session.module();
+    let ri = RiProver::new(&module.program).unwrap();
+    let g = module.goal("assoc").unwrap().clone();
+    let res = ri.prove(g.eq, g.vars);
+    assert!(res.outcome.is_proved());
+    assert!(res.stats.hyp_steps >= 1, "inductive hypotheses must fire");
+    // The proof has back edges to the expanded (hypothesis) vertices.
+    let report = cycleq::check(&res.proof, &module.program, GlobalCheck::TrustConstruction)
+        .unwrap();
+    assert!(report.back_edges >= 1);
+}
+
+#[test]
+fn cyclic_search_subsumes_ri_on_this_suite() {
+    // Everything RI proves here, the cyclic prover proves as well
+    // (Theorem 4.3 in practice).
+    let session = Session::from_source(SRC).unwrap();
+    for goal in ["zeroRight", "succRight", "assoc", "appAssoc", "lenApp"] {
+        let v = session.prove(goal).unwrap();
+        assert!(v.is_proved(), "{goal}: {:?}", v.result.outcome);
+    }
+}

@@ -1,0 +1,101 @@
+//! Pins the behaviour of a fast subset of the IsaPlanner suite so that
+//! regressions in the prover show up as test failures rather than silent
+//! drops in the benchmark numbers.
+
+use std::time::Duration;
+
+use cycleq::SearchConfig;
+use cycleq_benchsuite::{run_problem, Expectation, RunConfig, RunStatus, ISAPLANNER};
+
+fn config() -> RunConfig {
+    // Generous timeout so the pinned set is stable under debug builds too.
+    RunConfig {
+        search: SearchConfig {
+            timeout: Some(Duration::from_secs(15)),
+            ..SearchConfig::default()
+        },
+        with_hints: false,
+        recheck: true,
+    }
+}
+
+/// Problems that must prove (a fast, stable subset of the 45 the suite
+/// currently solves).
+const MUST_PROVE: &[&str] = &[
+    "IP01", "IP06", "IP07", "IP08", "IP09", "IP10", "IP11", "IP12", "IP13", "IP17", "IP18",
+    "IP19", "IP21", "IP22", "IP23", "IP24", "IP25", "IP31", "IP32", "IP33", "IP34", "IP35",
+    "IP36", "IP40", "IP41", "IP42", "IP44", "IP45", "IP46", "IP49", "IP50", "IP51", "IP55",
+    "IP57", "IP58", "IP64", "IP67", "IP79", "IP80", "IP82", "IP83", "IP84",
+];
+
+/// In-scope problems that must NOT prove without hints (conditional
+/// reasoning or lemma discovery required, §6.2).
+const MUST_NOT_PROVE: &[&str] = &["IP04", "IP14", "IP43", "IP47", "IP54", "IP65", "IP66", "IP69", "IP73"];
+
+#[test]
+fn pinned_proved_set() {
+    let cfg = config();
+    for id in MUST_PROVE {
+        let p = ISAPLANNER.iter().find(|p| &p.id == id).unwrap();
+        let out = run_problem(p, &cfg);
+        assert_eq!(out.status, RunStatus::Proved, "{id}: {:?}", out.status);
+    }
+}
+
+#[test]
+fn pinned_unproved_set() {
+    // These goals are unprovable without lemmas/conditional reasoning at
+    // any timeout, so a short budget suffices and keeps the test fast.
+    let cfg = RunConfig {
+        search: SearchConfig {
+            timeout: Some(Duration::from_secs(1)),
+            ..SearchConfig::default()
+        },
+        with_hints: false,
+        recheck: true,
+    };
+    for id in MUST_NOT_PROVE {
+        let p = ISAPLANNER.iter().find(|p| &p.id == id).unwrap();
+        let out = run_problem(p, &cfg);
+        assert!(
+            !out.status.is_proved(),
+            "{id} unexpectedly proved — update EXPERIMENTS.md!"
+        );
+        assert_ne!(out.status, RunStatus::Refuted, "{id} must not be refuted");
+    }
+}
+
+#[test]
+fn conditional_problems_stay_out_of_scope() {
+    let cfg = config();
+    let conditionals: Vec<_> = ISAPLANNER
+        .iter()
+        .filter(|p| p.expectation == Expectation::Conditional)
+        .collect();
+    assert_eq!(conditionals.len(), 14);
+    for p in conditionals {
+        assert_eq!(run_problem(p, &cfg).status, RunStatus::OutOfScope, "{}", p.id);
+    }
+}
+
+#[test]
+fn no_suite_problem_is_refuted() {
+    // A refutation would mean the property was mis-encoded.
+    let cfg = RunConfig {
+        search: SearchConfig {
+            timeout: Some(Duration::from_millis(300)),
+            ..SearchConfig::default()
+        },
+        ..config()
+    };
+    for p in ISAPLANNER {
+        if p.goal.is_none() {
+            continue;
+        }
+        let out = run_problem(p, &cfg);
+        assert_ne!(out.status, RunStatus::Refuted, "{} was refuted!", p.id);
+        if let RunStatus::Error(e) = &out.status {
+            panic!("{}: {e}", p.id);
+        }
+    }
+}
