@@ -31,7 +31,10 @@ fn proof_edges(prelude: &str, goal: &str) -> Edges {
 fn bench(c: &mut Criterion) {
     let cases: Vec<(&str, Edges)> = vec![
         ("add_comm", proof_edges(PRELUDE, "add x y === add y x")),
-        ("butlast_take", proof_edges(PRELUDE, "butlast xs === take (sub (len xs) (S Z)) xs")),
+        (
+            "butlast_take",
+            proof_edges(PRELUDE, "butlast xs === take (sub (len xs) (S Z)) xs"),
+        ),
         ("mapE_id", proof_edges(MUTUAL_PRELUDE, "mapE id e === e")),
     ];
     let mut group = c.benchmark_group("cycle_verification");
@@ -46,8 +49,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let mut verdict = None;
                     for i in 1..=edges.len() {
-                        verdict =
-                            Some(Closure::from_edges(edges[..i].iter().cloned()).check());
+                        verdict = Some(Closure::from_edges(edges[..i].iter().cloned()).check());
                     }
                     verdict
                 })

@@ -17,11 +17,19 @@ fn session(prelude: &str, goal: &str) -> Session {
 
 fn bench(c: &mut Criterion) {
     let cases = [
-        ("fig2_butlast_take_ip50", PRELUDE, "butlast xs === take (sub (len xs) (S Z)) xs"),
+        (
+            "fig2_butlast_take_ip50",
+            PRELUDE,
+            "butlast xs === take (sub (len xs) (S Z)) xs",
+        ),
         ("fig4_add_comm", PRELUDE, "add x y === add y x"),
         ("fig1_mapE_id", MUTUAL_PRELUDE, "mapE id e === e"),
         ("fig9_map_id", PRELUDE, "map id xs === xs"),
-        ("ip01_take_drop", PRELUDE, "app (take n xs) (drop n xs) === xs"),
+        (
+            "ip01_take_drop",
+            PRELUDE,
+            "app (take n xs) (drop n xs) === xs",
+        ),
     ];
     let mut group = c.benchmark_group("headline_goals");
     for (name, prelude, goal) in cases {

@@ -28,19 +28,27 @@ fn bench(c: &mut Criterion) {
         ("add_comm", "add x y === add y x"),
         ("add_assoc", "add (add x y) z === add x (add y z)"),
         ("take_drop", "app (take n xs) (drop n xs) === xs"),
-        ("butlast_take", "butlast xs === take (sub (len xs) (S Z)) xs"),
+        (
+            "butlast_take",
+            "butlast xs === take (sub (len xs) (S Z)) xs",
+        ),
     ];
     let mut group = c.benchmark_group("lemma_policy");
     group.sample_size(10);
     for (name, goal) in goals {
-        for (policy_name, policy) in
-            [("case_only", LemmaPolicy::CaseOnly), ("all_nodes", LemmaPolicy::AllNodes)]
-        {
+        for (policy_name, policy) in [
+            ("case_only", LemmaPolicy::CaseOnly),
+            ("all_nodes", LemmaPolicy::AllNodes),
+        ] {
             let s = session(goal, policy);
             group.bench_with_input(BenchmarkId::new(policy_name, name), &s, |b, s| {
                 b.iter(|| {
                     let v = s.prove("g").unwrap();
-                    assert!(v.is_proved(), "{name}/{policy_name}: {:?}", v.result.outcome);
+                    assert!(
+                        v.is_proved(),
+                        "{name}/{policy_name}: {:?}",
+                        v.result.outcome
+                    );
                     v.result.stats.nodes_created
                 })
             });

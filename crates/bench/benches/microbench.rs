@@ -34,7 +34,9 @@ fn bench_normalize(c: &mut Criterion) {
 fn bench_matching(c: &mut Criterion) {
     let p = nat_list_program();
     let mut vars = VarStore::new();
-    let xs: Vec<_> = (0..6).map(|i| vars.fresh(&format!("x{i}"), p.f.nat_ty())).collect();
+    let xs: Vec<_> = (0..6)
+        .map(|i| vars.fresh(&format!("x{i}"), p.f.nat_ty()))
+        .collect();
     // A pattern with 6 distinct variables over a deep term.
     fn pat(p: &cycleq_rewrite::fixtures::ProgramFixture, vs: &[cycleq_term::VarId]) -> Term {
         vs.iter().fold(Term::sym(p.f.zero), |acc, v| {
@@ -68,7 +70,11 @@ fn bench_closure(c: &mut Criterion) {
         for _ in 0..rng.gen_range(1..5) {
             let x = rng.gen_range(0..4u32);
             let y = rng.gen_range(0..4u32);
-            let l = if rng.gen_bool(0.4) { Label::Strict } else { Label::NonStrict };
+            let l = if rng.gen_bool(0.4) {
+                Label::Strict
+            } else {
+                Label::NonStrict
+            };
             g.insert(x, y, l);
         }
         edges.push((a, b, g));

@@ -12,9 +12,7 @@
 use std::time::Duration;
 
 use cycleq::SearchConfig;
-use cycleq_benchsuite::{
-    cactus_series, run_suite, summarize, RunConfig, RunStatus, ISAPLANNER,
-};
+use cycleq_benchsuite::{cactus_series, run_suite, summarize, RunConfig, RunStatus, ISAPLANNER};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -97,17 +95,21 @@ fn main() {
     }
     println!();
     let s = summarize(&averaged);
-    println!("== Summary (paper §6.1: 44 solved, 13 out of scope, 40 under 100 ms, mean 129 ms) ==");
+    println!(
+        "== Summary (paper §6.1: 44 solved, 13 out of scope, 40 under 100 ms, mean 129 ms) =="
+    );
     println!(
         "solved {} / {} in scope | out-of-scope {} | <100ms {} | mean {:.2} ms | max {:.2} ms",
-        s.proved, s.attempted, s.out_of_scope, s.proved_under_100ms, s.mean_proved_ms,
+        s.proved,
+        s.attempted,
+        s.out_of_scope,
+        s.proved_under_100ms,
+        s.mean_proved_ms,
         s.max_proved_ms
     );
     let failures: Vec<&str> = averaged
         .iter()
-        .filter(|o| {
-            !o.status.is_proved() && o.status != RunStatus::OutOfScope
-        })
+        .filter(|o| !o.status.is_proved() && o.status != RunStatus::OutOfScope)
         .map(|o| o.problem.id)
         .collect();
     println!("unsolved (in scope): {}", failures.join(" "));

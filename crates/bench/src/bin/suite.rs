@@ -10,9 +10,7 @@
 use std::time::Duration;
 
 use cycleq::SearchConfig;
-use cycleq_benchsuite::{
-    all_problems, csv, run_suite, summarize, text_table, Category, RunConfig,
-};
+use cycleq_benchsuite::{all_problems, csv, run_suite, summarize, text_table, Category, RunConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,13 +37,10 @@ fn main() {
             "--csv" => as_csv = true,
             "--timeout-ms" => {
                 i += 1;
-                timeout_ms = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--timeout-ms needs a number");
-                        std::process::exit(2);
-                    });
+                timeout_ms = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--timeout-ms needs a number");
+                    std::process::exit(2);
+                });
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -76,7 +71,11 @@ fn main() {
         println!();
         println!(
             "attempted {} | proved {} | out-of-scope {} | <100ms {} | mean {:.2}ms | max {:.2}ms",
-            s.attempted, s.proved, s.out_of_scope, s.proved_under_100ms, s.mean_proved_ms,
+            s.attempted,
+            s.proved,
+            s.out_of_scope,
+            s.proved_under_100ms,
+            s.mean_proved_ms,
             s.max_proved_ms
         );
     }

@@ -271,16 +271,20 @@ mod tests {
         let two = s(s(z.clone()));
         let three = s(s(s(z.clone())));
         // max 2 3 = 3
-        let max = Term::apps(sig.sym_by_name("max").unwrap(), vec![two.clone(), three.clone()]);
+        let max = Term::apps(
+            sig.sym_by_name("max").unwrap(),
+            vec![two.clone(), three.clone()],
+        );
         assert_eq!(rw.normalize(&max).term, three);
         // sub 2 3 = 0 (monus)
-        let sub = Term::apps(sig.sym_by_name("sub").unwrap(), vec![two.clone(), three.clone()]);
+        let sub = Term::apps(
+            sig.sym_by_name("sub").unwrap(),
+            vec![two.clone(), three.clone()],
+        );
         assert_eq!(rw.normalize(&sub).term, z);
         // sort [2, 3] is sorted
         let nil = Term::sym(sig.sym_by_name("Nil").unwrap());
-        let cons = |h: Term, t: Term| {
-            Term::apps(sig.sym_by_name("Cons").unwrap(), vec![h, t])
-        };
+        let cons = |h: Term, t: Term| Term::apps(sig.sym_by_name("Cons").unwrap(), vec![h, t]);
         let list = cons(three.clone(), cons(two.clone(), nil));
         let sorted_sort = Term::apps(
             sig.sym_by_name("sorted").unwrap(),

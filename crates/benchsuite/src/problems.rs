@@ -137,10 +137,22 @@ macro_rules! ip {
 /// The 85 IsaPlanner benchmark properties.
 pub static ISAPLANNER: &[Problem] = &[
     ip!("IP01", InScope, "app (take n xs) (drop n xs) === xs"),
-    ip!("IP02", InScope, "add (count n xs) (count n ys) === count n (app xs ys)"),
-    ip!("IP03", InScope, "le (count n xs) (count n (app xs ys)) === True"),
+    ip!(
+        "IP02",
+        InScope,
+        "add (count n xs) (count n ys) === count n (app xs ys)"
+    ),
+    ip!(
+        "IP03",
+        InScope,
+        "le (count n xs) (count n (app xs ys)) === True"
+    ),
     ip!("IP04", InScope, "S (count n xs) === count n (Cons n xs)"),
-    ip!("IP05", cond, "n = x ==> S (count n xs) = count n (Cons x xs)"),
+    ip!(
+        "IP05",
+        cond,
+        "n = x ==> S (count n xs) = count n (Cons x xs)"
+    ),
     ip!("IP06", InScope, "sub n (add n m) === Z"),
     ip!("IP07", InScope, "sub (add n m) n === m"),
     ip!("IP08", InScope, "sub (add k m) (add k n) === sub m n"),
@@ -149,7 +161,11 @@ pub static ISAPLANNER: &[Problem] = &[
     ip!("IP11", InScope, "drop Z xs === xs"),
     ip!("IP12", InScope, "drop n (map f xs) === map f (drop n xs)"),
     ip!("IP13", InScope, "drop (S n) (Cons x xs) === drop n xs"),
-    ip!("IP14", InScope, "filter p (app xs ys) === app (filter p xs) (filter p ys)"),
+    ip!(
+        "IP14",
+        InScope,
+        "filter p (app xs ys) === app (filter p xs) (filter p ys)"
+    ),
     ip!("IP15", InScope, "len (ins x xs) === S (len xs)"),
     ip!("IP16", cond, "xs = [] ==> last (Cons x xs) = x"),
     ip!("IP17", InScope, "le n Z === natEq n Z"),
@@ -183,7 +199,11 @@ pub static ISAPLANNER: &[Problem] = &[
         note = "λx. True encoded as the combinator constTrue"
     ),
     ip!("IP37", InScope, "not (elem x (delete x xs)) === True"),
-    ip!("IP38", InScope, "count n (app xs (Cons n Nil)) === S (count n xs)"),
+    ip!(
+        "IP38",
+        InScope,
+        "count n (app xs (Cons n Nil)) === S (count n xs)"
+    ),
     ip!(
         "IP39",
         InScope,
@@ -191,8 +211,16 @@ pub static ISAPLANNER: &[Problem] = &[
     ),
     ip!("IP40", InScope, "take Z xs === Nil"),
     ip!("IP41", InScope, "take n (map f xs) === map f (take n xs)"),
-    ip!("IP42", InScope, "take (S n) (Cons x xs) === Cons x (take n xs)"),
-    ip!("IP43", InScope, "app (takeWhile p xs) (dropWhile p xs) === xs"),
+    ip!(
+        "IP42",
+        InScope,
+        "take (S n) (Cons x xs) === Cons x (take n xs)"
+    ),
+    ip!(
+        "IP43",
+        InScope,
+        "app (takeWhile p xs) (dropWhile p xs) === xs"
+    ),
     ip!("IP44", InScope, "zip (Cons x xs) ys === zipConcat x xs ys"),
     ip!(
         "IP45",
@@ -206,32 +234,67 @@ pub static ISAPLANNER: &[Problem] = &[
         "height (mirror t) === height t",
         hints = &[MAX_COMM_HINT]
     ),
-    ip!("IP48", cond, "not (null xs) ==> app (butlast xs) (Cons (last xs) Nil) = xs"),
-    ip!("IP49", InScope, "butlast (app xs ys) === butlastConcat xs ys"),
-    ip!("IP50", InScope, "butlast xs === take (sub (len xs) (S Z)) xs"),
+    ip!(
+        "IP48",
+        cond,
+        "not (null xs) ==> app (butlast xs) (Cons (last xs) Nil) = xs"
+    ),
+    ip!(
+        "IP49",
+        InScope,
+        "butlast (app xs ys) === butlastConcat xs ys"
+    ),
+    ip!(
+        "IP50",
+        InScope,
+        "butlast xs === take (sub (len xs) (S Z)) xs"
+    ),
     ip!("IP51", InScope, "butlast (app xs (Cons x Nil)) === xs"),
     ip!("IP52", InScope, "count n xs === count n (rev xs)"),
     ip!("IP53", InScope, "count n xs === count n (sort xs)"),
-    ip!("IP54", NeedsLemma, "sub (add m n) n === m", hints = &[ADD_COMM_HINT]),
+    ip!(
+        "IP54",
+        NeedsLemma,
+        "sub (add m n) n === m",
+        hints = &[ADD_COMM_HINT]
+    ),
     ip!(
         "IP55",
         InScope,
         "drop n (app xs ys) === app (drop n xs) (drop (sub n (len xs)) ys)"
     ),
     ip!("IP56", InScope, "drop n (drop m xs) === drop (add n m) xs"),
-    ip!("IP57", InScope, "drop n (take m xs) === take (sub m n) (drop n xs)"),
-    ip!("IP58", InScope, "drop n (zip xs ys) === zip (drop n xs) (drop n ys)"),
+    ip!(
+        "IP57",
+        InScope,
+        "drop n (take m xs) === take (sub m n) (drop n xs)"
+    ),
+    ip!(
+        "IP58",
+        InScope,
+        "drop n (zip xs ys) === zip (drop n xs) (drop n ys)"
+    ),
     ip!("IP59", cond, "ys = [] ==> last (app xs ys) = last xs"),
     ip!("IP60", cond, "not (null ys) ==> last (app xs ys) = last ys"),
     ip!("IP61", InScope, "last (app xs ys) === lastOfTwo xs ys"),
     ip!("IP62", cond, "not (null xs) ==> last (Cons x xs) = last xs"),
     ip!("IP63", cond, "n < len xs ==> last (drop n xs) = last xs"),
     ip!("IP64", InScope, "last (app xs (Cons x Nil)) === x"),
-    ip!("IP65", NeedsLemma, "lt i (S (add m i)) === True", hints = &[ADD_COMM_HINT]),
+    ip!(
+        "IP65",
+        NeedsLemma,
+        "lt i (S (add m i)) === True",
+        hints = &[ADD_COMM_HINT]
+    ),
     ip!("IP66", InScope, "le (len (filter p xs)) (len xs) === True"),
     ip!("IP67", InScope, "len (butlast xs) === sub (len xs) (S Z)"),
     ip!("IP68", InScope, "le (len (delete n xs)) (len xs) === True"),
-    ip!("IP69", NeedsLemma, "le n (add m n) === True", hints = &[ADD_COMM_HINT]),
+    ip!(
+        "IP69",
+        NeedsLemma,
+        "le n (add m n) === True",
+        hints = &[ADD_COMM_HINT]
+    ),
     ip!("IP70", cond, "m <= n ==> m <= S n"),
     ip!("IP71", cond, "x =/= y ==> elem x (ins y xs) = elem x xs"),
     ip!(
@@ -250,17 +313,33 @@ pub static ISAPLANNER: &[Problem] = &[
         InScope,
         "add (count n xs) (count n (Cons m Nil)) === count n (Cons m xs)"
     ),
-    ip!("IP76", cond, "n =/= m ==> count n (app xs (Cons m Nil)) = count n xs"),
+    ip!(
+        "IP76",
+        cond,
+        "n =/= m ==> count n (app xs (Cons m Nil)) = count n xs"
+    ),
     ip!("IP77", cond, "sorted xs ==> sorted (insort x xs)"),
     ip!("IP78", InScope, "sorted (sort xs) === True"),
-    ip!("IP79", InScope, "sub (sub (S m) n) (S k) === sub (sub m n) k"),
+    ip!(
+        "IP79",
+        InScope,
+        "sub (sub (S m) n) (S k) === sub (sub m n) k"
+    ),
     ip!(
         "IP80",
         InScope,
         "take n (app xs ys) === app (take n xs) (take (sub n (len xs)) ys)"
     ),
-    ip!("IP81", InScope, "take n (drop m xs) === drop m (take (add n m) xs)"),
-    ip!("IP82", InScope, "take n (zip xs ys) === zip (take n xs) (take n ys)"),
+    ip!(
+        "IP81",
+        InScope,
+        "take n (drop m xs) === drop m (take (add n m) xs)"
+    ),
+    ip!(
+        "IP82",
+        InScope,
+        "take n (zip xs ys) === zip (take n xs) (take n ys)"
+    ),
     ip!(
         "IP83",
         InScope,
@@ -271,7 +350,11 @@ pub static ISAPLANNER: &[Problem] = &[
         InScope,
         "zip xs (app ys zs) === app (zip (take (len ys) xs) ys) (zip (drop (len ys) xs) zs)"
     ),
-    ip!("IP85", cond, "len xs = len ys ==> zip (rev xs) (rev ys) = rev (zip xs ys)"),
+    ip!(
+        "IP85",
+        cond,
+        "len xs = len ys ==> zip (rev xs) (rev ys) = rev (zip xs ys)"
+    ),
 ];
 
 macro_rules! mp {

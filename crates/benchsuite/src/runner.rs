@@ -100,7 +100,11 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
         session = session.without_recheck();
     }
     let goal_name = problem.goal_name();
-    let hints: Vec<&str> = if config.with_hints { problem.hint_names() } else { Vec::new() };
+    let hints: Vec<&str> = if config.with_hints {
+        problem.hint_names()
+    } else {
+        Vec::new()
+    };
     let verdict = match session.prove_with_hints(&goal_name, &hints) {
         Ok(v) => v,
         Err(e) => {
@@ -157,8 +161,7 @@ pub fn summarize(outcomes: &[RunOutcome]) -> Summary {
         .filter(|o| o.status == RunStatus::OutOfScope)
         .count();
     let attempted = outcomes.len() - out_of_scope;
-    let proved: Vec<&RunOutcome> =
-        outcomes.iter().filter(|o| o.status.is_proved()).collect();
+    let proved: Vec<&RunOutcome> = outcomes.iter().filter(|o| o.status.is_proved()).collect();
     let times_ms: Vec<f64> = proved
         .iter()
         .map(|o| o.time.as_secs_f64() * 1000.0)
@@ -197,7 +200,11 @@ pub fn cactus_series(outcomes: &[RunOutcome]) -> Vec<(f64, usize)> {
 /// Renders outcomes as an aligned text table.
 pub fn text_table(outcomes: &[RunOutcome]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<6} {:<11} {:<12} {:>10}  note", "id", "suite", "status", "time");
+    let _ = writeln!(
+        out,
+        "{:<6} {:<11} {:<12} {:>10}  note",
+        "id", "suite", "status", "time"
+    );
     for o in outcomes {
         let status = match &o.status {
             RunStatus::Proved => "proved".to_string(),
@@ -300,8 +307,7 @@ mod tests {
 
     #[test]
     fn summary_and_cactus_are_consistent() {
-        let ps: Vec<&'static Problem> =
-            vec![&FIGURES[0], &FIGURES[1], &MUTUAL[0]];
+        let ps: Vec<&'static Problem> = vec![&FIGURES[0], &FIGURES[1], &MUTUAL[0]];
         let outcomes = run_suite(&ps, &RunConfig::default());
         let summary = summarize(&outcomes);
         assert_eq!(summary.attempted, 3);
@@ -331,7 +337,10 @@ mod tests {
         assert!(!without.status.is_proved(), "{:?}", without.status);
         let with = run_problem(
             p,
-            &RunConfig { with_hints: true, ..RunConfig::default() },
+            &RunConfig {
+                with_hints: true,
+                ..RunConfig::default()
+            },
         );
         assert!(with.status.is_proved(), "{:?}", with.status);
     }

@@ -1,0 +1,204 @@
+//! The `cycleq` command-line prover.
+//!
+//! Reads a program in the Haskell-like CycleQ input language, attempts to
+//! prove the requested goals (all declared goals by default) and prints
+//! each verdict with the rendered proof tree and search statistics.
+//!
+//! Exit status: 0 when every attempted goal is proved, 1 when any goal is
+//! refuted or the search gives up, 2 on usage or load errors.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cycleq::{SearchConfig, Session, Verdict};
+
+const USAGE: &str = "\
+cycleq — cyclic equational prover (CycleQ, PLDI 2022)
+
+USAGE:
+    cycleq [OPTIONS] <FILE> [GOAL]...
+
+ARGS:
+    <FILE>      Program in the CycleQ input language (data decls,
+                function equations, `goal name: lhs === rhs`)
+    [GOAL]...   Goals to prove; defaults to every declared goal
+
+OPTIONS:
+    --dot               Render proofs as Graphviz DOT instead of text
+    --no-proof          Print verdicts only, without proof trees
+    --stats             Print search statistics for each goal
+    --hints g1,g2       Prove the named goals first and provide them as
+                        (Subst) lemmas for every requested goal
+    --validate          Print standing-assumption warnings (pattern
+                        completeness, orthogonality) before proving
+    --max-nodes N       Cap proof nodes created during search
+    --max-depth N       Cap DFS depth (rule applications per branch)
+    --timeout-ms N      Wall-clock budget per goal; 0 means unbounded
+    -h, --help          Print this help
+    -V, --version       Print version
+";
+
+struct Options {
+    file: String,
+    goals: Vec<String>,
+    hints: Vec<String>,
+    dot: bool,
+    proof: bool,
+    stats: bool,
+    validate: bool,
+    config: SearchConfig,
+}
+
+/// Parses the command line; `Ok(None)` means help/version was printed and
+/// the process should exit successfully. `Err` carries a usage message.
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        file: String::new(),
+        goals: Vec::new(),
+        hints: Vec::new(),
+        dot: false,
+        proof: true,
+        stats: false,
+        validate: false,
+        config: SearchConfig::default(),
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut numeric = |name: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} requires a value"))?
+                .parse()
+                .map_err(|_| format!("{name} requires an integer value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "-V" | "--version" => {
+                println!("cycleq {}", env!("CARGO_PKG_VERSION"));
+                return Ok(None);
+            }
+            "--dot" => opts.dot = true,
+            "--no-proof" => opts.proof = false,
+            "--stats" => opts.stats = true,
+            "--validate" => opts.validate = true,
+            "--hints" => {
+                let list = it.next().ok_or("--hints requires a value")?;
+                opts.hints.extend(list.split(',').map(str::to_string));
+            }
+            "--max-nodes" => opts.config.max_nodes = numeric("--max-nodes")?,
+            "--max-depth" => opts.config.max_depth = numeric("--max-depth")?,
+            "--timeout-ms" => {
+                let ms = numeric("--timeout-ms")?;
+                opts.config.timeout = (ms > 0).then(|| Duration::from_millis(ms as u64));
+            }
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                return Err(format!("unknown option `{flag}`"));
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    let mut positional = positional.into_iter();
+    opts.file = positional.next().ok_or("missing <FILE> argument")?;
+    opts.goals = positional.collect();
+    Ok(Some(opts))
+}
+
+fn print_verdict(opts: &Options, verdict: &Verdict) {
+    let status = if verdict.is_proved() {
+        "Proved"
+    } else if verdict.is_refuted() {
+        "Refuted"
+    } else {
+        "GaveUp"
+    };
+    // In DOT mode only graphs go to stdout, so the output pipes straight
+    // into `dot`; verdict and stats lines move to stderr.
+    let annotate = |line: &str| {
+        if opts.dot {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    annotate(&format!("goal {}: {status}", verdict.goal));
+    if opts.proof && verdict.is_proved() {
+        let rendered = if opts.dot {
+            verdict.render_dot()
+        } else {
+            verdict.render_proof()
+        };
+        match rendered {
+            Ok(text) => println!("{text}"),
+            Err(e) => annotate(&format!("  (proof rendering failed: {e})")),
+        }
+    }
+    if opts.stats {
+        let s = &verdict.result.stats;
+        annotate(&format!(
+            "  stats: nodes={} case_splits={} subst_attempts={} \
+             unsound_cycles_pruned={} depth_limit_hits={} closure_graphs={} elapsed={:?}",
+            s.nodes_created,
+            s.case_splits,
+            s.subst_attempts,
+            s.unsound_cycles_pruned,
+            s.depth_limit_hits,
+            s.closure_graphs,
+            s.elapsed,
+        ));
+    }
+}
+
+/// Proves the requested goals; `Err` carries a load/prove error message.
+fn run(opts: &Options) -> Result<bool, String> {
+    let source = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
+    let session = Session::from_source(&source)
+        .map_err(|e| format!("{}: {e}", opts.file))?
+        .with_config(opts.config.clone());
+    if opts.validate {
+        for warning in session.validate() {
+            eprintln!("warning: {warning}");
+        }
+    }
+    let goals: Vec<String> = if opts.goals.is_empty() {
+        session.goal_names().iter().map(|g| g.to_string()).collect()
+    } else {
+        opts.goals.clone()
+    };
+    if goals.is_empty() {
+        return Err(format!("`{}` declares no goals", opts.file));
+    }
+    let hints: Vec<&str> = opts.hints.iter().map(String::as_str).collect();
+    let mut all_proved = true;
+    for goal in &goals {
+        let verdict = session
+            .prove_with_hints(goal, &hints)
+            .map_err(|e| e.to_string())?;
+        all_proved &= verdict.is_proved();
+        print_verdict(opts, &verdict);
+    }
+    Ok(all_proved)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

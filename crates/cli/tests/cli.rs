@@ -1,0 +1,107 @@
+//! Integration tests shelling out to the compiled `cycleq` binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn quickstart() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/quickstart.hs")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cycleq"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn proves_quickstart_goals_with_proof_and_stats() {
+    let file = quickstart();
+    let out = run(&["--stats", file.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    for goal in ["addZeroRight", "addSuccRight", "addComm"] {
+        assert!(
+            stdout.contains(&format!("goal {goal}: Proved")),
+            "missing verdict in:\n{stdout}"
+        );
+    }
+    // A non-empty rendered proof tree: case splits and a cycle-forming
+    // (Subst) application must both appear.
+    assert!(
+        stdout.contains("[Case"),
+        "no case split rendered:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("[Subst]"),
+        "no back edge rendered:\n{stdout}"
+    );
+    assert!(stdout.contains("stats: nodes="), "no stats line:\n{stdout}");
+}
+
+#[test]
+fn selects_a_single_goal() {
+    let file = quickstart();
+    let out = run(&[file.to_str().unwrap(), "addComm"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("goal addComm: Proved"));
+    assert!(!stdout.contains("addZeroRight"));
+}
+
+#[test]
+fn dot_output_is_pipeable_graphviz() {
+    let file = quickstart();
+    let out = run(&["--dot", file.to_str().unwrap(), "addZeroRight"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.trim_start().starts_with("digraph"),
+        "not DOT:\n{stdout}"
+    );
+    // Verdict annotations go to stderr so stdout pipes straight into `dot`.
+    assert!(
+        !stdout.contains("goal "),
+        "non-DOT noise on stdout:\n{stdout}"
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("goal addZeroRight: Proved"));
+}
+
+#[test]
+fn refuted_goal_sets_failure_exit_code() {
+    let dir = std::env::temp_dir().join("cycleq-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("wrong.hs");
+    std::fs::write(
+        &file,
+        "data Nat = Z | S Nat\n\
+         add :: Nat -> Nat -> Nat\n\
+         add Z y = y\n\
+         add (S x) y = S (add x y)\n\
+         goal wrong: add x Z === Z\n",
+    )
+    .unwrap();
+    let out = run(&[file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("goal wrong: Refuted"));
+}
+
+#[test]
+fn missing_file_is_a_usage_error() {
+    let out = run(&["/nonexistent/nope.hs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn unknown_flag_prints_usage() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}

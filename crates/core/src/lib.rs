@@ -112,9 +112,11 @@ impl Verdict {
     /// Returns [`Error::NoProof`] when the verdict carries no proof.
     pub fn render_proof(&self) -> Result<String, Error> {
         match self.result.outcome {
-            Outcome::Proved { root } => {
-                Ok(cycleq_proof::render_text(&self.result.proof, &self.sig, root))
-            }
+            Outcome::Proved { root } => Ok(cycleq_proof::render_text(
+                &self.result.proof,
+                &self.sig,
+                root,
+            )),
             _ => Err(Error::NoProof),
         }
     }
@@ -126,9 +128,7 @@ impl Verdict {
     /// Returns [`Error::NoProof`] when the verdict carries no proof.
     pub fn render_dot(&self) -> Result<String, Error> {
         match self.result.outcome {
-            Outcome::Proved { .. } => {
-                Ok(cycleq_proof::render_dot(&self.result.proof, &self.sig))
-            }
+            Outcome::Proved { .. } => Ok(cycleq_proof::render_dot(&self.result.proof, &self.sig)),
             _ => Err(Error::NoProof),
         }
     }
@@ -226,8 +226,12 @@ impl Session {
         let result = prover.prove_with_hints(g.eq.clone(), vars, &hint_eqs);
         if self.recheck {
             if let Outcome::Proved { .. } = result.outcome {
-                check(&result.proof, &self.module.program, GlobalCheck::VariableTraces)
-                    .map_err(Error::Check)?;
+                check(
+                    &result.proof,
+                    &self.module.program,
+                    GlobalCheck::VariableTraces,
+                )
+                .map_err(Error::Check)?;
             }
         }
         Ok(Verdict {
@@ -298,6 +302,9 @@ goal comm: add x y === add y x
 
     #[test]
     fn parse_errors_surface() {
-        assert!(matches!(Session::from_source("data = |"), Err(Error::Lang(_))));
+        assert!(matches!(
+            Session::from_source("data = |"),
+            Err(Error::Lang(_))
+        ));
     }
 }

@@ -21,7 +21,11 @@ pub enum LangErrorKind {
     /// A pattern repeats a variable.
     NonLinearPattern(String),
     /// A constructor pattern has the wrong number of arguments.
-    PatternArity { constructor: String, expected: usize, got: usize },
+    PatternArity {
+        constructor: String,
+        expected: usize,
+        got: usize,
+    },
     /// A type error, rendered.
     Type(String),
     /// A clause violates the polymorphic signature (a rigid type variable
@@ -63,7 +67,11 @@ impl fmt::Display for LangError {
             LangErrorKind::NonLinearPattern(v) => {
                 write!(f, "pattern repeats variable `{v}`")
             }
-            LangErrorKind::PatternArity { constructor, expected, got } => write!(
+            LangErrorKind::PatternArity {
+                constructor,
+                expected,
+                got,
+            } => write!(
                 f,
                 "constructor `{constructor}` expects {expected} pattern argument(s), got {got}"
             ),

@@ -110,9 +110,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
                 let tok = match name.as_str() {
                     "data" => Token::Data,
                     "goal" => Token::Goal,
-                    _ if name.chars().next().is_some_and(char::is_uppercase) => {
-                        Token::Upper(name)
-                    }
+                    _ if name.chars().next().is_some_and(char::is_uppercase) => Token::Upper(name),
                     _ => Token::Lower(name),
                 };
                 push(tok, line, &mut out);
@@ -158,7 +156,9 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let toks = lex("-- a comment\nadd :: Nat -- trailing\n").unwrap();
-        assert!(toks.iter().all(|s| !matches!(s.token, Token::Upper(ref u) if u == "a")));
+        assert!(toks
+            .iter()
+            .all(|s| !matches!(s.token, Token::Upper(ref u) if u == "a")));
         assert!(toks.iter().any(|s| s.token == Token::Lower("add".into())));
     }
 
@@ -186,7 +186,10 @@ mod tests {
     #[test]
     fn line_numbers_advance() {
         let toks = lex("a\nb\nc\n").unwrap();
-        let c = toks.iter().find(|s| s.token == Token::Lower("c".into())).unwrap();
+        let c = toks
+            .iter()
+            .find(|s| s.token == Token::Lower("c".into()))
+            .unwrap();
         assert_eq!(c.line, 3);
     }
 

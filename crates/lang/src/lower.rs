@@ -67,11 +67,11 @@ impl Module {
     /// matches and non-orthogonal rules.
     pub fn validate(&self) -> Vec<String> {
         let mut out = Vec::new();
-        for (sym, witness) in
-            cycleq_rewrite::check_program(&self.program.sig, &self.program.trs)
-        {
-            let pats: Vec<String> =
-                witness.iter().map(|w| w.display(&self.program.sig)).collect();
+        for (sym, witness) in cycleq_rewrite::check_program(&self.program.sig, &self.program.trs) {
+            let pats: Vec<String> = witness
+                .iter()
+                .map(|w| w.display(&self.program.sig))
+                .collect();
             out.push(format!(
                 "`{}` does not cover: {}",
                 self.program.sig.sym(sym).name(),
@@ -269,7 +269,10 @@ fn build_pattern(
             ));
         }
         if env.contains_key(name) {
-            return Err(LangError::new(line, LangErrorKind::NonLinearPattern(name.clone())));
+            return Err(LangError::new(
+                line,
+                LangErrorKind::NonLinearPattern(name.clone()),
+            ));
         }
         let v = vars.fresh(name, Type::Var(uni.fresh()));
         env.insert(name.clone(), v);
@@ -286,9 +289,7 @@ fn generalize(ty: &Type, canon: &mut HashMap<TyVarId, TyVarId>) -> Type {
             Type::Var(*canon.entry(*v).or_insert(next))
         }
         Type::Var(v) => Type::Var(*v),
-        Type::Data(d, args) => {
-            Type::Data(*d, args.iter().map(|a| generalize(a, canon)).collect())
-        }
+        Type::Data(d, args) => Type::Data(*d, args.iter().map(|a| generalize(a, canon)).collect()),
         Type::Arrow(a, b) => Type::arrow(generalize(a, canon), generalize(b, canon)),
     }
 }
@@ -302,15 +303,23 @@ pub fn lower(decls: &[Decl]) -> Result<Module, LangError> {
     let mut sig = Signature::new();
     // Pass 1a: datatypes (names only, so mutually recursive datatypes work).
     for d in decls {
-        if let Decl::Data { name, params, line, .. } = d {
-            sig.add_datatype(name, params.len() as u32).map_err(|_| {
-                LangError::new(*line, LangErrorKind::Duplicate(name.clone()))
-            })?;
+        if let Decl::Data {
+            name, params, line, ..
+        } = d
+        {
+            sig.add_datatype(name, params.len() as u32)
+                .map_err(|_| LangError::new(*line, LangErrorKind::Duplicate(name.clone())))?;
         }
     }
     // Pass 1b: constructors.
     for d in decls {
-        if let Decl::Data { name, params, cons, line } = d {
+        if let Decl::Data {
+            name,
+            params,
+            cons,
+            line,
+        } = d
+        {
             let data = sig.data_by_name(name).expect("registered in pass 1a");
             let mut tyvars: HashMap<String, TyVarId> = params
                 .iter()
@@ -322,9 +331,8 @@ pub fn lower(decls: &[Decl]) -> Result<Module, LangError> {
                 for a in &con.args {
                     args.push(resolve_type(a, &sig, &mut tyvars, false, *line)?);
                 }
-                sig.add_constructor(&con.name, data, args).map_err(|e| {
-                    LangError::new(*line, LangErrorKind::Type(e.to_string()))
-                })?;
+                sig.add_constructor(&con.name, data, args)
+                    .map_err(|e| LangError::new(*line, LangErrorKind::Type(e.to_string())))?;
             }
         }
     }
@@ -334,33 +342,52 @@ pub fn lower(decls: &[Decl]) -> Result<Module, LangError> {
             let mut tyvars = HashMap::new();
             let body = resolve_type(ty, &sig, &mut tyvars, true, *line)?;
             let scheme = cycleq_term::TypeScheme::poly(tyvars.len() as u32, body);
-            sig.add_defined(name, scheme).map_err(|_| {
-                LangError::new(*line, LangErrorKind::Duplicate(name.clone()))
-            })?;
+            sig.add_defined(name, scheme)
+                .map_err(|_| LangError::new(*line, LangErrorKind::Duplicate(name.clone())))?;
         }
     }
     // Pass 3: clauses.
     let mut trs = Trs::new();
     for d in decls {
-        if let Decl::Clause { name, params, rhs, line } = d {
+        if let Decl::Clause {
+            name,
+            params,
+            rhs,
+            line,
+        } = d
+        {
             let sym = sig
                 .sym_by_name(name)
                 .filter(|s| sig.is_defined(*s))
-                .ok_or_else(|| LangError::new(*line, LangErrorKind::MissingSignature(name.clone())))?;
+                .ok_or_else(|| {
+                    LangError::new(*line, LangErrorKind::MissingSignature(name.clone()))
+                })?;
             lower_clause(&mut trs, &sig, sym, params, rhs, *line)?;
         }
     }
     // Pass 4: goals.
     let mut goals = Vec::new();
     for d in decls {
-        if let Decl::Goal { name, lhs, rhs, line } = d {
+        if let Decl::Goal {
+            name,
+            lhs,
+            rhs,
+            line,
+        } = d
+        {
             if goals.iter().any(|g: &GoalDef| &g.name == name) {
-                return Err(LangError::new(*line, LangErrorKind::Duplicate(name.clone())));
+                return Err(LangError::new(
+                    *line,
+                    LangErrorKind::Duplicate(name.clone()),
+                ));
             }
             goals.push(lower_goal(&sig, name, lhs, rhs, *line)?);
         }
     }
-    Ok(Module { program: Program::new(sig, trs), goals })
+    Ok(Module {
+        program: Program::new(sig, trs),
+        goals,
+    })
 }
 
 fn lower_clause(
@@ -404,7 +431,10 @@ fn lower_clause(
     }
     // Result type: remaining arrows.
     let result_ty = Type::arrows(
-        arg_tys[params.len()..].iter().map(|t| (*t).clone()).collect(),
+        arg_tys[params.len()..]
+            .iter()
+            .map(|t| (*t).clone())
+            .collect(),
         ret_ty.clone(),
     );
     // Build and type the right-hand side.
@@ -596,7 +626,10 @@ f :: a -> a
 f x = Z
 ";
         let err = lower(&parse(src).unwrap()).unwrap_err();
-        assert!(matches!(err.kind, LangErrorKind::RigidEscape(_) | LangErrorKind::Type(_)));
+        assert!(matches!(
+            err.kind,
+            LangErrorKind::RigidEscape(_) | LangErrorKind::Type(_)
+        ));
     }
 
     #[test]
@@ -627,7 +660,10 @@ pred (S x) = x
         let m = module(&src);
         let g = m.goal("zr").unwrap();
         let mut target = VarStore::new();
-        target.fresh("occupied", Type::data0(m.program.sig.data_by_name("Nat").unwrap()));
+        target.fresh(
+            "occupied",
+            Type::data0(m.program.sig.data_by_name("Nat").unwrap()),
+        );
         let eq = g.rename_into(&mut target);
         assert_eq!(target.len(), 1 + g.vars.len());
         // The renamed equation's variables live in the target store.

@@ -69,7 +69,10 @@ impl Parser {
     // btype := atype+
     fn parse_btype(&mut self) -> Result<RawType, LangError> {
         let mut t = self.parse_atype()?;
-        while matches!(self.peek(), Some(Token::Upper(_) | Token::Lower(_) | Token::LParen)) {
+        while matches!(
+            self.peek(),
+            Some(Token::Upper(_) | Token::Lower(_) | Token::LParen)
+        ) {
             let arg = self.parse_atype()?;
             t = RawType::App(Box::new(t), Box::new(arg));
         }
@@ -79,7 +82,9 @@ impl Parser {
     fn parse_atype(&mut self) -> Result<RawType, LangError> {
         match self.peek() {
             Some(Token::Upper(_)) | Some(Token::Lower(_)) => {
-                let Some(Spanned { token, .. }) = self.next() else { unreachable!() };
+                let Some(Spanned { token, .. }) = self.next() else {
+                    unreachable!()
+                };
                 match token {
                     Token::Upper(n) | Token::Lower(n) => Ok(RawType::Ident(n)),
                     _ => unreachable!(),
@@ -98,7 +103,10 @@ impl Parser {
     // term := aterm+
     fn parse_term(&mut self) -> Result<RawTerm, LangError> {
         let mut t = self.parse_aterm()?;
-        while matches!(self.peek(), Some(Token::Upper(_) | Token::Lower(_) | Token::LParen)) {
+        while matches!(
+            self.peek(),
+            Some(Token::Upper(_) | Token::Lower(_) | Token::LParen)
+        ) {
             let arg = self.parse_aterm()?;
             t = RawTerm::App(Box::new(t), Box::new(arg));
         }
@@ -108,7 +116,9 @@ impl Parser {
     fn parse_aterm(&mut self) -> Result<RawTerm, LangError> {
         match self.peek() {
             Some(Token::Upper(_)) | Some(Token::Lower(_)) => {
-                let Some(Spanned { token, .. }) = self.next() else { unreachable!() };
+                let Some(Spanned { token, .. }) = self.next() else {
+                    unreachable!()
+                };
                 match token {
                     Token::Upper(n) | Token::Lower(n) => Ok(RawTerm::Ident(n)),
                     _ => unreachable!(),
@@ -129,7 +139,9 @@ impl Parser {
     fn parse_pattern_atom(&mut self) -> Result<RawTerm, LangError> {
         match self.peek() {
             Some(Token::Lower(_)) | Some(Token::Upper(_)) => {
-                let Some(Spanned { token, .. }) = self.next() else { unreachable!() };
+                let Some(Spanned { token, .. }) = self.next() else {
+                    unreachable!()
+                };
                 match token {
                     Token::Upper(n) | Token::Lower(n) => Ok(RawTerm::Ident(n)),
                     _ => unreachable!(),
@@ -148,12 +160,19 @@ impl Parser {
     fn parse_data(&mut self) -> Result<Decl, LangError> {
         let line = self.expect(&Token::Data, "`data`")?;
         let name = match self.next() {
-            Some(Spanned { token: Token::Upper(n), .. }) => n,
+            Some(Spanned {
+                token: Token::Upper(n),
+                ..
+            }) => n,
             _ => return Err(self.err("a datatype name")),
         };
         let mut params = Vec::new();
         while let Some(Token::Lower(_)) = self.peek() {
-            let Some(Spanned { token: Token::Lower(p), .. }) = self.next() else {
+            let Some(Spanned {
+                token: Token::Lower(p),
+                ..
+            }) = self.next()
+            else {
                 unreachable!()
             };
             params.push(p);
@@ -162,12 +181,17 @@ impl Parser {
         let mut cons = Vec::new();
         loop {
             let cname = match self.next() {
-                Some(Spanned { token: Token::Upper(n), .. }) => n,
+                Some(Spanned {
+                    token: Token::Upper(n),
+                    ..
+                }) => n,
                 _ => return Err(self.err("a constructor name")),
             };
             let mut args = Vec::new();
-            while matches!(self.peek(), Some(Token::Upper(_) | Token::Lower(_) | Token::LParen))
-            {
+            while matches!(
+                self.peek(),
+                Some(Token::Upper(_) | Token::Lower(_) | Token::LParen)
+            ) {
                 args.push(self.parse_atype()?);
             }
             cons.push(RawCon { name: cname, args });
@@ -177,25 +201,41 @@ impl Parser {
                 break;
             }
         }
-        Ok(Decl::Data { name, params, cons, line })
+        Ok(Decl::Data {
+            name,
+            params,
+            cons,
+            line,
+        })
     }
 
     fn parse_goal(&mut self) -> Result<Decl, LangError> {
         let line = self.expect(&Token::Goal, "`goal`")?;
         let name = match self.next() {
-            Some(Spanned { token: Token::Lower(n), .. }) => n,
+            Some(Spanned {
+                token: Token::Lower(n),
+                ..
+            }) => n,
             _ => return Err(self.err("a goal name")),
         };
         self.expect(&Token::Colon, "`:`")?;
         let lhs = self.parse_term()?;
         self.expect(&Token::EqEqEq, "`===`")?;
         let rhs = self.parse_term()?;
-        Ok(Decl::Goal { name, lhs, rhs, line })
+        Ok(Decl::Goal {
+            name,
+            lhs,
+            rhs,
+            line,
+        })
     }
 
     fn parse_sig_or_clause(&mut self) -> Result<Decl, LangError> {
         let (name, line) = match self.next() {
-            Some(Spanned { token: Token::Lower(n), line }) => (n, line),
+            Some(Spanned {
+                token: Token::Lower(n),
+                line,
+            }) => (n, line),
             _ => return Err(self.err("a function name")),
         };
         if self.peek() == Some(&Token::ColonColon) {
@@ -210,7 +250,12 @@ impl Parser {
         }
         self.expect(&Token::Equals, "`=`")?;
         let rhs = self.parse_term()?;
-        Ok(Decl::Clause { name, params, rhs, line })
+        Ok(Decl::Clause {
+            name,
+            params,
+            rhs,
+            line,
+        })
     }
 
     fn parse_program(&mut self) -> Result<Vec<Decl>, LangError> {
@@ -251,7 +296,9 @@ mod tests {
     fn parses_data_with_params() {
         let decls = parse("data List a = Nil | Cons a (List a)\n").unwrap();
         match &decls[0] {
-            Decl::Data { name, params, cons, .. } => {
+            Decl::Data {
+                name, params, cons, ..
+            } => {
                 assert_eq!(name, "List");
                 assert_eq!(params, &vec!["a".to_string()]);
                 assert_eq!(cons.len(), 2);

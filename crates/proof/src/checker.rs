@@ -92,7 +92,10 @@ pub struct CheckReport {
 }
 
 fn err(node: NodeId, kind: CheckErrorKind) -> CheckError {
-    CheckError { node: Some(node), kind }
+    CheckError {
+        node: Some(node),
+        kind,
+    }
 }
 
 fn eq_modulo_flip(a: &Equation, b: &Equation) -> bool {
@@ -105,7 +108,11 @@ fn eq_modulo_flip(a: &Equation, b: &Equation) -> bool {
 ///
 /// Returns the first [`CheckError`] found: an ill-formed rule instance, an
 /// ill-typed equation, or a global-condition failure.
-pub fn check(proof: &Preproof, prog: &Program, mode: GlobalCheck) -> Result<CheckReport, CheckError> {
+pub fn check(
+    proof: &Preproof,
+    prog: &Program,
+    mode: GlobalCheck,
+) -> Result<CheckReport, CheckError> {
     let rw = Rewriter::new(&prog.sig, &prog.trs);
     let mut back_edges = 0;
     for (id, node) in proof.nodes() {
@@ -140,7 +147,10 @@ pub fn check(proof: &Preproof, prog: &Program, mode: GlobalCheck) -> Result<Chec
                 if !node.premises.is_empty() {
                     return Err(err(
                         id,
-                        CheckErrorKind::PremiseCount { expected: 0, got: node.premises.len() },
+                        CheckErrorKind::PremiseCount {
+                            expected: 0,
+                            got: node.premises.len(),
+                        },
                     ));
                 }
                 if !node.eq.is_trivial() {
@@ -151,7 +161,10 @@ pub fn check(proof: &Preproof, prog: &Program, mode: GlobalCheck) -> Result<Chec
                 if node.premises.len() != 1 {
                     return Err(err(
                         id,
-                        CheckErrorKind::PremiseCount { expected: 1, got: node.premises.len() },
+                        CheckErrorKind::PremiseCount {
+                            expected: 1,
+                            got: node.premises.len(),
+                        },
                     ));
                 }
                 // Premise sides must be convertible to the conclusion sides.
@@ -203,7 +216,10 @@ pub fn check(proof: &Preproof, prog: &Program, mode: GlobalCheck) -> Result<Chec
                 if node.premises.len() != 1 {
                     return Err(err(
                         id,
-                        CheckErrorKind::PremiseCount { expected: 1, got: node.premises.len() },
+                        CheckErrorKind::PremiseCount {
+                            expected: 1,
+                            got: node.premises.len(),
+                        },
                     ));
                 }
                 if node.eq.lhs().contains_var(*fresh) || node.eq.rhs().contains_var(*fresh) {
@@ -222,7 +238,9 @@ pub fn check(proof: &Preproof, prog: &Program, mode: GlobalCheck) -> Result<Chec
                 let Some((data, ty_args)) = var_ty.as_data() else {
                     return Err(err(
                         id,
-                        CheckErrorKind::BadCaseSplit("case variable is not of datatype type".into()),
+                        CheckErrorKind::BadCaseSplit(
+                            "case variable is not of datatype type".into(),
+                        ),
                     ));
                 };
                 let cons = prog.sig.constructors_of(data);
@@ -240,7 +258,9 @@ pub fn check(proof: &Preproof, prog: &Program, mode: GlobalCheck) -> Result<Chec
                     if branch.con != k {
                         return Err(err(
                             id,
-                            CheckErrorKind::BadCaseSplit("branch constructor order mismatch".into()),
+                            CheckErrorKind::BadCaseSplit(
+                                "branch constructor order mismatch".into(),
+                            ),
                         ));
                     }
                     if branch.fresh.len() != prog.sig.constructor_arity(k) {
@@ -256,7 +276,7 @@ pub fn check(proof: &Preproof, prog: &Program, mode: GlobalCheck) -> Result<Chec
                         .sig
                         .sym(k)
                         .scheme()
-                        .instantiate_with(&ty_args.to_vec())
+                        .instantiate_with(ty_args)
                         .map_err(|e| err(id, CheckErrorKind::IllTyped(e.to_string())))?;
                     let (arg_tys, _) = inst.uncurry();
                     for (v, want_ty) in branch.fresh.iter().zip(arg_tys) {
@@ -289,7 +309,10 @@ pub fn check(proof: &Preproof, prog: &Program, mode: GlobalCheck) -> Result<Chec
                 if node.premises.len() != 2 {
                     return Err(err(
                         id,
-                        CheckErrorKind::PremiseCount { expected: 2, got: node.premises.len() },
+                        CheckErrorKind::PremiseCount {
+                            expected: 2,
+                            got: node.premises.len(),
+                        },
                     ));
                 }
                 let lemma = premise_eq(0);
@@ -328,13 +351,20 @@ pub fn check(proof: &Preproof, prog: &Program, mode: GlobalCheck) -> Result<Chec
     let global_verified = match mode {
         GlobalCheck::VariableTraces => {
             if check_global(proof) == Soundness::Unsound {
-                return Err(CheckError { node: None, kind: CheckErrorKind::GloballyUnsound });
+                return Err(CheckError {
+                    node: None,
+                    kind: CheckErrorKind::GloballyUnsound,
+                });
             }
             true
         }
         GlobalCheck::TrustConstruction => false,
     };
-    Ok(CheckReport { nodes: proof.len(), back_edges, global_verified })
+    Ok(CheckReport {
+        nodes: proof.len(),
+        back_edges,
+        global_verified,
+    })
 }
 
 #[cfg(test)]
@@ -459,7 +489,10 @@ mod tests {
             root,
             RuleApp::Case {
                 var: x,
-                branches: vec![CaseBranch { con: p.f.zero, fresh: vec![] }],
+                branches: vec![CaseBranch {
+                    con: p.f.zero,
+                    fresh: vec![],
+                }],
             },
             vec![only],
         );
@@ -484,8 +517,14 @@ mod tests {
             RuleApp::Case {
                 var: x,
                 branches: vec![
-                    CaseBranch { con: p.f.zero, fresh: vec![] },
-                    CaseBranch { con: p.f.succ, fresh: vec![xp] },
+                    CaseBranch {
+                        con: p.f.zero,
+                        fresh: vec![],
+                    },
+                    CaseBranch {
+                        con: p.f.succ,
+                        fresh: vec![xp],
+                    },
                 ],
             },
             vec![zb, sb],

@@ -203,8 +203,14 @@ mod tests {
             RuleApp::Case {
                 var: x,
                 branches: vec![
-                    CaseBranch { con: p.f.zero, fresh: vec![] },
-                    CaseBranch { con: p.f.succ, fresh: vec![xp] },
+                    CaseBranch {
+                        con: p.f.zero,
+                        fresh: vec![],
+                    },
+                    CaseBranch {
+                        con: p.f.succ,
+                        fresh: vec![xp],
+                    },
                 ],
             },
             vec![zb, sb],

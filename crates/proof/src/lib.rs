@@ -32,6 +32,4 @@ pub use edges::{
 pub use node::{CaseBranch, Node, NodeId, RuleApp, Side, SubstApp};
 pub use preproof::Preproof;
 pub use render::{render_dot, render_text};
-pub use transform::{
-    count_redundant_lemmas, eliminate_redundant_lemmas, RedundancyReport,
-};
+pub use transform::{count_redundant_lemmas, eliminate_redundant_lemmas, RedundancyReport};

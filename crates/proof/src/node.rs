@@ -40,7 +40,7 @@ impl Side {
     }
 
     /// Projects the chosen side of an equation.
-    pub fn of<'a>(self, eq: &'a Equation) -> &'a cycleq_term::Term {
+    pub fn of(self, eq: &Equation) -> &cycleq_term::Term {
         match self {
             Side::Lhs => eq.lhs(),
             Side::Rhs => eq.rhs(),

@@ -27,7 +27,10 @@ impl Preproof {
     /// A preproof whose variables start from an existing store (e.g. the
     /// goal's variables).
     pub fn with_vars(vars: VarStore) -> Preproof {
-        Preproof { nodes: Vec::new(), vars }
+        Preproof {
+            nodes: Vec::new(),
+            vars,
+        }
     }
 
     /// The variable store owning every variable of every node equation.
@@ -44,7 +47,11 @@ impl Preproof {
     /// Adds an unjustified (open) node for the equation, returning its id.
     pub fn push_open(&mut self, eq: Equation) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { eq, rule: RuleApp::Open, premises: Vec::new() });
+        self.nodes.push(Node {
+            eq,
+            rule: RuleApp::Open,
+            premises: Vec::new(),
+        });
         id
     }
 
@@ -118,9 +125,8 @@ impl Preproof {
 
     /// The underlying graph's edges `(v, premise)` (Definition 3.1).
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes().flat_map(|(id, n)| {
-            n.premises.iter().map(move |p| (id, *p))
-        })
+        self.nodes()
+            .flat_map(|(id, n)| n.premises.iter().map(move |p| (id, *p)))
     }
 
     /// Whether the edge `(v, p)` is a *back edge*: its target was created

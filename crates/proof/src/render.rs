@@ -87,7 +87,12 @@ pub fn render_dot(proof: &Preproof, sig: &Signature) -> String {
     }
     for (v, p) in proof.edges() {
         if proof.is_back_edge(v, p) {
-            let _ = writeln!(out, "  n{} -> n{} [style=dashed, color=blue];", v.index(), p.index());
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [style=dashed, color=blue];",
+                v.index(),
+                p.index()
+            );
         } else {
             let _ = writeln!(out, "  n{} -> n{};", v.index(), p.index());
         }

@@ -85,8 +85,7 @@ pub fn eliminate_redundant_lemmas(proof: &mut Preproof) -> RedundancyReport {
                     // reduction for the rewrite to preserve the occurrence.
                     let old_from = pick_side(&proof.node(lemma_id).eq, app.lemma_flipped);
                     let new_lemma_eq = proof.node(reduced).eq.clone();
-                    let (new_from_matches, flipped) =
-                        orient_against(&new_lemma_eq, &old_from);
+                    let (new_from_matches, flipped) = orient_against(&new_lemma_eq, &old_from);
                     if !new_from_matches {
                         continue;
                     }
@@ -95,8 +94,7 @@ pub fn eliminate_redundant_lemmas(proof: &mut Preproof) -> RedundancyReport {
                     // to the old continuation (confluence), so justify it by
                     // (Reduce) with the old continuation as premise.
                     let side_term = app.side.of(&proof.node(v).eq).clone();
-                    let Some(rewritten) =
-                        side_term.replace_at(&app.pos, app.theta.apply(&new_to))
+                    let Some(rewritten) = side_term.replace_at(&app.pos, app.theta.apply(&new_to))
                     else {
                         continue;
                     };
@@ -126,11 +124,10 @@ pub fn eliminate_redundant_lemmas(proof: &mut Preproof) -> RedundancyReport {
                     // matched the side of the lemma that contains the inner
                     // rewrite (otherwise the composite position is not
                     // defined).
-                    let inner_side_is_from = match (app.lemma_flipped, inner.side) {
-                        (false, crate::node::Side::Lhs) => true,
-                        (true, crate::node::Side::Rhs) => true,
-                        _ => false,
-                    };
+                    let inner_side_is_from = matches!(
+                        (app.lemma_flipped, inner.side),
+                        (false, crate::node::Side::Lhs) | (true, crate::node::Side::Rhs)
+                    );
                     if !inner_side_is_from {
                         continue;
                     }
@@ -144,10 +141,7 @@ pub fn eliminate_redundant_lemmas(proof: &mut Preproof) -> RedundancyReport {
                     let comp_pos = app.pos.join(&inner.pos);
                     let comp_theta = inner.theta.then(&app.theta);
                     // New mid continuation: C[(D[Nθ])σ] ≈ P.
-                    let inner_to = pick_side(
-                        &proof.node(inner_lemma).eq,
-                        !inner.lemma_flipped,
-                    );
+                    let inner_to = pick_side(&proof.node(inner_lemma).eq, !inner.lemma_flipped);
                     let side_term = app.side.of(&proof.node(v).eq).clone();
                     let Some(rewritten) =
                         side_term.replace_at(&comp_pos, comp_theta.apply(&inner_to))
@@ -156,12 +150,8 @@ pub fn eliminate_redundant_lemmas(proof: &mut Preproof) -> RedundancyReport {
                     };
                     let untouched = app.side.flip().of(&proof.node(v).eq).clone();
                     let mid_eq = match app.side {
-                        crate::node::Side::Lhs => {
-                            Equation::new(rewritten, untouched)
-                        }
-                        crate::node::Side::Rhs => {
-                            Equation::new(untouched, rewritten)
-                        }
+                        crate::node::Side::Lhs => Equation::new(rewritten, untouched),
+                        crate::node::Side::Rhs => Equation::new(untouched, rewritten),
                     };
                     let mid = proof.push_open(mid_eq);
                     // Mid node: Subst with the *inner continuation* as

@@ -33,7 +33,7 @@ fn subst_with_wrong_substitution_is_rejected() {
     let refl = proof.push_open(Equation::new(p.f.num(1), p.f.num(1)));
     proof.justify(refl, RuleApp::Refl, vec![]);
     proof.justify(lemma, RuleApp::Refl, vec![]); // bogus, caught later
-    // θ binds x to the WRONG term (2 instead of 1).
+                                                 // θ binds x to the WRONG term (2 instead of 1).
     proof.justify(
         goal,
         RuleApp::Subst(SubstApp {
@@ -71,8 +71,14 @@ fn subst_with_wrong_continuation_is_rejected() {
         RuleApp::Case {
             var: x,
             branches: vec![
-                CaseBranch { con: p.f.zero, fresh: vec![] },
-                CaseBranch { con: p.f.succ, fresh: vec![xp] },
+                CaseBranch {
+                    con: p.f.zero,
+                    fresh: vec![],
+                },
+                CaseBranch {
+                    con: p.f.succ,
+                    fresh: vec![xp],
+                },
             ],
         },
         vec![zb, sb],
@@ -127,15 +133,24 @@ fn case_with_stale_variable_is_rejected() {
         RuleApp::Case {
             var: x,
             branches: vec![
-                CaseBranch { con: p.f.zero, fresh: vec![] },
-                CaseBranch { con: p.f.succ, fresh: vec![y] },
+                CaseBranch {
+                    con: p.f.zero,
+                    fresh: vec![],
+                },
+                CaseBranch {
+                    con: p.f.succ,
+                    fresh: vec![y],
+                },
             ],
         },
         vec![zb, sb],
     );
     let e = check(&proof, &p.prog, GlobalCheck::TrustConstruction).unwrap_err();
     assert!(
-        matches!(e.kind, CheckErrorKind::BadCaseSplit(_) | CheckErrorKind::NotAReduct),
+        matches!(
+            e.kind,
+            CheckErrorKind::BadCaseSplit(_) | CheckErrorKind::NotAReduct
+        ),
         "{e:?}"
     );
 }
@@ -166,7 +181,11 @@ fn dangling_premises_are_rejected() {
     let p = fixture();
     let mut proof = Preproof::new();
     let goal = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
-    proof.justify(goal, RuleApp::Reduce, vec![cycleq_proof::NodeId::from_index(7)]);
+    proof.justify(
+        goal,
+        RuleApp::Reduce,
+        vec![cycleq_proof::NodeId::from_index(7)],
+    );
     let e = check(&proof, &p.prog, GlobalCheck::TrustConstruction).unwrap_err();
     assert_eq!(e.kind, CheckErrorKind::DanglingPremise);
 }

@@ -35,7 +35,9 @@ fn simulate_rule(pat: &Term, arg: &Term, sig: &Signature, blockers: &mut Vec<Var
                 return Sim::Blocked;
             }
             match (pat.head(), arg.head()) {
-                (Head::Sym(k), Head::Sym(k2)) if k == k2 && pat.args().len() == arg.args().len() => {
+                (Head::Sym(k), Head::Sym(k2))
+                    if k == k2 && pat.args().len() == arg.args().len() =>
+                {
                     let mut out = Sim::Match;
                     for (p, a) in pat.args().iter().zip(arg.args()) {
                         match simulate_rule(p, a, sig, blockers) {

@@ -67,7 +67,11 @@ type Matrix = Vec<Vec<Term>>;
 
 fn find_witness(sig: &Signature, rows: Matrix, width: usize) -> Option<Vec<WitnessPat>> {
     if width == 0 {
-        return if rows.is_empty() { Some(Vec::new()) } else { None };
+        return if rows.is_empty() {
+            Some(Vec::new())
+        } else {
+            None
+        };
     }
     if rows.is_empty() {
         return Some(vec![WitnessPat::Any; width]);
@@ -241,11 +245,15 @@ mod tests {
         let f = cycleq_term::fixtures::NatList::new();
         let mut sig = f.sig.clone();
         let id_fn = sig
-            .add_defined("idNat", TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())))
+            .add_defined(
+                "idNat",
+                TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())),
+            )
             .unwrap();
         let mut trs = Trs::new();
         let x = trs.vars_mut().fresh("x", f.nat_ty());
-        trs.add_rule(&sig, id_fn, vec![Term::var(x)], Term::var(x)).unwrap();
+        trs.add_rule(&sig, id_fn, vec![Term::var(x)], Term::var(x))
+            .unwrap();
         assert_eq!(check_symbol(&sig, &trs, id_fn), Completeness::Complete);
     }
 

@@ -3,7 +3,7 @@
 //! `len`.
 
 use cycleq_term::fixtures::NatList;
-use cycleq_term::{Term, Type, TyVarId};
+use cycleq_term::{Term, TyVarId, Type};
 
 use crate::trs::{Program, Trs};
 
@@ -40,8 +40,13 @@ pub fn nat_list_program() -> ProgramFixture {
     // add
     {
         let y = trs.vars_mut().fresh("y", nat.clone());
-        trs.add_rule(&f.sig, f.add, vec![Term::sym(f.zero), Term::var(y)], Term::var(y))
-            .expect("valid rule");
+        trs.add_rule(
+            &f.sig,
+            f.add,
+            vec![Term::sym(f.zero), Term::var(y)],
+            Term::var(y),
+        )
+        .expect("valid rule");
         let x = trs.vars_mut().fresh("x", nat.clone());
         let y = trs.vars_mut().fresh("y", nat.clone());
         trs.add_rule(
@@ -55,8 +60,13 @@ pub fn nat_list_program() -> ProgramFixture {
     // app
     {
         let ys = trs.vars_mut().fresh("ys", list_a.clone());
-        trs.add_rule(&f.sig, f.app, vec![Term::sym(f.nil), Term::var(ys)], Term::var(ys))
-            .expect("valid rule");
+        trs.add_rule(
+            &f.sig,
+            f.app,
+            vec![Term::sym(f.nil), Term::var(ys)],
+            Term::var(ys),
+        )
+        .expect("valid rule");
         let x = trs.vars_mut().fresh("x", a.clone());
         let xs = trs.vars_mut().fresh("xs", list_a.clone());
         let ys = trs.vars_mut().fresh("ys", list_a.clone());

@@ -55,7 +55,11 @@ pub fn narrow_at(
                 let replaced = term
                     .replace_at(pos, rhs)
                     .expect("position valid by construction");
-                out.push(NarrowingStep { result: theta.apply(&replaced), subst: theta, rule: id });
+                out.push(NarrowingStep {
+                    result: theta.apply(&replaced),
+                    subst: theta,
+                    rule: id,
+                });
             }
             Err(_) => {
                 // Undo the variable allocations for this rule; nothing else
@@ -97,7 +101,8 @@ mod tests {
         let mut vars = VarStore::new();
         let x = vars.fresh("x", p.f.nat_ty());
         // S (add x Z) narrowed at position 0.
-        let t = p.f.s(Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]));
+        let t =
+            p.f.s(Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]));
         let steps = narrow_at(
             &p.prog.sig,
             &p.prog.trs,

@@ -81,8 +81,13 @@ mod tests {
         let mut trs = Trs::new();
         let x = trs.vars_mut().fresh("x", f.nat_ty());
         // g x = Z and g Z = Z overlap on g Z.
-        trs.add_rule(&sig, g, vec![cycleq_term::Term::var(x)], cycleq_term::Term::sym(f.zero))
-            .unwrap();
+        trs.add_rule(
+            &sig,
+            g,
+            vec![cycleq_term::Term::var(x)],
+            cycleq_term::Term::sym(f.zero),
+        )
+        .unwrap();
         trs.add_rule(
             &sig,
             g,
@@ -102,10 +107,7 @@ mod tests {
         let eq = sig
             .add_defined(
                 "eqSame",
-                TypeScheme::mono(Type::arrows(
-                    vec![f.nat_ty(), f.nat_ty()],
-                    f.nat_ty(),
-                )),
+                TypeScheme::mono(Type::arrows(vec![f.nat_ty(), f.nat_ty()], f.nat_ty())),
             )
             .unwrap();
         let mut trs = Trs::new();

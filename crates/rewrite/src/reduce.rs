@@ -41,7 +41,11 @@ pub const DEFAULT_FUEL: usize = 100_000;
 impl<'a> Rewriter<'a> {
     /// Creates a rewriter with the default fuel.
     pub fn new(sig: &'a Signature, trs: &'a Trs) -> Rewriter<'a> {
-        Rewriter { sig, trs, fuel: DEFAULT_FUEL }
+        Rewriter {
+            sig,
+            trs,
+            fuel: DEFAULT_FUEL,
+        }
     }
 
     /// Overrides the fuel bound.
@@ -101,10 +105,20 @@ impl<'a> Rewriter<'a> {
                     cur = next;
                     steps += 1;
                 }
-                None => return Normalized { term: cur, steps, in_normal_form: true },
+                None => {
+                    return Normalized {
+                        term: cur,
+                        steps,
+                        in_normal_form: true,
+                    }
+                }
             }
         }
-        Normalized { term: cur, steps, in_normal_form: false }
+        Normalized {
+            term: cur,
+            steps,
+            in_normal_form: false,
+        }
     }
 
     /// Whether the term is in `R`-normal form.
@@ -146,10 +160,7 @@ impl<'a> Rewriter<'a> {
             .filter(|(_, sub)| {
                 sub.head_sym().is_some_and(|h| {
                     self.sig.is_defined(h)
-                        && self
-                            .trs
-                            .arity_of(h)
-                            .is_some_and(|n| sub.args().len() == n)
+                        && self.trs.arity_of(h).is_some_and(|n| sub.args().len() == n)
                 })
             })
             .map(|(p, _)| p)
@@ -202,7 +213,10 @@ mod tests {
         let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
         // map (add (S Z)) [0, 1] = [1, 2]
         let succ_fn = Term::apps(p.f.add, vec![p.f.num(1)]);
-        let t = Term::apps(p.f.map, vec![succ_fn, p.f.list_t(vec![p.f.num(0), p.f.num(1)])]);
+        let t = Term::apps(
+            p.f.map,
+            vec![succ_fn, p.f.list_t(vec![p.f.num(0), p.f.num(1)])],
+        );
         let n = rw.normalize(&t);
         assert!(n.in_normal_form);
         assert_eq!(n.term, p.f.list_t(vec![p.f.num(1), p.f.num(2)]));

@@ -137,10 +137,17 @@ impl fmt::Display for RuleError {
                 write!(f, "rule patterns must not contain defined symbols")
             }
             RuleError::UnboundRhsVariable(v) => {
-                write!(f, "right-hand side variable v{} is not bound on the left", v.index())
+                write!(
+                    f,
+                    "right-hand side variable v{} is not bound on the left",
+                    v.index()
+                )
             }
             RuleError::ArityMismatch { expected, got, .. } => {
-                write!(f, "rule arity {got} disagrees with earlier rules' arity {expected}")
+                write!(
+                    f,
+                    "rule arity {got} disagrees with earlier rules' arity {expected}"
+                )
             }
         }
     }

@@ -29,7 +29,9 @@ fn call_graphs(sig: &Signature, trs: &Trs) -> Vec<(SymId, SymId, ScGraph<u32>)> 
         let caller = rule.head();
         let params = rule.params();
         for call in rule.rhs().subterms() {
-            let Some(callee) = call.head_sym() else { continue };
+            let Some(callee) = call.head_sym() else {
+                continue;
+            };
             if !sig.is_defined(callee) {
                 continue;
             }
@@ -122,7 +124,10 @@ mod tests {
         let p = nat_list_program();
         for name in ["add", "app", "len", "map"] {
             let sym = p.prog.sig.sym_by_name(name).unwrap();
-            assert!(direct_recursion_decreases(&p.prog.sig, &p.prog.trs, sym), "{name}");
+            assert!(
+                direct_recursion_decreases(&p.prog.sig, &p.prog.trs, sym),
+                "{name}"
+            );
         }
     }
 
@@ -131,7 +136,10 @@ mod tests {
         let f = cycleq_term::fixtures::NatList::new();
         let mut sig = f.sig.clone();
         let spin = sig
-            .add_defined("spin", TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())))
+            .add_defined(
+                "spin",
+                TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())),
+            )
             .unwrap();
         let mut trs = Trs::new();
         let x = trs.vars_mut().fresh("x", f.nat_ty());
@@ -152,7 +160,10 @@ mod tests {
         let f = cycleq_term::fixtures::NatList::new();
         let mut sig = f.sig.clone();
         let grow = sig
-            .add_defined("grow", TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())))
+            .add_defined(
+                "grow",
+                TypeScheme::mono(Type::arrow(f.nat_ty(), f.nat_ty())),
+            )
             .unwrap();
         let mut trs = Trs::new();
         let x = trs.vars_mut().fresh("x", f.nat_ty());
@@ -173,14 +184,21 @@ mod tests {
         let f = cycleq_term::fixtures::NatList::new();
         let mut sig = f.sig.clone();
         let even = sig
-            .add_defined("even", TypeScheme::mono(Type::arrow(f.nat_ty(), f.bool_ty())))
+            .add_defined(
+                "even",
+                TypeScheme::mono(Type::arrow(f.nat_ty(), f.bool_ty())),
+            )
             .unwrap();
         let odd = sig
-            .add_defined("odd", TypeScheme::mono(Type::arrow(f.nat_ty(), f.bool_ty())))
+            .add_defined(
+                "odd",
+                TypeScheme::mono(Type::arrow(f.nat_ty(), f.bool_ty())),
+            )
             .unwrap();
         let mut trs = Trs::new();
         use cycleq_term::Term;
-        trs.add_rule(&sig, even, vec![Term::sym(f.zero)], Term::sym(f.true_)).unwrap();
+        trs.add_rule(&sig, even, vec![Term::sym(f.zero)], Term::sym(f.true_))
+            .unwrap();
         let x = trs.vars_mut().fresh("x", f.nat_ty());
         trs.add_rule(
             &sig,
@@ -189,7 +207,8 @@ mod tests {
             Term::apps(odd, vec![Term::var(x)]),
         )
         .unwrap();
-        trs.add_rule(&sig, odd, vec![Term::sym(f.zero)], Term::sym(f.false_)).unwrap();
+        trs.add_rule(&sig, odd, vec![Term::sym(f.zero)], Term::sym(f.false_))
+            .unwrap();
         let y = trs.vars_mut().fresh("y", f.nat_ty());
         trs.add_rule(
             &sig,
@@ -208,10 +227,7 @@ mod tests {
         let swp = sig
             .add_defined(
                 "swp",
-                TypeScheme::mono(Type::arrows(
-                    vec![f.nat_ty(), f.nat_ty()],
-                    f.nat_ty(),
-                )),
+                TypeScheme::mono(Type::arrows(vec![f.nat_ty(), f.nat_ty()], f.nat_ty())),
             )
             .unwrap();
         let mut trs = Trs::new();

@@ -53,7 +53,11 @@ impl Trs {
             if let Some(first) = ids.first() {
                 let expected = self.rules[first.index()].params().len();
                 if expected != params.len() {
-                    return Err(RuleError::ArityMismatch { head, expected, got: params.len() });
+                    return Err(RuleError::ArityMismatch {
+                        head,
+                        expected,
+                        got: params.len(),
+                    });
                 }
             }
         }
@@ -138,8 +142,13 @@ mod tests {
     fn add_rules(f: &NatList) -> Trs {
         let mut trs = Trs::new();
         let y = trs.vars_mut().fresh("y", f.nat_ty());
-        trs.add_rule(&f.sig, f.add, vec![Term::sym(f.zero), Term::var(y)], Term::var(y))
-            .unwrap();
+        trs.add_rule(
+            &f.sig,
+            f.add,
+            vec![Term::sym(f.zero), Term::var(y)],
+            Term::var(y),
+        )
+        .unwrap();
         let x = trs.vars_mut().fresh("x", f.nat_ty());
         let y2 = trs.vars_mut().fresh("y", f.nat_ty());
         trs.add_rule(

@@ -9,7 +9,10 @@ use proptest::prelude::*;
 use proptest::test_runner::Config;
 
 fn cfg() -> Config {
-    Config { cases: 96, ..Config::default() }
+    Config {
+        cases: 96,
+        ..Config::default()
+    }
 }
 
 /// Ground Nat terms over Z, S, add.
@@ -35,8 +38,7 @@ fn ground_list(p: &cycleq_rewrite::fixtures::ProgramFixture) -> impl Strategy<Va
     let leaf = Just(Term::sym(nil));
     (leaf.prop_recursive(4, 20, 2, move |inner| {
         prop_oneof![
-            (elem.clone(), inner.clone())
-                .prop_map(move |(x, xs)| Term::apps(cons, vec![x, xs])),
+            (elem.clone(), inner.clone()).prop_map(move |(x, xs)| Term::apps(cons, vec![x, xs])),
             (inner.clone(), inner).prop_map(move |(a, b)| Term::apps(app, vec![a, b])),
         ]
     }))
@@ -169,5 +171,8 @@ fn step_at_root_equals_step_root() {
 fn lpo_orients_all_fixture_rules_under_default_precedence() {
     let p = nat_list_program();
     let lpo = cycleq_rewrite::Lpo::from_signature(&p.prog.sig);
-    assert_eq!(cycleq_rewrite::check_rules_decreasing(&p.prog.trs, &lpo), Ok(()));
+    assert_eq!(
+        cycleq_rewrite::check_rules_decreasing(&p.prog.trs, &lpo),
+        Ok(())
+    );
 }

@@ -68,7 +68,11 @@ pub struct RiConfig {
 
 impl Default for RiConfig {
     fn default() -> RiConfig {
-        RiConfig { max_expansions: 64, max_iterations: 10_000, reduction_fuel: 10_000 }
+        RiConfig {
+            max_expansions: 64,
+            max_iterations: 10_000,
+            reduction_fuel: 10_000,
+        }
     }
 }
 
@@ -166,7 +170,11 @@ impl<'a> RiProver<'a> {
     pub fn with_config(prog: &'a Program, config: RiConfig) -> Result<RiProver<'a>, RuleId> {
         let order = Lpo::from_signature(&prog.sig);
         check_rules_decreasing(&prog.trs, &order)?;
-        Ok(RiProver { prog, order, config })
+        Ok(RiProver {
+            prog,
+            order,
+            config,
+        })
     }
 
     /// Runs rewriting induction on `goal`, building the translated cyclic
@@ -184,7 +192,11 @@ impl<'a> RiProver<'a> {
         let root = st.push_node(goal);
         st.goals.push_back(root);
         let outcome = st.run(root);
-        RiResult { outcome, proof: st.proof, stats: st.stats }
+        RiResult {
+            outcome,
+            proof: st.proof,
+            stats: st.stats,
+        }
     }
 }
 
@@ -243,7 +255,12 @@ impl<'a> RiState<'a> {
                 return RiOutcome::Stuck { goal: eq };
             };
             self.stats.expansions += 1;
-            self.hyps.push(Hyp { lhs: big, rhs: small, node, flipped: side == Side::Rhs });
+            self.hyps.push(Hyp {
+                lhs: big,
+                rhs: small,
+                node,
+                flipped: side == Side::Rhs,
+            });
             let mut leaves = Vec::new();
             if !self.expand(node, side, &pos, &mut leaves) {
                 let eq = self.proof.node(node).eq.clone();
@@ -315,8 +332,9 @@ impl<'a> RiState<'a> {
                         continue;
                     }
                     self.stats.hyp_steps += 1;
-                    let rewritten =
-                        side_term.replace_at(&pos, replacement).expect("valid position");
+                    let rewritten = side_term
+                        .replace_at(&pos, replacement)
+                        .expect("valid position");
                     let cont_eq = match side {
                         Side::Lhs => Equation::new(rewritten, eq.rhs().clone()),
                         Side::Rhs => Equation::new(eq.lhs().clone(), rewritten),
@@ -327,7 +345,12 @@ impl<'a> RiState<'a> {
                     // depends on the orientation chosen at Expand time.
                     self.proof.justify(
                         node,
-                        RuleApp::Subst(SubstApp { side, pos, theta, lemma_flipped: hflipped }),
+                        RuleApp::Subst(SubstApp {
+                            side,
+                            pos,
+                            theta,
+                            lemma_flipped: hflipped,
+                        }),
                         vec![hnode, cont],
                     );
                     return Some(cont);
@@ -405,7 +428,9 @@ impl<'a> RiState<'a> {
         }
         self.proof
             .justify(node, RuleApp::Case { var: v, branches }, premises.clone());
-        premises.into_iter().all(|p| self.expand(p, side, pos, leaves))
+        premises
+            .into_iter()
+            .all(|p| self.expand(p, side, pos, leaves))
     }
 }
 
@@ -509,7 +534,10 @@ goal nilRight: app xs Nil === xs
         let g = m.goal("zr").unwrap().clone();
         let prover = RiProver::with_config(
             &m.program,
-            RiConfig { max_expansions: 0, ..RiConfig::default() },
+            RiConfig {
+                max_expansions: 0,
+                ..RiConfig::default()
+            },
         )
         .unwrap();
         let res = prover.prove(g.eq, g.vars);

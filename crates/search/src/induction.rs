@@ -141,9 +141,10 @@ fn discharge(
         return Ok(());
     }
     // Cong.
-    if let (Some((k1, _)), Some((k2, _))) =
-        (eq.lhs().as_constructor(&prog.sig), eq.rhs().as_constructor(&prog.sig))
-    {
+    if let (Some((k1, _)), Some((k2, _))) = (
+        eq.lhs().as_constructor(&prog.sig),
+        eq.rhs().as_constructor(&prog.sig),
+    ) {
         if k1 == k2 {
             let n = eq.lhs().args().len();
             let mut premises = Vec::with_capacity(n);
@@ -164,9 +165,10 @@ fn discharge(
     // side) using the root as lemma.
     for &y in recursive {
         let ih = Subst::singleton(var, Term::var(y));
-        for (flipped, from_raw, to_raw) in
-            [(false, goal.lhs(), goal.rhs()), (true, goal.rhs(), goal.lhs())]
-        {
+        for (flipped, from_raw, to_raw) in [
+            (false, goal.lhs(), goal.rhs()),
+            (true, goal.rhs(), goal.lhs()),
+        ] {
             let from = ih.apply(from_raw);
             if from.as_var().is_some() || from.head_sym().is_none() {
                 continue;
@@ -181,7 +183,9 @@ fn discharge(
                     if sub.as_var().is_some() {
                         continue;
                     }
-                    let Some(extra) = match_term(&from, sub) else { continue };
+                    let Some(extra) = match_term(&from, sub) else {
+                        continue;
+                    };
                     // Full instantiation of the root: x ↦ y, then whatever
                     // the occurrence demands for the remaining variables.
                     let mut theta = ih.then(&extra);
@@ -192,8 +196,9 @@ fn discharge(
                     if &replacement == sub {
                         continue;
                     }
-                    let rewritten =
-                        side_term.replace_at(&pos, replacement).expect("valid position");
+                    let rewritten = side_term
+                        .replace_at(&pos, replacement)
+                        .expect("valid position");
                     let cont_eq = match side {
                         Side::Lhs => Equation::new(rewritten, eq.rhs().clone()),
                         Side::Rhs => Equation::new(eq.lhs().clone(), rewritten),
@@ -201,7 +206,12 @@ fn discharge(
                     let cont = proof.push_open(cont_eq);
                     proof.justify(
                         node,
-                        RuleApp::Subst(SubstApp { side, pos, theta, lemma_flipped: flipped }),
+                        RuleApp::Subst(SubstApp {
+                            side,
+                            pos,
+                            theta,
+                            lemma_flipped: flipped,
+                        }),
                         vec![root, cont],
                     );
                     return discharge(prog, proof, cont, root, goal, var, recursive);
@@ -258,11 +268,17 @@ mod tests {
         let goal = Equation::new(
             Term::apps(
                 p.f.add,
-                vec![Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]), Term::var(z)],
+                vec![
+                    Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+                    Term::var(z),
+                ],
             ),
             Term::apps(
                 p.f.add,
-                vec![Term::var(x), Term::apps(p.f.add, vec![Term::var(y), Term::var(z)])],
+                vec![
+                    Term::var(x),
+                    Term::apps(p.f.add, vec![Term::var(y), Term::var(z)]),
+                ],
             ),
         );
         let (proof, _) = structural_induction(&p.prog, goal, vars, x).unwrap();
@@ -290,10 +306,7 @@ mod tests {
     fn non_datatype_variables_are_rejected() {
         let p = nat_list_program();
         let mut vars = VarStore::new();
-        let f = vars.fresh(
-            "f",
-            cycleq_term::Type::arrow(p.f.nat_ty(), p.f.nat_ty()),
-        );
+        let f = vars.fresh("f", cycleq_term::Type::arrow(p.f.nat_ty(), p.f.nat_ty()));
         let goal = Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero));
         assert_eq!(
             structural_induction(&p.prog, goal, vars, f).unwrap_err(),

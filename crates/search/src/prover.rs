@@ -17,14 +17,10 @@
 
 use std::time::Instant;
 
-use cycleq_proof::{
-    edge_graph, CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp,
-};
+use cycleq_proof::{edge_graph, CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp};
 use cycleq_rewrite::{case_candidates, Program, Rewriter};
 use cycleq_sizechange::{IncrementalClosure, Mark, Soundness};
-use cycleq_term::{
-    match_term, CanonKey, Equation, Subst, Term, TyUnifier, Type, VarId, VarStore,
-};
+use cycleq_term::{match_term, CanonKey, Equation, Subst, Term, TyUnifier, Type, VarId, VarStore};
 
 use crate::config::{LemmaPolicy, SearchConfig, SearchStats};
 
@@ -85,7 +81,10 @@ pub struct Prover<'a> {
 impl<'a> Prover<'a> {
     /// A prover with the default configuration.
     pub fn new(prog: &'a Program) -> Prover<'a> {
-        Prover { prog, config: SearchConfig::default() }
+        Prover {
+            prog,
+            config: SearchConfig::default(),
+        }
     }
 
     /// A prover with an explicit configuration.
@@ -136,7 +135,11 @@ impl<'a> Prover<'a> {
             if !deepen {
                 let mut stats = total;
                 stats.elapsed = start.elapsed();
-                return ProofResult { outcome: result.outcome, proof: result.proof, stats };
+                return ProofResult {
+                    outcome: result.outcome,
+                    proof: result.proof,
+                    stats,
+                };
             }
             depth = (depth + self.config.depth_step).min(self.config.max_depth);
         }
@@ -186,7 +189,14 @@ impl<'a> Prover<'a> {
         let mut stats = search.stats;
         stats.closure_graphs = search.closure.num_graphs();
         let hit = stats.depth_limit_hits > 0;
-        (ProofResult { outcome, proof: search.proof, stats }, hit)
+        (
+            ProofResult {
+                outcome,
+                proof: search.proof,
+                stats,
+            },
+            hit,
+        )
     }
 }
 
@@ -282,8 +292,8 @@ impl<'a> Search<'a> {
         let eq = self.proof.node(node).eq.clone();
 
         // 1. (Reduce) — committed.
-        let rw = Rewriter::new(&self.prog.sig, &self.prog.trs)
-            .with_fuel(self.config.reduction_fuel);
+        let rw =
+            Rewriter::new(&self.prog.sig, &self.prog.trs).with_fuel(self.config.reduction_fuel);
         let ln = rw.normalize(eq.lhs());
         let rn = rw.normalize(eq.rhs());
         if !ln.in_normal_form || !rn.in_normal_form {
@@ -310,15 +320,16 @@ impl<'a> Search<'a> {
         if let (Some(k1), Some(k2)) = (lc, rc) {
             if k1 != k2 {
                 // Constructors are free: no instance satisfies the equation.
-                return if pure_path { Err(Stop::Refuted) } else { Ok(Solve::Failed) };
+                return if pure_path {
+                    Err(Stop::Refuted)
+                } else {
+                    Ok(Solve::Failed)
+                };
             }
             let n = eq.lhs().args().len();
             let mut premises = Vec::with_capacity(n);
             for i in 0..n {
-                let sub_eq = Equation::new(
-                    eq.lhs().args()[i].clone(),
-                    eq.rhs().args()[i].clone(),
-                );
+                let sub_eq = Equation::new(eq.lhs().args()[i].clone(), eq.rhs().args()[i].clone());
                 premises.push(self.push_node(sub_eq));
             }
             self.proof.justify(node, RuleApp::Cong, premises.clone());
@@ -339,19 +350,21 @@ impl<'a> Search<'a> {
         //    implicitly universally quantified and are generalised to fresh
         //    rigid type variables.
         let mut uni = TyUnifier::new(TYVAR_FLOOR);
-        if let Ok(ty) = eq.lhs().infer_type(&self.prog.sig, self.proof.vars(), &mut uni) {
-            if let Type::Arrow(arg, _) = &ty {
-                let arg_ty = generalize_metas((**arg).clone(), self.proof.vars());
-                let x = self.proof.vars_mut().fresh("x", arg_ty);
-                let prem = Equation::new(
-                    Term::app(eq.lhs().clone(), Term::var(x)),
-                    Term::app(eq.rhs().clone(), Term::var(x)),
-                );
-                let child = self.push_node(prem);
-                self.proof.justify(node, RuleApp::FunExt { fresh: x }, vec![child]);
-                self.add_proof_edge(node, 0);
-                return self.solve(child, depth + 1, pure_path);
-            }
+        if let Ok(Type::Arrow(arg, _)) =
+            eq.lhs()
+                .infer_type(&self.prog.sig, self.proof.vars(), &mut uni)
+        {
+            let arg_ty = generalize_metas(*arg, self.proof.vars());
+            let x = self.proof.vars_mut().fresh("x", arg_ty);
+            let prem = Equation::new(
+                Term::app(eq.lhs().clone(), Term::var(x)),
+                Term::app(eq.rhs().clone(), Term::var(x)),
+            );
+            let child = self.push_node(prem);
+            self.proof
+                .justify(node, RuleApp::FunExt { fresh: x }, vec![child]);
+            self.add_proof_edge(node, 0);
+            return self.solve(child, depth + 1, pure_path);
         }
 
         if depth >= self.depth_limit {
@@ -366,12 +379,7 @@ impl<'a> Search<'a> {
     }
 
     /// The backtrackable rules: `(Subst)` then `(Case)`.
-    fn solve_choice_points(
-        &mut self,
-        node: NodeId,
-        depth: usize,
-        eq: &Equation,
-    ) -> SolveResult {
+    fn solve_choice_points(&mut self, node: NodeId, depth: usize, eq: &Equation) -> SolveResult {
         // 5. (Subst): try existing lemmas, most recent first.
         let candidates: Vec<NodeId> = match self.config.lemma_policy {
             LemmaPolicy::CaseOnly => self.lemmas.iter().rev().copied().collect(),
@@ -420,8 +428,9 @@ impl<'a> Search<'a> {
                             continue;
                         }
                         self.stats.subst_attempts += 1;
-                        let rewritten =
-                            side_term.replace_at(&pos, replacement).expect("valid position");
+                        let rewritten = side_term
+                            .replace_at(&pos, replacement)
+                            .expect("valid position");
                         let cont_eq = match side {
                             Side::Lhs => Equation::new(rewritten, eq.rhs().clone()),
                             Side::Rhs => Equation::new(eq.lhs().clone(), rewritten),
@@ -473,8 +482,7 @@ impl<'a> Search<'a> {
         }
 
         // 6. (Case): split on a variable blocking reduction.
-        let mut cands =
-            case_candidates(&self.prog.sig, &self.prog.trs, eq.lhs());
+        let mut cands = case_candidates(&self.prog.sig, &self.prog.trs, eq.lhs());
         for v in case_candidates(&self.prog.sig, &self.prog.trs, eq.rhs()) {
             if !cands.contains(&v) {
                 cands.push(v);
@@ -552,7 +560,11 @@ impl<'a> Search<'a> {
 /// Replaces inference metavariables (ids ≥ [`TYVAR_FLOOR`]) by fresh rigid
 /// type variables above every rigid id currently used by the store.
 fn generalize_metas(ty: Type, vars: &VarStore) -> Type {
-    let metas: Vec<_> = ty.vars().into_iter().filter(|v| v.0 >= TYVAR_FLOOR).collect();
+    let metas: Vec<_> = ty
+        .vars()
+        .into_iter()
+        .filter(|v| v.0 >= TYVAR_FLOOR)
+        .collect();
     if metas.is_empty() {
         return ty;
     }
@@ -580,7 +592,9 @@ mod tests {
     use cycleq_proof::{check, GlobalCheck};
     use cycleq_rewrite::fixtures::nat_list_program;
 
-    fn prove_fixture(goal: impl FnOnce(&cycleq_rewrite::fixtures::ProgramFixture, &mut VarStore) -> Equation) -> (ProofResult, cycleq_rewrite::fixtures::ProgramFixture) {
+    fn prove_fixture(
+        goal: impl FnOnce(&cycleq_rewrite::fixtures::ProgramFixture, &mut VarStore) -> Equation,
+    ) -> (ProofResult, cycleq_rewrite::fixtures::ProgramFixture) {
         let p = nat_list_program();
         let mut vars = VarStore::new();
         let eq = goal(&p, &mut vars);
@@ -670,11 +684,17 @@ mod tests {
             Equation::new(
                 Term::apps(
                     p.f.add,
-                    vec![Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]), Term::var(z)],
+                    vec![
+                        Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+                        Term::var(z),
+                    ],
                 ),
                 Term::apps(
                     p.f.add,
-                    vec![Term::var(x), Term::apps(p.f.add, vec![Term::var(y), Term::var(z)])],
+                    vec![
+                        Term::var(x),
+                        Term::apps(p.f.add, vec![Term::var(y), Term::var(z)]),
+                    ],
                 ),
             )
         });
@@ -690,7 +710,10 @@ mod tests {
             let xs = vars.fresh("xs", nat_list.clone());
             let ys = vars.fresh("ys", nat_list);
             Equation::new(
-                Term::apps(p.f.len, vec![Term::apps(p.f.app, vec![Term::var(xs), Term::var(ys)])]),
+                Term::apps(
+                    p.f.len,
+                    vec![Term::apps(p.f.app, vec![Term::var(xs), Term::var(ys)])],
+                ),
                 Term::apps(
                     p.f.add,
                     vec![
@@ -741,7 +764,10 @@ mod tests {
             )
         });
         assert!(
-            matches!(res.outcome, Outcome::Refuted | Outcome::Exhausted | Outcome::Timeout),
+            matches!(
+                res.outcome,
+                Outcome::Refuted | Outcome::Exhausted | Outcome::Timeout
+            ),
             "{:?}",
             res.outcome
         );

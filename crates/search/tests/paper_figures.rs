@@ -142,7 +142,10 @@ goal prop04: S (count n xs) === count n (Cons n xs)
     };
     let res = Prover::with_config(&module.program, config).prove(g.eq, g.vars);
     assert!(
-        matches!(res.outcome, Outcome::Exhausted | Outcome::Timeout | Outcome::NodeBudget),
+        matches!(
+            res.outcome,
+            Outcome::Exhausted | Outcome::Timeout | Outcome::NodeBudget
+        ),
         "{:?}",
         res.outcome
     );

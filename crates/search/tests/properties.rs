@@ -12,7 +12,10 @@ use proptest::prelude::*;
 use proptest::test_runner::Config;
 
 fn cfg() -> Config {
-    Config { cases: 64, ..Config::default() }
+    Config {
+        cases: 64,
+        ..Config::default()
+    }
 }
 
 fn ground_nat(p: &cycleq_rewrite::fixtures::ProgramFixture) -> impl Strategy<Value = Term> {
@@ -78,15 +81,25 @@ fn node_budget_is_respected() {
         Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
         Term::apps(p.f.add, vec![p.f.s(Term::var(y)), Term::var(x)]),
     );
-    let config = SearchConfig { max_nodes: 50, timeout: None, ..SearchConfig::default() };
+    let config = SearchConfig {
+        max_nodes: 50,
+        timeout: None,
+        ..SearchConfig::default()
+    };
     let res = Prover::with_config(&p.prog, config).prove(goal, vars);
     assert!(
-        matches!(res.outcome, Outcome::NodeBudget | Outcome::Refuted | Outcome::Exhausted),
+        matches!(
+            res.outcome,
+            Outcome::NodeBudget | Outcome::Refuted | Outcome::Exhausted
+        ),
         "{:?}",
         res.outcome
     );
     if matches!(res.outcome, Outcome::NodeBudget) {
-        assert!(res.stats.nodes_created <= 50 + 8, "budget roughly respected");
+        assert!(
+            res.stats.nodes_created <= 50 + 8,
+            "budget roughly respected"
+        );
     }
 }
 
@@ -102,7 +115,11 @@ fn deterministic_across_runs() {
             Term::apps(p.f.add, vec![Term::var(y), Term::var(x)]),
         );
         let res = Prover::new(&p.prog).prove(goal, vars);
-        (format!("{:?}", res.outcome), res.proof.len(), res.stats.nodes_created)
+        (
+            format!("{:?}", res.outcome),
+            res.proof.len(),
+            res.stats.nodes_created,
+        )
     };
     assert_eq!(run(), run(), "search must be deterministic");
 }

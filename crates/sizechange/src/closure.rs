@@ -37,18 +37,15 @@ where
     /// Worst-case the closure is exponential in the number of variables per
     /// node (as in classical SCT), but proof graphs keep environments small.
     pub fn from_edges(edges: impl IntoIterator<Item = (N, N, ScGraph<V>)>) -> Closure<V, N> {
-        let mut closure = Closure { graphs: HashMap::new() };
+        let mut closure = Closure {
+            graphs: HashMap::new(),
+        };
         let mut worklist: Vec<(N, N, ScGraph<V>)> = Vec::new();
         for (a, b, g) in edges {
             worklist.push((a, b, g));
         }
         while let Some((a, b, g)) = worklist.pop() {
-            if !closure
-                .graphs
-                .entry((a, b))
-                .or_default()
-                .insert(g.clone())
-            {
+            if !closure.graphs.entry((a, b)).or_default().insert(g.clone()) {
                 continue;
             }
             // Compose with everything ending at `a` and starting at `b`.

@@ -47,7 +47,9 @@ pub struct ScGraph<V> {
 impl<V: Copy + Ord> ScGraph<V> {
     /// The empty graph (no trace information).
     pub fn new() -> ScGraph<V> {
-        ScGraph { edges: BTreeMap::new() }
+        ScGraph {
+            edges: BTreeMap::new(),
+        }
     }
 
     /// The identity graph `z ≃ z` on the given variables, used for rule
@@ -156,7 +158,11 @@ mod tests {
         g.insert(0, 1, Label::Strict);
         assert_eq!(g.label(0, 1), Some(Label::Strict));
         g.insert(0, 1, Label::NonStrict);
-        assert_eq!(g.label(0, 1), Some(Label::Strict), "strict must not be demoted");
+        assert_eq!(
+            g.label(0, 1),
+            Some(Label::Strict),
+            "strict must not be demoted"
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub struct IncrementalClosure<V, N> {
 
 impl<V, N> Default for IncrementalClosure<V, N> {
     fn default() -> Self {
-        IncrementalClosure { graphs: HashMap::new(), trail: Vec::new(), bad: 0 }
+        IncrementalClosure {
+            graphs: HashMap::new(),
+            trail: Vec::new(),
+            bad: 0,
+        }
     }
 }
 
@@ -71,11 +75,7 @@ where
     pub fn add_edge(&mut self, src: N, dst: N, graph: ScGraph<V>) -> Soundness {
         let mut worklist: Vec<(N, N, ScGraph<V>)> = vec![(src, dst, graph)];
         while let Some((a, b, g)) = worklist.pop() {
-            if self
-                .graphs
-                .get(&(a, b))
-                .is_some_and(|set| set.contains(&g))
-            {
+            if self.graphs.get(&(a, b)).is_some_and(|set| set.contains(&g)) {
                 continue;
             }
             let is_bad = a == b && g.is_idempotent() && !g.has_strict_self_edge();
@@ -178,19 +178,25 @@ mod tests {
     fn incremental_matches_batch_on_multi_edge_cycle() {
         // Build the add-commutativity-style shape: two nodes, tree edge with
         // a strict hop, back edge with a renaming.
-        let case_edge: ScGraph<u32> =
-            [(0, 0, Label::Strict), (1, 1, Label::NonStrict)].into_iter().collect();
-        let back_edge: ScGraph<u32> =
-            [(0, 0, Label::NonStrict), (1, 1, Label::NonStrict)].into_iter().collect();
+        let case_edge: ScGraph<u32> = [(0, 0, Label::Strict), (1, 1, Label::NonStrict)]
+            .into_iter()
+            .collect();
+        let back_edge: ScGraph<u32> = [(0, 0, Label::NonStrict), (1, 1, Label::NonStrict)]
+            .into_iter()
+            .collect();
 
         let mut inc = IncrementalClosure::new();
-        assert_eq!(inc.add_edge(0usize, 1usize, case_edge.clone()), Soundness::Sound);
-        assert_eq!(inc.add_edge(1usize, 0usize, back_edge.clone()), Soundness::Sound);
+        assert_eq!(
+            inc.add_edge(0usize, 1usize, case_edge.clone()),
+            Soundness::Sound
+        );
+        assert_eq!(
+            inc.add_edge(1usize, 0usize, back_edge.clone()),
+            Soundness::Sound
+        );
 
-        let batch = crate::Closure::from_edges([
-            (0usize, 1usize, case_edge),
-            (1usize, 0usize, back_edge),
-        ]);
+        let batch =
+            crate::Closure::from_edges([(0usize, 1usize, case_edge), (1usize, 0usize, back_edge)]);
         assert_eq!(batch.check(), Soundness::Sound);
         assert_eq!(inc.num_graphs(), batch.num_graphs());
     }

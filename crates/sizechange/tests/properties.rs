@@ -11,7 +11,11 @@ const VARS: u32 = 3;
 
 fn arb_graph() -> impl Strategy<Value = ScGraph<u32>> {
     proptest::collection::vec(
-        (0..VARS, 0..VARS, prop_oneof![Just(Label::NonStrict), Just(Label::Strict)]),
+        (
+            0..VARS,
+            0..VARS,
+            prop_oneof![Just(Label::NonStrict), Just(Label::Strict)],
+        ),
         0..6,
     )
     .prop_map(|edges| edges.into_iter().collect())
@@ -22,7 +26,10 @@ fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize, ScGraph<u32>)>> {
 }
 
 fn cfg() -> Config {
-    Config { cases: 96, ..Config::default() }
+    Config {
+        cases: 96,
+        ..Config::default()
+    }
 }
 
 #[test]

@@ -49,7 +49,10 @@ impl Equation {
 
     /// The same equation with the stored orientation flipped.
     pub fn flipped(&self) -> Equation {
-        Equation { lhs: self.rhs.clone(), rhs: self.lhs.clone() }
+        Equation {
+            lhs: self.rhs.clone(),
+            rhs: self.lhs.clone(),
+        }
     }
 
     /// Whether both sides are syntactically identical (dischargeable by
@@ -69,7 +72,10 @@ impl Equation {
 
     /// Applies a substitution to both sides.
     pub fn subst(&self, theta: &Subst) -> Equation {
-        Equation { lhs: theta.apply(&self.lhs), rhs: theta.apply(&self.rhs) }
+        Equation {
+            lhs: theta.apply(&self.lhs),
+            rhs: theta.apply(&self.rhs),
+        }
     }
 
     /// The total size of both sides.
@@ -94,12 +100,12 @@ impl Equation {
     }
 
     /// Renders the equation against a signature and variable store.
-    pub fn display<'a>(
-        &'a self,
-        sig: &'a Signature,
-        vars: &'a VarStore,
-    ) -> EquationDisplay<'a> {
-        EquationDisplay { eq: self, sig, vars }
+    pub fn display<'a>(&'a self, sig: &'a Signature, vars: &'a VarStore) -> EquationDisplay<'a> {
+        EquationDisplay {
+            eq: self,
+            sig,
+            vars,
+        }
     }
 }
 

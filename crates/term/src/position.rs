@@ -116,7 +116,9 @@ impl Term {
 
     /// Iterates over all `(position, subterm)` pairs in preorder.
     pub fn positions(&self) -> Positions<'_> {
-        Positions { stack: vec![(Position::root(), self)] }
+        Positions {
+            stack: vec![(Position::root(), self)],
+        }
     }
 }
 
@@ -163,7 +165,9 @@ mod tests {
         let f = NatList::new();
         let t = Term::sym(f.zero);
         assert!(t.at(&Position::from_indices(vec![0])).is_none());
-        assert!(t.replace_at(&Position::from_indices(vec![1]), t.clone()).is_none());
+        assert!(t
+            .replace_at(&Position::from_indices(vec![1]), t.clone())
+            .is_none());
     }
 
     #[test]

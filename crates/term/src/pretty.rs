@@ -98,7 +98,12 @@ fn fmt_type(ty: &Type, sig: &Signature, parens: bool, f: &mut fmt::Formatter<'_>
             if parens {
                 write!(f, "(")?;
             }
-            fmt_type(a, sig, !matches!(a.as_ref(), Type::Var(_) | Type::Data(..)), f)?;
+            fmt_type(
+                a,
+                sig,
+                !matches!(a.as_ref(), Type::Var(_) | Type::Data(..)),
+                f,
+            )?;
             write!(f, " -> ")?;
             fmt_type(b, sig, false, f)?;
             if parens {

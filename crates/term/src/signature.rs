@@ -159,7 +159,11 @@ impl Signature {
             return Err(SignatureError::DuplicateName(name.to_string()));
         }
         let id = DataId(self.datas.len() as u32);
-        self.datas.push(DataDecl { name: name.to_string(), arity, constructors: Vec::new() });
+        self.datas.push(DataDecl {
+            name: name.to_string(),
+            arity,
+            constructors: Vec::new(),
+        });
         self.data_by_name.insert(name.to_string(), id);
         Ok(id)
     }
@@ -188,7 +192,9 @@ impl Signature {
             .get(data.index())
             .ok_or(SignatureError::UnknownData(data))?;
         if args.iter().any(|a| a.order() > 0) {
-            return Err(SignatureError::HigherOrderConstructor { constructor: name.to_string() });
+            return Err(SignatureError::HigherOrderConstructor {
+                constructor: name.to_string(),
+            });
         }
         let arity = decl.arity;
         let ret = Type::Data(data, (0..arity).map(|i| Type::Var(TyVarId(i))).collect());
@@ -209,16 +215,16 @@ impl Signature {
     /// # Errors
     ///
     /// Fails if the name is already taken.
-    pub fn add_defined(
-        &mut self,
-        name: &str,
-        scheme: TypeScheme,
-    ) -> Result<SymId, SignatureError> {
+    pub fn add_defined(&mut self, name: &str, scheme: TypeScheme) -> Result<SymId, SignatureError> {
         if self.sym_by_name.contains_key(name) {
             return Err(SignatureError::DuplicateName(name.to_string()));
         }
         let id = SymId(self.syms.len() as u32);
-        self.syms.push(SymDecl { name: name.to_string(), kind: SymKind::Defined, scheme });
+        self.syms.push(SymDecl {
+            name: name.to_string(),
+            kind: SymKind::Defined,
+            scheme,
+        });
         self.sym_by_name.insert(name.to_string(), id);
         Ok(id)
     }
@@ -268,12 +274,18 @@ impl Signature {
 
     /// Iterates over all symbols with their ids.
     pub fn syms(&self) -> impl Iterator<Item = (SymId, &SymDecl)> {
-        self.syms.iter().enumerate().map(|(i, d)| (SymId(i as u32), d))
+        self.syms
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (SymId(i as u32), d))
     }
 
     /// Iterates over all datatypes with their ids.
     pub fn datas(&self) -> impl Iterator<Item = (DataId, &DataDecl)> {
-        self.datas.iter().enumerate().map(|(i, d)| (DataId(i as u32), d))
+        self.datas
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DataId(i as u32), d))
     }
 
     /// The number of declared symbols.
@@ -301,7 +313,9 @@ mod tests {
         let mut sig = Signature::new();
         let nat = sig.add_datatype("Nat", 0).unwrap();
         let z = sig.add_constructor("Z", nat, vec![]).unwrap();
-        let s = sig.add_constructor("S", nat, vec![Type::data0(nat)]).unwrap();
+        let s = sig
+            .add_constructor("S", nat, vec![Type::data0(nat)])
+            .unwrap();
         assert_eq!(sig.constructors_of(nat), &[z, s]);
         assert_eq!(sig.sym(z).name(), "Z");
         assert!(sig.is_constructor(s));
@@ -316,7 +330,11 @@ mod tests {
         let a = Type::Var(TyVarId(0));
         let nil = sig.add_constructor("Nil", list, vec![]).unwrap();
         let cons = sig
-            .add_constructor("Cons", list, vec![a.clone(), Type::Data(list, vec![a.clone()])])
+            .add_constructor(
+                "Cons",
+                list,
+                vec![a.clone(), Type::Data(list, vec![a.clone()])],
+            )
             .unwrap();
         assert_eq!(sig.sym(nil).scheme().num_vars(), 1);
         assert_eq!(sig.constructor_arity(cons), 2);

@@ -79,11 +79,8 @@ impl Subst {
     /// The result maps `x ↦ (self(x)) other` for `x` in `self`'s domain and
     /// `x ↦ other(x)` for `x` only in `other`'s domain.
     pub fn then(&self, other: &Subst) -> Subst {
-        let mut map: BTreeMap<VarId, Term> = self
-            .map
-            .iter()
-            .map(|(v, t)| (*v, other.apply(t)))
-            .collect();
+        let mut map: BTreeMap<VarId, Term> =
+            self.map.iter().map(|(v, t)| (*v, other.apply(t))).collect();
         for (v, t) in &other.map {
             map.entry(*v).or_insert_with(|| t.clone());
         }
@@ -112,7 +109,9 @@ impl Subst {
 
 impl FromIterator<(VarId, Term)> for Subst {
     fn from_iter<I: IntoIterator<Item = (VarId, Term)>>(iter: I) -> Subst {
-        Subst { map: iter.into_iter().collect() }
+        Subst {
+            map: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -157,10 +156,7 @@ mod tests {
         let t = Term::var_apps(g, vec![Term::var(x)]);
         let s = Subst::singleton(g, Term::apps(f.add, vec![Term::sym(f.zero)]));
         let r = s.apply(&t);
-        assert_eq!(
-            r,
-            Term::apps(f.add, vec![Term::sym(f.zero), Term::var(x)])
-        );
+        assert_eq!(r, Term::apps(f.add, vec![Term::sym(f.zero), Term::var(x)]));
     }
 
     #[test]

@@ -30,23 +30,35 @@ pub struct Term {
 impl Term {
     /// The bare variable `x`.
     pub fn var(v: VarId) -> Term {
-        Term { head: Head::Var(v), args: Vec::new() }
+        Term {
+            head: Head::Var(v),
+            args: Vec::new(),
+        }
     }
 
     /// The bare symbol `f`.
     pub fn sym(s: SymId) -> Term {
-        Term { head: Head::Sym(s), args: Vec::new() }
+        Term {
+            head: Head::Sym(s),
+            args: Vec::new(),
+        }
     }
 
     /// The symbol `f` applied to `args`.
     pub fn apps(s: SymId, args: Vec<Term>) -> Term {
-        Term { head: Head::Sym(s), args }
+        Term {
+            head: Head::Sym(s),
+            args,
+        }
     }
 
     /// The variable `v` applied to `args` (e.g. `f x` where `f` is a
     /// higher-order variable).
     pub fn var_apps(v: VarId, args: Vec<Term>) -> Term {
-        Term { head: Head::Var(v), args }
+        Term {
+            head: Head::Var(v),
+            args,
+        }
     }
 
     /// A term from an explicit head and arguments.

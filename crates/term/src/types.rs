@@ -56,7 +56,9 @@ impl Type {
 
     /// Builds `τ0 → τ1 → … → ret` from argument types and a return type.
     pub fn arrows(args: Vec<Type>, ret: Type) -> Type {
-        args.into_iter().rev().fold(ret, |acc, a| Type::arrow(a, acc))
+        args.into_iter()
+            .rev()
+            .fold(ret, |acc, a| Type::arrow(a, acc))
     }
 
     /// The order of the type (§2): datatypes and type variables have order 0.
@@ -153,9 +155,7 @@ impl Type {
     pub fn subst(&self, map: &BTreeMap<TyVarId, Type>) -> Type {
         match self {
             Type::Var(v) => map.get(v).cloned().unwrap_or(Type::Var(*v)),
-            Type::Data(d, args) => {
-                Type::Data(*d, args.iter().map(|a| a.subst(map)).collect())
-            }
+            Type::Data(d, args) => Type::Data(*d, args.iter().map(|a| a.subst(map)).collect()),
             Type::Arrow(a, b) => Type::arrow(a.subst(map), b.subst(map)),
         }
     }
@@ -269,7 +269,11 @@ impl fmt::Display for TypeError {
         match self {
             TypeError::Mismatch(a, b) => write!(f, "cannot unify `{a}` with `{b}`"),
             TypeError::Occurs(v) => {
-                write!(f, "occurs check failed for type variable {}", v.display_name())
+                write!(
+                    f,
+                    "occurs check failed for type variable {}",
+                    v.display_name()
+                )
             }
             TypeError::SchemeArity { expected, got } => write!(
                 f,
@@ -302,7 +306,11 @@ pub struct TyUnifier {
 impl TyUnifier {
     /// Creates a unifier whose fresh (meta)variables start at `floor`.
     pub fn new(floor: u32) -> TyUnifier {
-        TyUnifier { map: BTreeMap::new(), floor, next: floor }
+        TyUnifier {
+            map: BTreeMap::new(),
+            floor,
+            next: floor,
+        }
     }
 
     /// Allocates a fresh metavariable.
@@ -319,9 +327,7 @@ impl TyUnifier {
                 Some(t) => self.resolve(&t.clone()),
                 None => Type::Var(*v),
             },
-            Type::Data(d, args) => {
-                Type::Data(*d, args.iter().map(|a| self.resolve(a)).collect())
-            }
+            Type::Data(d, args) => Type::Data(*d, args.iter().map(|a| self.resolve(a)).collect()),
             Type::Arrow(a, b) => Type::arrow(self.resolve(a), self.resolve(b)),
         }
     }
@@ -433,7 +439,7 @@ mod tests {
         let scheme = TypeScheme::poly(1, body);
         assert!(scheme.instantiate_with(&[]).is_err());
         let nat = Type::data0(d(0));
-        let inst = scheme.instantiate_with(&[nat.clone()]).unwrap();
+        let inst = scheme.instantiate_with(std::slice::from_ref(&nat)).unwrap();
         assert_eq!(inst, Type::arrow(nat.clone(), nat));
     }
 

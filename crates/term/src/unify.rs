@@ -47,10 +47,7 @@ fn bind(v: VarId, t: &Term, subst: &mut Subst) -> Result<(), UnifyError> {
     // Keep the substitution idempotent: fold the new binding into the
     // existing ones.
     let single = Subst::singleton(v, t.clone());
-    let updated: Subst = subst
-        .iter()
-        .map(|(w, u)| (w, single.apply(u)))
-        .collect();
+    let updated: Subst = subst.iter().map(|(w, u)| (w, single.apply(u))).collect();
     *subst = updated;
     subst.insert(v, t.clone());
     Ok(())
@@ -76,8 +73,7 @@ fn unify_into(a: &Term, b: &Term, subst: &mut Subst) -> Result<(), UnifyError> {
             // prefix; if both heads are symbols they were handled below.
             match shorter.head() {
                 Head::Var(v) => {
-                    let prefix =
-                        Term::from_parts(longer.head(), longer.args()[..split].to_vec());
+                    let prefix = Term::from_parts(longer.head(), longer.args()[..split].to_vec());
                     bind(v, &prefix, subst)?;
                     for (x, y) in shorter.args().iter().zip(&longer.args()[split..]) {
                         unify_into(x, y, subst)?;

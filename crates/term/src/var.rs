@@ -45,7 +45,10 @@ impl VarStore {
     /// Allocates a fresh variable with the given display name and type.
     pub fn fresh(&mut self, name: &str, ty: Type) -> VarId {
         let id = VarId(self.vars.len() as u32);
-        self.vars.push(VarInfo { name: name.to_string(), ty });
+        self.vars.push(VarInfo {
+            name: name.to_string(),
+            ty,
+        });
         id
     }
 

@@ -51,7 +51,10 @@ fn nat_subst(f: &NatList, vs: &[cycleq_term::VarId]) -> impl Strategy<Value = Su
 }
 
 fn cfg() -> Config {
-    Config { cases: 128, ..Config::default() }
+    Config {
+        cases: 128,
+        ..Config::default()
+    }
 }
 
 #[test]
@@ -110,9 +113,29 @@ fn unification_succeeds_on_instances() {
         match unify(&pat, &inst) {
             Ok(theta) => prop_assert_eq!(theta.apply(&pat), theta.apply(&inst)),
             Err(e) => {
-                let cyclic = s
-                    .iter()
-                    .any(|(v, t)| t.contains_var(v) && t.as_var() != Some(v));
+                // The occurs check also fires on *indirect* cycles
+                // (x ↦ S y, y ↦ S x), so accept any cycle in the
+                // dependency graph of s restricted to pat's variables.
+                let pvs = pat.vars();
+                let step = |v: &cycleq_term::VarId| -> Vec<cycleq_term::VarId> {
+                    s.get(*v)
+                        .filter(|t| t.as_var() != Some(*v))
+                        .map(|t| t.vars().into_iter().filter(|w| pvs.contains(w)).collect())
+                        .unwrap_or_default()
+                };
+                let cyclic = pvs.iter().any(|start| {
+                    let mut frontier = step(start);
+                    let mut seen = std::collections::BTreeSet::new();
+                    while let Some(v) = frontier.pop() {
+                        if v == *start {
+                            return true;
+                        }
+                        if seen.insert(v) {
+                            frontier.extend(step(&v));
+                        }
+                    }
+                    false
+                });
                 prop_assert!(cyclic, "unification failed unexpectedly: {}", e);
             }
         }

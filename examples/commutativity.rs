@@ -47,6 +47,9 @@ goal comm: add x y === add y x
     }
     assert!(!witnesses.is_empty());
 
-    println!("\nGraphviz (render with `dot -Tpdf`):\n{}", verdict.render_dot()?);
+    println!(
+        "\nGraphviz (render with `dot -Tpdf`):\n{}",
+        verdict.render_dot()?
+    );
     Ok(())
 }

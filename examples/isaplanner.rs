@@ -10,7 +10,9 @@ fn main() {
     // A representative slice: easy proofs, the Fig. 2 goal (IP50), an
     // out-of-scope conditional (IP05), a conditional-reasoning casualty
     // (IP04), and a lemma-requiring problem (IP54).
-    let picks = ["IP01", "IP04", "IP05", "IP10", "IP19", "IP22", "IP50", "IP54", "IP79"];
+    let picks = [
+        "IP01", "IP04", "IP05", "IP10", "IP19", "IP22", "IP50", "IP54", "IP79",
+    ];
     let problems: Vec<_> = ISAPLANNER
         .iter()
         .filter(|p| picks.contains(&p.id))
@@ -22,7 +24,10 @@ fn main() {
     print!("{}", text_table(&outcomes));
 
     println!("\n-- with registered hint lemmas (§6.2) --");
-    let hinted = RunConfig { with_hints: true, ..RunConfig::default() };
+    let hinted = RunConfig {
+        with_hints: true,
+        ..RunConfig::default()
+    };
     let outcomes: Vec<_> = problems.iter().map(|p| run_problem(p, &hinted)).collect();
     print!("{}", text_table(&outcomes));
 

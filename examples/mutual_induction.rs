@@ -22,7 +22,10 @@ goal swapInvolution: swapE (swapE e) === e
     let session = Session::from_source(&source)?;
     for goal in ["mapEId", "mapTId", "sizeMap", "swapInvolution"] {
         let verdict = session.prove(goal)?;
-        println!("== {goal}: {:?} ({:?}) ==", verdict.result.outcome, verdict.result.stats.elapsed);
+        println!(
+            "== {goal}: {:?} ({:?}) ==",
+            verdict.result.outcome, verdict.result.stats.elapsed
+        );
         println!("{}", verdict.render_proof()?);
     }
     println!(

@@ -1,0 +1,14 @@
+-- Quickstart program for the `cycleq` CLI:
+--   cargo run --release -p cycleq-cli -- examples/quickstart.hs
+-- Peano naturals with addition, and three equational goals the prover
+-- settles by cyclic induction (no induction schemes supplied).
+
+data Nat = Z | S Nat
+
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+
+goal addZeroRight: add x Z === x
+goal addSuccRight: add x (S y) === S (add x y)
+goal addComm: add x y === add y x

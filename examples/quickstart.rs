@@ -50,7 +50,10 @@ goal bogus: len (app xs ys) === len xs
                  so some ground instance is false (take ys non-empty)\n"
             );
         } else {
-            println!("no proof found within bounds: {:?}\n", verdict.result.outcome);
+            println!(
+                "no proof found within bounds: {:?}\n",
+                verdict.result.outcome
+            );
         }
     }
     Ok(())

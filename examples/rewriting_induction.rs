@@ -34,8 +34,11 @@ goal comm: add x y === add y x
                 // The Theorem 4.3 translation produced a cyclic preproof:
                 // locally checkable; its progress points follow the
                 // reduction order (TrustConstruction mode).
-                let report =
-                    cycleq::check(&result.proof, &module.program, GlobalCheck::TrustConstruction)?;
+                let report = cycleq::check(
+                    &result.proof,
+                    &module.program,
+                    GlobalCheck::TrustConstruction,
+                )?;
                 println!(
                     "== RI proves {goal}: {} expansions, {} IH steps, {} nodes, {} back edges ==",
                     result.stats.expansions,

@@ -1,0 +1,78 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides `rngs::StdRng`, `SeedableRng::seed_from_u64` and the two `Rng`
+//! methods the workspace uses (`gen_range` over integer ranges and
+//! `gen_bool`). The generator is SplitMix64 — deterministic and uniform
+//! enough for benchmark workload construction, but its value stream does
+//! not match the upstream `StdRng`.
+
+use std::ops::Range;
+
+/// Constructs a generator from a seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types `Rng::gen_range` can sample uniformly.
+pub trait UniformInt: Copy {
+    fn from_below(raw: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),+) => {$(
+        impl UniformInt for $t {
+            fn from_below(raw: u64, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "cannot sample empty range");
+                // Widen to i128 so spans that overflow the narrow type
+                // (e.g. -100i8..100) are still computed correctly.
+                let span = (range.end as i128 - range.start as i128) as u64;
+                range.start.wrapping_add((raw % span) as $t)
+            }
+        }
+    )+};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Random value generation over a raw `u64` source.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open integer range.
+    fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::from_below(self.next_u64(), range)
+    }
+
+    /// `true` with probability `p` (which must lie in `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// SplitMix64 generator (shim for the upstream ChaCha-based `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}

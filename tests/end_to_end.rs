@@ -34,8 +34,12 @@ fn list_theory_proves_end_to_end() {
         assert!(v.is_proved(), "{goal}: {:?}", v.result.outcome);
         // The session already re-checked; check again explicitly to pin the
         // behaviour.
-        cycleq::check(&v.result.proof, session.program(), GlobalCheck::VariableTraces)
-            .unwrap_or_else(|e| panic!("{goal}: {e}"));
+        cycleq::check(
+            &v.result.proof,
+            session.program(),
+            GlobalCheck::VariableTraces,
+        )
+        .unwrap_or_else(|e| panic!("{goal}: {e}"));
     }
 }
 

@@ -66,7 +66,11 @@ fn commutativity_is_unorientable_for_ri_but_provable_cyclically() {
     let ri = RiProver::new(&module.program).unwrap();
     let g = module.goal("comm").unwrap().clone();
     let res = ri.prove(g.eq, g.vars);
-    assert!(matches!(res.outcome, RiOutcome::FailedToOrient { .. }), "{:?}", res.outcome);
+    assert!(
+        matches!(res.outcome, RiOutcome::FailedToOrient { .. }),
+        "{:?}",
+        res.outcome
+    );
 
     // The cyclic prover is ambivalent to orientation (§1.2).
     let v = session.prove("comm").unwrap();
@@ -83,8 +87,8 @@ fn ri_uses_hypotheses_as_rewrite_rules() {
     assert!(res.outcome.is_proved());
     assert!(res.stats.hyp_steps >= 1, "inductive hypotheses must fire");
     // The proof has back edges to the expanded (hypothesis) vertices.
-    let report = cycleq::check(&res.proof, &module.program, GlobalCheck::TrustConstruction)
-        .unwrap();
+    let report =
+        cycleq::check(&res.proof, &module.program, GlobalCheck::TrustConstruction).unwrap();
     assert!(report.back_edges >= 1);
 }
 

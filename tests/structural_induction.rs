@@ -11,7 +11,12 @@ fn goal_setup(
     src: &str,
     goal: &str,
     var_name: &str,
-) -> (cycleq::Program, cycleq_term::Equation, cycleq_term::VarStore, VarId) {
+) -> (
+    cycleq::Program,
+    cycleq_term::Equation,
+    cycleq_term::VarStore,
+    VarId,
+) {
     let session = Session::from_source(src).unwrap();
     let g = session.module().goal(goal).unwrap().clone();
     let var = g
@@ -65,12 +70,16 @@ fn mutual_induction_defeats_the_fixed_scheme() {
 #[test]
 fn everything_the_scheme_proves_the_search_proves() {
     let cases = [
-        ("data Nat = Z | S Nat
+        (
+            "data Nat = Z | S Nat
 add :: Nat -> Nat -> Nat
 add Z y = y
 add (S x) y = S (add x y)
 goal g: add x Z === x
-", "g", "x"),
+",
+            "g",
+            "x",
+        ),
         (LIST_SRC, "mapId", "xs"),
     ];
     for (src, goal, var) in cases {

@@ -22,15 +22,17 @@ fn config() -> RunConfig {
 /// Problems that must prove (a fast, stable subset of the 45 the suite
 /// currently solves).
 const MUST_PROVE: &[&str] = &[
-    "IP01", "IP06", "IP07", "IP08", "IP09", "IP10", "IP11", "IP12", "IP13", "IP17", "IP18",
-    "IP19", "IP21", "IP22", "IP23", "IP24", "IP25", "IP31", "IP32", "IP33", "IP34", "IP35",
-    "IP36", "IP40", "IP41", "IP42", "IP44", "IP45", "IP46", "IP49", "IP50", "IP51", "IP55",
-    "IP57", "IP58", "IP64", "IP67", "IP79", "IP80", "IP82", "IP83", "IP84",
+    "IP01", "IP06", "IP07", "IP08", "IP09", "IP10", "IP11", "IP12", "IP13", "IP17", "IP18", "IP19",
+    "IP21", "IP22", "IP23", "IP24", "IP25", "IP31", "IP32", "IP33", "IP34", "IP35", "IP36", "IP40",
+    "IP41", "IP42", "IP44", "IP45", "IP46", "IP49", "IP50", "IP51", "IP55", "IP57", "IP58", "IP64",
+    "IP67", "IP79", "IP80", "IP82", "IP83", "IP84",
 ];
 
 /// In-scope problems that must NOT prove without hints (conditional
 /// reasoning or lemma discovery required, §6.2).
-const MUST_NOT_PROVE: &[&str] = &["IP04", "IP14", "IP43", "IP47", "IP54", "IP65", "IP66", "IP69", "IP73"];
+const MUST_NOT_PROVE: &[&str] = &[
+    "IP04", "IP14", "IP43", "IP47", "IP54", "IP65", "IP66", "IP69", "IP73",
+];
 
 #[test]
 fn pinned_proved_set() {
@@ -74,7 +76,12 @@ fn conditional_problems_stay_out_of_scope() {
         .collect();
     assert_eq!(conditionals.len(), 14);
     for p in conditionals {
-        assert_eq!(run_problem(p, &cfg).status, RunStatus::OutOfScope, "{}", p.id);
+        assert_eq!(
+            run_problem(p, &cfg).status,
+            RunStatus::OutOfScope,
+            "{}",
+            p.id
+        );
     }
 }
 
