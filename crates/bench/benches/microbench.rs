@@ -4,9 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cycleq_rewrite::fixtures::nat_list_program;
-use cycleq_rewrite::Rewriter;
+use cycleq_rewrite::{MemoRewriter, Rewriter};
 use cycleq_sizechange::{Closure, Label, ScGraph};
-use cycleq_term::{match_term, unify, Term, VarStore};
+use cycleq_term::{match_term, unify, Term, TermStore, VarStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,6 +27,28 @@ fn bench_normalize(c: &mut Criterion) {
             let n = rw.normalize(&t);
             assert!(n.in_normal_form);
             n.steps
+        })
+    });
+    // The same workload on hash-consed terms. "cold" pays interning and a
+    // fresh memo table per iteration (the tree's repeated subterms are
+    // still shared within the run); "warm" reuses the table across
+    // iterations, which is how the prover uses it within one goal.
+    c.bench_function("normalize_add_tree_64x8_interned_cold", |b| {
+        b.iter(|| {
+            let mut memo = MemoRewriter::new(&p.prog.sig, &p.prog.trs);
+            let id = memo.intern(&t);
+            let n = memo.normalize_id(id);
+            assert!(n.in_normal_form);
+            n.steps
+        })
+    });
+    let mut warm = MemoRewriter::new(&p.prog.sig, &p.prog.trs);
+    let warm_id = warm.intern(&t);
+    c.bench_function("normalize_add_tree_64x8_interned_warm", |b| {
+        b.iter(|| {
+            let n = warm.normalize_id(warm_id);
+            assert!(n.in_normal_form);
+            n.id
         })
     });
 }
@@ -53,6 +75,12 @@ fn bench_matching(c: &mut Criterion) {
     };
     c.bench_function("match_6_vars", |b| {
         b.iter(|| match_term(&pattern, &subject).expect("matches"))
+    });
+    let mut store = TermStore::new();
+    let pid = store.intern(&pattern);
+    let sid = store.intern(&subject);
+    c.bench_function("match_6_vars_interned", |b| {
+        b.iter(|| store.match_terms(pid, sid).expect("matches"))
     });
     c.bench_function("unify_with_instance", |b| {
         b.iter(|| unify(&pattern, &subject).expect("unifies"))

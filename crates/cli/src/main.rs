@@ -4,13 +4,24 @@
 //! prove the requested goals (all declared goals by default) and prints
 //! each verdict with the rendered proof tree and search statistics.
 //!
-//! Exit status: 0 when every attempted goal is proved, 1 when any goal is
-//! refuted or the search gives up, 2 on usage or load errors.
+//! Exit status: 0 when every attempted goal is proved; 3 when any goal is
+//! *refuted* (a ground counterexample exists — distinct so scripts can tell
+//! "false" from "unknown"); 1 when the search gives up on any goal
+//! (exhausted, timeout, node budget, or a failed hint) and none is refuted;
+//! 2 on usage or load errors.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
 use cycleq::{SearchConfig, Session, Verdict};
+
+/// Some goal was not proved, but none was refuted (exhausted / timeout /
+/// node budget / failed hint).
+const EXIT_GAVE_UP: u8 = 1;
+/// Usage or load error.
+const EXIT_USAGE: u8 = 2;
+/// Some goal was refuted: a ground counterexample exists.
+const EXIT_REFUTED: u8 = 3;
 
 const USAGE: &str = "\
 cycleq — cyclic equational prover (CycleQ, PLDI 2022)
@@ -36,6 +47,13 @@ OPTIONS:
     --timeout-ms N      Wall-clock budget per goal; 0 means unbounded
     -h, --help          Print this help
     -V, --version       Print version
+
+EXIT STATUS:
+    0   every attempted goal was proved
+    1   the search gave up on a goal (exhausted, timeout, node budget,
+        or a hint failed) and no goal was refuted
+    2   usage or load error
+    3   a goal was refuted (a ground counterexample exists)
 ";
 
 struct Options {
@@ -139,20 +157,42 @@ fn print_verdict(opts: &Options, verdict: &Verdict) {
         let s = &verdict.result.stats;
         annotate(&format!(
             "  stats: nodes={} case_splits={} subst_attempts={} \
-             unsound_cycles_pruned={} depth_limit_hits={} closure_graphs={} elapsed={:?}",
+             unsound_cycles_pruned={} depth_limit_hits={} closure_graphs={} \
+             reduce_memo_hits={} interned_nodes={} elapsed={:?}",
             s.nodes_created,
             s.case_splits,
             s.subst_attempts,
             s.unsound_cycles_pruned,
             s.depth_limit_hits,
             s.closure_graphs,
+            s.reduce_memo_hits,
+            s.interned_nodes,
             s.elapsed,
         ));
     }
 }
 
+/// Aggregate verdict over every attempted goal, for the exit status.
+#[derive(Copy, Clone, Default)]
+struct Tally {
+    refuted: bool,
+    gave_up: bool,
+}
+
+impl Tally {
+    fn exit_code(self) -> ExitCode {
+        if self.refuted {
+            ExitCode::from(EXIT_REFUTED)
+        } else if self.gave_up {
+            ExitCode::from(EXIT_GAVE_UP)
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+}
+
 /// Proves the requested goals; `Err` carries a load/prove error message.
-fn run(opts: &Options) -> Result<bool, String> {
+fn run(opts: &Options) -> Result<Tally, String> {
     let source = std::fs::read_to_string(&opts.file)
         .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
     let session = Session::from_source(&source)
@@ -172,15 +212,20 @@ fn run(opts: &Options) -> Result<bool, String> {
         return Err(format!("`{}` declares no goals", opts.file));
     }
     let hints: Vec<&str> = opts.hints.iter().map(String::as_str).collect();
-    let mut all_proved = true;
+    let mut tally = Tally::default();
     for goal in &goals {
         let verdict = session
             .prove_with_hints(goal, &hints)
             .map_err(|e| e.to_string())?;
-        all_proved &= verdict.is_proved();
+        if verdict.is_refuted() {
+            tally.refuted = true;
+        } else if !verdict.is_proved() {
+            // Exhausted, Timeout, NodeBudget or HintFailed.
+            tally.gave_up = true;
+        }
         print_verdict(opts, &verdict);
     }
-    Ok(all_proved)
+    Ok(tally)
 }
 
 fn main() -> ExitCode {
@@ -190,15 +235,14 @@ fn main() -> ExitCode {
         Ok(None) => return ExitCode::SUCCESS,
         Err(msg) => {
             eprintln!("error: {msg}\n\n{USAGE}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     match run(&opts) {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::FAILURE,
+        Ok(tally) => tally.exit_code(),
         Err(msg) => {
             eprintln!("error: {msg}");
-            ExitCode::from(2)
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }

@@ -71,25 +71,73 @@ fn dot_output_is_pipeable_graphviz() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("goal addZeroRight: Proved"));
 }
 
-#[test]
-fn refuted_goal_sets_failure_exit_code() {
+/// Writes a fixture with one provable and one refutable goal, returning
+/// its path.
+fn mixed_goals_file(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join("cycleq-cli-test");
     std::fs::create_dir_all(&dir).unwrap();
-    let file = dir.join("wrong.hs");
+    let file = dir.join(name);
     std::fs::write(
         &file,
         "data Nat = Z | S Nat\n\
          add :: Nat -> Nat -> Nat\n\
          add Z y = y\n\
          add (S x) y = S (add x y)\n\
+         goal good: add Z y === y\n\
          goal wrong: add x Z === Z\n",
     )
     .unwrap();
-    let out = run(&[file.to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(1));
+    file
+}
+
+#[test]
+fn refuted_goal_sets_distinct_exit_code() {
+    let file = mixed_goals_file("wrong.hs");
+    let out = run(&[file.to_str().unwrap(), "wrong"]);
+    assert_eq!(out.status.code(), Some(3), "refuted goals exit with 3");
     assert!(String::from_utf8(out.stdout)
         .unwrap()
         .contains("goal wrong: Refuted"));
+    // A refutation anywhere dominates the aggregate exit code.
+    let out = run(&[file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+}
+
+#[test]
+fn exhausted_search_sets_gave_up_exit_code() {
+    // A node budget of zero stops the search immediately (NodeBudget).
+    let file = mixed_goals_file("budget.hs");
+    let out = run(&["--max-nodes", "0", file.to_str().unwrap(), "good"]);
+    assert_eq!(out.status.code(), Some(1), "gave-up goals exit with 1");
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("goal good: GaveUp"));
+}
+
+#[test]
+fn failed_hint_sets_gave_up_exit_code() {
+    // addComm cannot be proved at depth 1, so supplying it as a hint fails
+    // (HintFailed) before the main goal is attempted.
+    let file = quickstart();
+    let out = run(&[
+        "--max-depth",
+        "1",
+        "--hints",
+        "addComm",
+        file.to_str().unwrap(),
+        "addZeroRight",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("goal addZeroRight: GaveUp"));
+}
+
+#[test]
+fn proved_goal_exits_zero_even_with_refutable_sibling_unselected() {
+    let file = mixed_goals_file("good.hs");
+    let out = run(&[file.to_str().unwrap(), "good"]);
+    assert_eq!(out.status.code(), Some(0));
 }
 
 #[test]

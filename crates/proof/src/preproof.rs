@@ -4,7 +4,7 @@
 //! pushed as goals are uncovered, justified in place once a rule applies,
 //! and popped on backtracking together with the variables they introduced.
 
-use cycleq_term::{Equation, VarStore};
+use cycleq_term::{Equation, TermId, VarStore};
 
 use crate::node::{Node, NodeId, RuleApp};
 
@@ -12,10 +12,20 @@ use crate::node::{Node, NodeId, RuleApp};
 ///
 /// Cycles are represented directly (Definition 3.1): a premise may reference
 /// any vertex, not only descendants.
+///
+/// Alongside the owned equations, every node may carry the *interned* ids
+/// of its two sides relative to the proof search's
+/// [`cycleq_term::TermStore`]. The search uses them for O(1) lemma-side
+/// lookup and equality; the independent checker deliberately ignores them
+/// and re-checks the owned terms, so a corrupted store can never make a bad
+/// proof pass.
 #[derive(Clone, Debug, Default)]
 pub struct Preproof {
     nodes: Vec<Node>,
     vars: VarStore,
+    /// Interned `(lhs, rhs)` ids per node, parallel to `nodes`; `None` for
+    /// nodes pushed by store-less builders.
+    interned: Vec<Option<(TermId, TermId)>>,
 }
 
 impl Preproof {
@@ -30,6 +40,7 @@ impl Preproof {
         Preproof {
             nodes: Vec::new(),
             vars,
+            interned: Vec::new(),
         }
     }
 
@@ -52,7 +63,22 @@ impl Preproof {
             rule: RuleApp::Open,
             premises: Vec::new(),
         });
+        self.interned.push(None);
         id
+    }
+
+    /// Adds an open node together with the interned ids of its two sides
+    /// (relative to the caller's term store).
+    pub fn push_open_interned(&mut self, eq: Equation, ids: (TermId, TermId)) -> NodeId {
+        let id = self.push_open(eq);
+        self.interned[id.index()] = Some(ids);
+        id
+    }
+
+    /// The interned `(lhs, rhs)` ids of a node, if the builder recorded
+    /// them. Ids are relative to the store of whoever built the proof.
+    pub fn interned(&self, id: NodeId) -> Option<(TermId, TermId)> {
+        self.interned[id.index()]
     }
 
     /// Justifies a node with a rule instance and premises.
@@ -120,6 +146,7 @@ impl Preproof {
     pub fn truncate(&mut self, mark: (usize, usize)) {
         assert!(mark.0 <= self.nodes.len(), "preproof mark is in the future");
         self.nodes.truncate(mark.0);
+        self.interned.truncate(mark.0);
         self.vars.truncate(mark.1);
     }
 
@@ -195,6 +222,25 @@ mod tests {
         assert_eq!(edges, vec![(a, b), (b, a)]);
         assert!(!proof.is_back_edge(a, b));
         assert!(proof.is_back_edge(b, a));
+    }
+
+    #[test]
+    fn interned_ids_follow_nodes_through_truncate() {
+        let f = NatList::new();
+        let mut store = cycleq_term::TermStore::new();
+        let z = store.intern(&Term::sym(f.zero));
+        let mut proof = Preproof::new();
+        let a = proof.push_open(trivial_eq(&f));
+        let mark = proof.mark();
+        let b = proof.push_open_interned(trivial_eq(&f), (z, z));
+        assert_eq!(proof.interned(a), None);
+        assert_eq!(proof.interned(b), Some((z, z)));
+        proof.truncate(mark);
+        assert_eq!(proof.len(), 1);
+        // Re-pushing after truncation keeps the side table aligned.
+        let c = proof.push_open_interned(trivial_eq(&f), (z, z));
+        assert_eq!(c.index(), 1);
+        assert_eq!(proof.interned(c), Some((z, z)));
     }
 
     #[test]

@@ -13,9 +13,10 @@ use cycleq_term::{Head, Signature, Term, VarId};
 use crate::reduce::Rewriter;
 use crate::trs::Trs;
 
-/// Outcome of simulating one pattern column.
+/// Outcome of simulating one pattern column (shared with the interned
+/// analysis in `memo.rs`).
 #[derive(PartialEq, Eq, Debug, Clone, Copy)]
-enum Sim {
+pub(crate) enum Sim {
     /// The pattern structurally matches.
     Match,
     /// A constructor clash: the rule can never apply to instances obtained

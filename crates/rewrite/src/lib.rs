@@ -32,6 +32,7 @@
 
 mod blocked;
 mod completeness;
+mod memo;
 mod narrow;
 mod orders;
 mod orthogonality;
@@ -44,6 +45,7 @@ pub mod fixtures;
 
 pub use blocked::{case_candidates, root_case_candidates};
 pub use completeness::{check_program, check_symbol, Completeness, WitnessPat};
+pub use memo::{DeadlineExceeded, MemoRewriter, NormalizedId};
 pub use narrow::{narrow_at, NarrowingStep};
 pub use orders::{
     check_rules_decreasing, DecreasingOrder, Lpo, Precedence, SubtermOrder, TermOrder,

@@ -133,6 +133,10 @@ impl<'a> Rewriter<'a> {
     /// premises record arbitrary reducts (not necessarily normal forms),
     /// every intermediate term along the leftmost-outermost sequence is
     /// compared.
+    ///
+    /// Shares the same step bound as [`Rewriter::normalize`]: user programs
+    /// are untrusted and may not terminate, so the search is cut off (and
+    /// `false` returned) once the fuel is spent.
     pub fn reduces_to(&self, from: &Term, to: &Term) -> bool {
         let mut cur = from.clone();
         let mut steps = 0;
@@ -243,6 +247,41 @@ mod tests {
         assert!(rw.reduces_to(&t, &p.f.num(2)));
         assert!(rw.reduces_to(&t, &t));
         assert!(!rw.reduces_to(&mid, &t), "reduction is not symmetric");
+    }
+
+    #[test]
+    fn reduces_to_is_fuel_bounded_on_nonterminating_programs() {
+        // Regression test: `loop x → loop x` never reaches `Z`, and without
+        // the fuel bound this query would spin forever. User `.hs` input is
+        // untrusted, so exhaustion must simply answer `false`.
+        use crate::trs::{Program, Trs};
+        use cycleq_term::{Signature, Type, TypeScheme};
+
+        let mut sig = Signature::new();
+        let nat = sig.add_datatype("Nat", 0).unwrap();
+        let zero = sig.add_constructor("Z", nat, vec![]).unwrap();
+        let nat_ty = Type::data0(nat);
+        let lp = sig
+            .add_defined(
+                "loop",
+                TypeScheme::mono(Type::arrow(nat_ty.clone(), nat_ty.clone())),
+            )
+            .unwrap();
+        let mut trs = Trs::new();
+        let x = trs.vars_mut().fresh("x", nat_ty.clone());
+        trs.add_rule(
+            &sig,
+            lp,
+            vec![Term::var(x)],
+            Term::apps(lp, vec![Term::var(x)]),
+        )
+        .unwrap();
+        let prog = Program::new(sig, trs);
+        let rw = Rewriter::new(&prog.sig, &prog.trs).with_fuel(1_000);
+        let spin = Term::apps(lp, vec![Term::sym(zero)]);
+        assert!(!rw.reduces_to(&spin, &Term::sym(zero)));
+        // Reflexivity is still recognised immediately.
+        assert!(rw.reduces_to(&spin, &spin));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! and agreement between narrowing and rewriting on ground terms.
 
 use cycleq_rewrite::fixtures::nat_list_program;
-use cycleq_rewrite::{check_orthogonality, narrow_at, Rewriter};
+use cycleq_rewrite::{case_candidates, check_orthogonality, narrow_at, MemoRewriter, Rewriter};
 use cycleq_term::{Position, Term, VarStore};
 use proptest::prelude::*;
 use proptest::test_runner::Config;
@@ -125,6 +125,91 @@ fn append_preserves_length() {
         let len_t = Term::apps(p.f.len, vec![t.clone()]);
         let len_nf = rw.normalize(&len_t).term;
         prop_assert_eq!(nat_value(&len_nf, &p), Some(cons_count(&n, &p)));
+    });
+}
+
+/// Open Nat terms over Z, S, add and a handful of variables.
+fn open_nat(
+    p: &cycleq_rewrite::fixtures::ProgramFixture,
+    vs: &[cycleq_term::VarId],
+) -> impl Strategy<Value = Term> {
+    let zero = p.f.zero;
+    let succ = p.f.succ;
+    let add = p.f.add;
+    let vs = vs.to_vec();
+    let leaf = prop_oneof![
+        Just(Term::sym(zero)),
+        (0..vs.len()).prop_map(move |i| Term::var(vs[i])),
+    ];
+    leaf.prop_recursive(4, 20, 2, move |inner| {
+        prop_oneof![
+            inner.clone().prop_map(move |t| Term::apps(succ, vec![t])),
+            (inner.clone(), inner).prop_map(move |(a, b)| Term::apps(add, vec![a, b])),
+        ]
+    })
+}
+
+fn open_vars(p: &cycleq_rewrite::fixtures::ProgramFixture) -> (VarStore, Vec<cycleq_term::VarId>) {
+    let mut vars = VarStore::new();
+    let vs = (0..3)
+        .map(|i| vars.fresh(&format!("x{i}"), p.f.nat_ty()))
+        .collect();
+    (vars, vs)
+}
+
+#[test]
+fn memoized_reduction_agrees_with_plain_on_ground_terms() {
+    let p = nat_list_program();
+    let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+    proptest!(cfg(), |(t in ground_nat(&p))| {
+        let mut memo = MemoRewriter::new(&p.prog.sig, &p.prog.trs);
+        let plain = rw.normalize(&t);
+        let fast = memo.normalize(&t);
+        prop_assert!(fast.in_normal_form);
+        prop_assert_eq!(&fast.term, &plain.term);
+        // Normal forms are fixpoints of the memoised rewriter too, and
+        // re-normalising is a free memo hit.
+        let again = memo.normalize(&plain.term);
+        prop_assert_eq!(again.steps, 0);
+        prop_assert_eq!(again.term, plain.term);
+    });
+}
+
+#[test]
+fn memoized_reduction_agrees_with_plain_on_open_terms() {
+    let p = nat_list_program();
+    let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+    let (_vars, vs) = open_vars(&p);
+    proptest!(cfg(), |(t in open_nat(&p, &vs))| {
+        let mut memo = MemoRewriter::new(&p.prog.sig, &p.prog.trs);
+        let plain = rw.normalize(&t);
+        let fast = memo.normalize(&t);
+        prop_assert!(plain.in_normal_form && fast.in_normal_form);
+        prop_assert_eq!(fast.term, plain.term);
+    });
+}
+
+#[test]
+fn memoized_reduction_agrees_with_plain_on_lists() {
+    let p = nat_list_program();
+    let rw = Rewriter::new(&p.prog.sig, &p.prog.trs);
+    proptest!(cfg(), |(t in ground_list(&p))| {
+        let mut memo = MemoRewriter::new(&p.prog.sig, &p.prog.trs);
+        prop_assert_eq!(memo.normalize(&t).term, rw.normalize(&t).term);
+    });
+}
+
+#[test]
+fn interned_case_candidates_agree_with_owned() {
+    let p = nat_list_program();
+    let (_vars, vs) = open_vars(&p);
+    proptest!(cfg(), |(t in open_nat(&p, &vs))| {
+        let mut memo = MemoRewriter::new(&p.prog.sig, &p.prog.trs);
+        let id = memo.intern(&t);
+        prop_assert_eq!(
+            memo.case_candidates_id(id),
+            case_candidates(&p.prog.sig, &p.prog.trs, &t)
+        );
     });
 }
 

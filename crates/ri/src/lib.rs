@@ -51,7 +51,8 @@ use std::collections::VecDeque;
 
 use cycleq_proof::{CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp};
 use cycleq_rewrite::{
-    check_rules_decreasing, root_case_candidates, Lpo, Program, Rewriter, RuleId, TermOrder,
+    check_rules_decreasing, root_case_candidates, Lpo, MemoRewriter, Program, Rewriter, RuleId,
+    TermOrder,
 };
 use cycleq_term::{match_term, Equation, Position, Subst, Term, VarId, VarStore};
 
@@ -185,6 +186,8 @@ impl<'a> RiProver<'a> {
             order: &self.order,
             config: &self.config,
             proof: Preproof::with_vars(vars),
+            rw: MemoRewriter::new(&self.prog.sig, &self.prog.trs)
+                .with_fuel(self.config.reduction_fuel),
             hyps: Vec::new(),
             goals: VecDeque::new(),
             stats: RiStats::default(),
@@ -205,6 +208,10 @@ struct RiState<'a> {
     order: &'a Lpo,
     config: &'a RiConfig,
     proof: Preproof,
+    /// Memoised `R`-normalisation shared across the whole run: `Simplify`
+    /// renormalises goals after every hypothesis step, so the cache pays
+    /// off immediately.
+    rw: MemoRewriter<'a>,
     hyps: Vec<Hyp>,
     goals: VecDeque<NodeId>,
     stats: RiStats,
@@ -286,15 +293,28 @@ impl<'a> RiState<'a> {
         })
     }
 
+    /// Normalises a side with the memoised rewriter; on fuel exhaustion it
+    /// falls back to the plain rewriter's *partial* reduct (the memoised
+    /// engine returns the input unchanged in that case), so `simplify`
+    /// keeps chunking through reductions longer than one fuel budget, as
+    /// it always has.
+    fn normalize_chunk(&mut self, t: &Term) -> Term {
+        let n = self.rw.normalize(t);
+        if n.in_normal_form {
+            n.term
+        } else {
+            self.rewriter().normalize(t).term
+        }
+    }
+
     /// Simplifies the goal node with `R ∪ H`, returning the final node of
     /// the Reduce/Subst chain.
     fn simplify(&mut self, mut node: NodeId) -> NodeId {
         loop {
             let eq = self.proof.node(node).eq.clone();
-            // Maximal R-normalisation first.
-            let rw = self.rewriter();
-            let ln = rw.normalize(eq.lhs()).term;
-            let rn = rw.normalize(eq.rhs()).term;
+            // Maximal R-normalisation first (memoised across the run).
+            let ln = self.normalize_chunk(eq.lhs());
+            let rn = self.normalize_chunk(eq.rhs());
             if &ln != eq.lhs() || &rn != eq.rhs() {
                 let child = self.push_node(Equation::new(ln, rn));
                 self.proof.justify(node, RuleApp::Reduce, vec![child]);

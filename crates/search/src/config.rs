@@ -75,6 +75,10 @@ pub struct SearchStats {
     pub depth_limit_hits: usize,
     /// Size-change graphs currently in the closure at the end of search.
     pub closure_graphs: usize,
+    /// Normal forms served from the memoised rewriter's cache.
+    pub reduce_memo_hits: u64,
+    /// Distinct hash-consed term nodes interned during the search.
+    pub interned_nodes: usize,
     /// Wall-clock time spent.
     pub elapsed: Duration,
 }

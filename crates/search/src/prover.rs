@@ -18,9 +18,11 @@
 use std::time::Instant;
 
 use cycleq_proof::{edge_graph, CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp};
-use cycleq_rewrite::{case_candidates, Program, Rewriter};
+use cycleq_rewrite::{DeadlineExceeded, MemoRewriter, NormalizedId, Program};
 use cycleq_sizechange::{IncrementalClosure, Mark, Soundness};
-use cycleq_term::{match_term, CanonKey, Equation, Subst, Term, TyUnifier, Type, VarId, VarStore};
+use cycleq_term::{
+    CanonKey, Equation, Head, IdSubst, Term, TermId, TyUnifier, Type, VarId, VarStore,
+};
 
 use crate::config::{LemmaPolicy, SearchConfig, SearchStats};
 
@@ -129,6 +131,11 @@ impl<'a> Prover<'a> {
             total.unsound_cycles_pruned += result.stats.unsound_cycles_pruned;
             total.depth_limit_hits += result.stats.depth_limit_hits;
             total.closure_graphs = result.stats.closure_graphs;
+            total.reduce_memo_hits += result.stats.reduce_memo_hits;
+            // A gauge, not a counter: each deepening round re-interns into a
+            // fresh store, so report the final round's size (like
+            // closure_graphs).
+            total.interned_nodes = result.stats.interned_nodes;
             let deepen = matches!(result.outcome, Outcome::Exhausted)
                 && hit_depth_limit
                 && depth < self.config.max_depth;
@@ -159,6 +166,8 @@ impl<'a> Prover<'a> {
             config: &self.config,
             depth_limit,
             proof: Preproof::with_vars(vars),
+            rw: MemoRewriter::new(&self.prog.sig, &self.prog.trs)
+                .with_fuel(self.config.reduction_fuel),
             closure: IncrementalClosure::new(),
             lemmas: Vec::new(),
             path_keys: Vec::new(),
@@ -188,6 +197,8 @@ impl<'a> Prover<'a> {
         });
         let mut stats = search.stats;
         stats.closure_graphs = search.closure.num_graphs();
+        stats.reduce_memo_hits = search.rw.memo_hits();
+        stats.interned_nodes = search.rw.store().len();
         let hit = stats.depth_limit_hits > 0;
         (
             ProofResult {
@@ -235,6 +246,11 @@ struct Search<'a> {
     /// Depth bound of the current iterative-deepening round.
     depth_limit: usize,
     proof: Preproof,
+    /// The memoising rewriter; owns the term store every node equation of
+    /// this round is interned into. Normal forms are cached across the
+    /// whole round (including backtracking — the rewrite system never
+    /// changes, so entries stay valid).
+    rw: MemoRewriter<'a>,
     closure: IncrementalClosure<VarId, NodeId>,
     /// Lemma candidates: `(Case)`-justified ancestors/cousins plus proven
     /// hints, in creation order.
@@ -247,9 +263,33 @@ struct Search<'a> {
 }
 
 impl<'a> Search<'a> {
+    /// Pushes an open node, interning both sides into the round's store.
     fn push_node(&mut self, eq: Equation) -> NodeId {
+        let l = self.rw.intern(eq.lhs());
+        let r = self.rw.intern(eq.rhs());
+        self.push_node_ids(eq, (l, r))
+    }
+
+    /// Pushes an open node whose sides are already interned.
+    fn push_node_ids(&mut self, eq: Equation, ids: (TermId, TermId)) -> NodeId {
         self.stats.nodes_created += 1;
-        self.proof.push_open(eq)
+        self.proof.push_open_interned(eq, ids)
+    }
+
+    /// The interned sides of a node (every node of this search has them).
+    fn node_ids(&self, node: NodeId) -> (TermId, TermId) {
+        self.proof
+            .interned(node)
+            .expect("search interns every node it pushes")
+    }
+
+    /// Normalises with the round's memo table, honouring the wall-clock
+    /// deadline *inside* the reduction loop: a single long committed
+    /// reduction chain can no longer blow past `config.timeout`.
+    fn normalize_or_stop(&mut self, id: TermId) -> Result<NormalizedId, Stop> {
+        self.rw
+            .try_normalize_id(id, self.deadline)
+            .map_err(|DeadlineExceeded| Stop::Timeout)
     }
 
     fn mark(&self) -> Frame {
@@ -289,29 +329,31 @@ impl<'a> Search<'a> {
 
     fn solve(&mut self, node: NodeId, depth: usize, pure_path: bool) -> SolveResult {
         self.check_limits()?;
-        let eq = self.proof.node(node).eq.clone();
+        let (lid, rid) = self.node_ids(node);
 
-        // 1. (Reduce) — committed.
-        let rw =
-            Rewriter::new(&self.prog.sig, &self.prog.trs).with_fuel(self.config.reduction_fuel);
-        let ln = rw.normalize(eq.lhs());
-        let rn = rw.normalize(eq.rhs());
+        // 1. (Reduce) — committed. Memoised, and deadline-checked inside
+        //    the reduction loop.
+        let ln = self.normalize_or_stop(lid)?;
+        let rn = self.normalize_or_stop(rid)?;
         if !ln.in_normal_form || !rn.in_normal_form {
             // Suspected divergence; give up on this branch.
             return Ok(Solve::Failed);
         }
-        if &ln.term != eq.lhs() || &rn.term != eq.rhs() {
-            let child = self.push_node(Equation::new(ln.term, rn.term));
+        if ln.id != lid || rn.id != rid {
+            let child_eq = Equation::new(self.rw.resolve(ln.id), self.rw.resolve(rn.id));
+            let child = self.push_node_ids(child_eq, (ln.id, rn.id));
             self.proof.justify(node, RuleApp::Reduce, vec![child]);
             self.add_proof_edge(node, 0);
             return self.solve(child, depth, pure_path);
         }
 
-        // 2. (Refl).
-        if eq.is_trivial() {
+        // 2. (Refl): hash-consing makes triviality an id comparison.
+        if lid == rid {
             self.proof.justify(node, RuleApp::Refl, vec![]);
             return Ok(Solve::Solved);
         }
+
+        let eq = self.proof.node(node).eq.clone();
 
         // 3. Constructor decomposition: clash refutation or congruence —
         //    committed.
@@ -327,10 +369,12 @@ impl<'a> Search<'a> {
                 };
             }
             let n = eq.lhs().args().len();
+            let largs = self.rw.store().args(lid).to_vec();
+            let rargs = self.rw.store().args(rid).to_vec();
             let mut premises = Vec::with_capacity(n);
             for i in 0..n {
                 let sub_eq = Equation::new(eq.lhs().args()[i].clone(), eq.rhs().args()[i].clone());
-                premises.push(self.push_node(sub_eq));
+                premises.push(self.push_node_ids(sub_eq, (largs[i], rargs[i])));
             }
             self.proof.justify(node, RuleApp::Cong, premises.clone());
             for i in 0..n {
@@ -372,14 +416,21 @@ impl<'a> Search<'a> {
             return Ok(Solve::Failed);
         }
 
-        self.path_keys.push(eq.canonical_key());
-        let result = self.solve_choice_points(node, depth, &eq);
+        self.path_keys.push(self.rw.store().canonical_key(lid, rid));
+        let result = self.solve_choice_points(node, depth, lid, rid);
         self.path_keys.pop();
         result
     }
 
-    /// The backtrackable rules: `(Subst)` then `(Case)`.
-    fn solve_choice_points(&mut self, node: NodeId, depth: usize, eq: &Equation) -> SolveResult {
+    /// The backtrackable rules: `(Subst)` then `(Case)`, both running over
+    /// interned terms.
+    fn solve_choice_points(
+        &mut self,
+        node: NodeId,
+        depth: usize,
+        lid: TermId,
+        rid: TermId,
+    ) -> SolveResult {
         // 5. (Subst): try existing lemmas, most recent first.
         let candidates: Vec<NodeId> = match self.config.lemma_policy {
             LemmaPolicy::CaseOnly => self.lemmas.iter().rev().copied().collect(),
@@ -398,69 +449,76 @@ impl<'a> Search<'a> {
             if lemma_id == node {
                 continue;
             }
-            let lemma_eq = self.proof.node(lemma_id).eq.clone();
+            let (lemma_l, lemma_r) = self.node_ids(lemma_id);
             for flipped in [false, true] {
                 let (from, to) = if flipped {
-                    (lemma_eq.rhs(), lemma_eq.lhs())
+                    (lemma_r, lemma_l)
                 } else {
-                    (lemma_eq.lhs(), lemma_eq.rhs())
+                    (lemma_l, lemma_r)
                 };
                 // The pattern side must be a genuine pattern: not a bare
                 // variable (would match everything), and binding every
                 // variable of the replacement side.
-                if from.as_var().is_some() || from.head_sym().is_none() {
+                if self.rw.store().as_var(from).is_some()
+                    || self.rw.store().head_sym(from).is_none()
+                {
                     continue;
                 }
-                if !to.vars().is_subset(&from.vars()) {
+                if !self.rw.store().vars_subset_of(to, from) {
                     continue;
                 }
                 for side in [Side::Lhs, Side::Rhs] {
-                    let side_term = side.of(eq).clone();
-                    for (pos, sub) in side_term.positions() {
-                        if sub.as_var().is_some() {
+                    let side_id = match side {
+                        Side::Lhs => lid,
+                        Side::Rhs => rid,
+                    };
+                    for (pos, sub) in self.rw.store().positions(side_id) {
+                        if self.rw.store().as_var(sub).is_some() {
                             continue;
                         }
-                        let Some(theta) = match_term(from, sub) else {
+                        let Some(theta) = self.rw.store_mut().match_terms(from, sub) else {
                             continue;
                         };
-                        let replacement = theta.apply(to);
-                        if &replacement == sub {
+                        let replacement = self.rw.store_mut().subst(to, &theta);
+                        if replacement == sub {
                             continue;
                         }
                         self.stats.subst_attempts += 1;
-                        let rewritten = side_term
-                            .replace_at(&pos, replacement)
+                        let rewritten = self
+                            .rw
+                            .store_mut()
+                            .replace_at(side_id, &pos, replacement)
                             .expect("valid position");
-                        let cont_eq = match side {
-                            Side::Lhs => Equation::new(rewritten, eq.rhs().clone()),
-                            Side::Rhs => Equation::new(eq.lhs().clone(), rewritten),
+                        let (cont_l, cont_r) = match side {
+                            Side::Lhs => (rewritten, rid),
+                            Side::Rhs => (lid, rewritten),
                         };
                         // Prune continuations that recreate a goal already on
                         // the DFS path (directly or after normalisation):
                         // re-deriving an ancestor goal by rewriting is a loop,
                         // not progress. Cycles must close via the lemma back
                         // edge instead.
-                        if self.path_keys.contains(&cont_eq.canonical_key()) {
+                        let cont_key = self.rw.store().canonical_key(cont_l, cont_r);
+                        if self.path_keys.contains(&cont_key) {
                             continue;
                         }
-                        let rw = Rewriter::new(&self.prog.sig, &self.prog.trs)
-                            .with_fuel(self.config.reduction_fuel);
-                        let norm_key = Equation::new(
-                            rw.normalize(cont_eq.lhs()).term,
-                            rw.normalize(cont_eq.rhs()).term,
-                        )
-                        .canonical_key();
+                        let nl = self.normalize_or_stop(cont_l)?;
+                        let nr = self.normalize_or_stop(cont_r)?;
+                        let norm_key = self.rw.store().canonical_key(nl.id, nr.id);
                         if self.path_keys.contains(&norm_key) {
                             continue;
                         }
                         let frame = self.mark();
-                        let cont = self.push_node(cont_eq);
+                        let cont_eq =
+                            Equation::new(self.rw.resolve(cont_l), self.rw.resolve(cont_r));
+                        let cont = self.push_node_ids(cont_eq, (cont_l, cont_r));
+                        let theta_owned = theta.resolve(self.rw.store());
                         self.proof.justify(
                             node,
                             RuleApp::Subst(SubstApp {
                                 side,
                                 pos: pos.clone(),
-                                theta: theta.clone(),
+                                theta: theta_owned,
                                 lemma_flipped: flipped,
                             }),
                             vec![lemma_id, cont],
@@ -482,8 +540,8 @@ impl<'a> Search<'a> {
         }
 
         // 6. (Case): split on a variable blocking reduction.
-        let mut cands = case_candidates(&self.prog.sig, &self.prog.trs, eq.lhs());
-        for v in case_candidates(&self.prog.sig, &self.prog.trs, eq.rhs()) {
+        let mut cands = self.rw.case_candidates_id(lid);
+        for v in self.rw.case_candidates_id(rid) {
             if !cands.contains(&v) {
                 cands.push(v);
             }
@@ -524,9 +582,14 @@ impl<'a> Search<'a> {
                         self.proof.vars_mut().fresh(&name, (*t).clone())
                     })
                     .collect();
-                let pattern = Term::apps(k, fresh.iter().map(|w| Term::var(*w)).collect());
-                let branch_eq = eq.subst(&Subst::singleton(v, pattern));
-                premises.push(self.push_node(branch_eq));
+                let pattern_args: Vec<TermId> =
+                    fresh.iter().map(|w| self.rw.store_mut().var(*w)).collect();
+                let pattern = self.rw.store_mut().node(Head::Sym(k), pattern_args);
+                let theta = IdSubst::singleton(v, pattern);
+                let branch_l = self.rw.store_mut().subst(lid, &theta);
+                let branch_r = self.rw.store_mut().subst(rid, &theta);
+                let branch_eq = Equation::new(self.rw.resolve(branch_l), self.rw.resolve(branch_r));
+                premises.push(self.push_node_ids(branch_eq, (branch_l, branch_r)));
                 branches.push(CaseBranch { con: k, fresh });
             }
             self.proof
@@ -792,6 +855,55 @@ mod tests {
         let res = prover.prove_with_hints(goal, vars, &[hint]);
         assert!(res.outcome.is_proved(), "{:?}", res.outcome);
         check(&res.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+    }
+
+    #[test]
+    fn committed_reduction_chain_respects_wall_clock_deadline() {
+        // Regression test: the deadline used to be checked only between
+        // rule applications, so a single committed reduction of a
+        // non-terminating (or merely explosive) program could blow past
+        // `config.timeout`. With effectively unlimited fuel, only the
+        // in-reduction deadline check can stop this goal.
+        use cycleq_rewrite::Trs;
+        use cycleq_term::{Signature, TypeScheme};
+        use std::time::Duration;
+
+        let mut sig = Signature::new();
+        let nat = sig.add_datatype("Nat", 0).unwrap();
+        let zero = sig.add_constructor("Z", nat, vec![]).unwrap();
+        let nat_ty = Type::data0(nat);
+        let lp = sig
+            .add_defined(
+                "loop",
+                TypeScheme::mono(Type::arrow(nat_ty.clone(), nat_ty.clone())),
+            )
+            .unwrap();
+        let mut trs = Trs::new();
+        let x = trs.vars_mut().fresh("x", nat_ty.clone());
+        trs.add_rule(
+            &sig,
+            lp,
+            vec![Term::var(x)],
+            Term::apps(lp, vec![Term::var(x)]),
+        )
+        .unwrap();
+        let prog = Program::new(sig, trs);
+
+        let goal = Equation::new(Term::apps(lp, vec![Term::sym(zero)]), Term::sym(zero));
+        let config = SearchConfig {
+            reduction_fuel: usize::MAX,
+            timeout: Some(Duration::from_millis(50)),
+            ..SearchConfig::default()
+        };
+        let prover = Prover::with_config(&prog, config);
+        let start = Instant::now();
+        let res = prover.prove(goal, VarStore::new());
+        assert_eq!(res.outcome, Outcome::Timeout);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline was not honoured inside the committed reduction: {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -25,6 +25,14 @@ pub struct Equation {
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct CanonKey(Vec<u32>);
 
+impl CanonKey {
+    /// Builds a key from an already-canonical word sequence (used by the
+    /// interned-term encoder in [`crate::TermStore`]).
+    pub(crate) fn from_words(words: Vec<u32>) -> CanonKey {
+        CanonKey(words)
+    }
+}
+
 impl Equation {
     /// Creates the equation `lhs ≈ rhs`.
     pub fn new(lhs: Term, rhs: Term) -> Equation {

@@ -185,6 +185,82 @@ fn canonical_key_invariant_under_renaming() {
 }
 
 #[test]
+fn interner_round_trips_and_dedupes() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(t in nat_term(&f, &vs))| {
+        let mut store = cycleq_term::TermStore::new();
+        let id = store.intern(&t);
+        // intern → resolve is the identity.
+        prop_assert_eq!(store.resolve(id), t.clone());
+        // A structurally equal term interns to the same id.
+        prop_assert_eq!(store.intern(&t.clone()), id);
+        // Cached metadata agrees with the owned computations.
+        prop_assert_eq!(store.size(id), t.size());
+        prop_assert_eq!(store.depth(id), t.depth());
+        prop_assert_eq!(store.is_ground(id), t.is_ground());
+        let mut acc = std::collections::BTreeSet::new();
+        store.collect_vars(id, &mut acc);
+        prop_assert_eq!(acc, t.vars());
+        // The store never holds more nodes than the term has (sharing can
+        // only shrink it).
+        prop_assert!(store.len() <= t.size());
+    });
+}
+
+#[test]
+fn interned_subst_and_matching_agree_with_owned() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(pat in nat_term(&f, &vs), s in nat_subst(&f, &vs))| {
+        let mut store = cycleq_term::TermStore::new();
+        let subj = s.apply(&pat);
+        let pid = store.intern(&pat);
+        let sid = store.intern(&subj);
+        // The interned substitution maps the instance exactly onto the
+        // interned subject.
+        let id_s: cycleq_term::IdSubst =
+            s.iter().map(|(v, t)| (v, store.intern(t))).collect();
+        prop_assert_eq!(store.subst(pid, &id_s), sid);
+        // Interned matching finds a substitution that reproduces the
+        // subject, like owned matching does.
+        let theta = store.match_terms(pid, sid);
+        prop_assert!(theta.is_some(), "pattern must match its own instance");
+        let theta = theta.unwrap();
+        prop_assert_eq!(store.subst(pid, &theta), sid);
+        prop_assert_eq!(theta.resolve(&store).apply(&pat), subj);
+    });
+}
+
+#[test]
+fn interned_canonical_key_agrees_with_equation() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(a in nat_term(&f, &vs), b in nat_term(&f, &vs))| {
+        let mut store = cycleq_term::TermStore::new();
+        let aid = store.intern(&a);
+        let bid = store.intern(&b);
+        let eq = cycleq_term::Equation::new(a, b);
+        prop_assert_eq!(store.canonical_key(aid, bid), eq.canonical_key());
+        prop_assert_eq!(store.canonical_key(bid, aid), eq.canonical_key());
+    });
+}
+
+#[test]
+fn interned_positions_agree_with_owned() {
+    let (f, _vars, vs) = fixture_vars();
+    proptest!(cfg(), |(t in nat_term(&f, &vs))| {
+        let mut store = cycleq_term::TermStore::new();
+        let id = store.intern(&t);
+        let owned: Vec<_> = t.positions().map(|(p, s)| (p, s.clone())).collect();
+        let interned = store.positions(id);
+        prop_assert_eq!(owned.len(), interned.len());
+        for ((p1, s1), (p2, s2)) in owned.iter().zip(&interned) {
+            prop_assert_eq!(p1, p2);
+            prop_assert_eq!(&store.resolve(*s2), s1);
+            prop_assert_eq!(store.at(id, p1), Some(*s2));
+        }
+    });
+}
+
+#[test]
 fn generated_terms_are_well_typed() {
     let (f, vars, vs) = fixture_vars();
     proptest!(cfg(), |(t in nat_term(&f, &vs))| {
