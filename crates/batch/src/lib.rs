@@ -1,0 +1,25 @@
+//! Parallel goal batching for CycleQ.
+//!
+//! CycleQ goals are proved independently — the paper's evaluation (§6.1) is
+//! per-goal wall clock over a suite — so a batch of goals is an
+//! embarrassingly parallel workload. This crate provides the two pieces
+//! that turn the one-goal prover into a suite-scale engine:
+//!
+//! - [`BatchScheduler`]: a std-only work-stealing executor
+//!   (`std::thread::scope` + per-worker deques, no external crates) that
+//!   fans indexed tasks out across `--jobs` workers and returns results in
+//!   *task order*, independent of completion order;
+//! - [`SharedNormalFormCache`] (re-exported from `cycleq_rewrite`): the
+//!   program-scoped cache each worker's `MemoRewriter` consults, so hint
+//!   goals, re-proved lemmas and benchmark suites share reductions across
+//!   workers and across `prove` calls.
+//!
+//! Each worker owns its own term store and memo table (per-goal search
+//! stays lock-free); the shared cache is the only synchronised state, and
+//! it is sharded. `cycleq::Session::prove_all` and
+//! `cycleq_benchsuite::run_suite` are the main consumers.
+
+mod scheduler;
+
+pub use cycleq_rewrite::{CacheStats, SharedNormalFormCache};
+pub use scheduler::{available_parallelism, BatchScheduler};

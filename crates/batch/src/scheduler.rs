@@ -1,0 +1,234 @@
+//! A std-only work-stealing task scheduler.
+//!
+//! The build environment has no crates.io access, so there is no rayon;
+//! this is the classic scheme built from the standard library alone. Tasks
+//! are seeded round-robin into one deque per worker; each worker drains its
+//! own deque from the front and, when empty, steals from the *back* of its
+//! peers' deques (back-stealing takes the work its owner would reach last,
+//! which keeps contention on opposite ends of each deque). No task ever
+//! enqueues another task, so a worker may exit as soon as every deque is
+//! empty.
+//!
+//! Determinism: results are written into a slot per task index, so the
+//! returned `Vec` is always in task order no matter which worker finished
+//! what, when. Scheduling (which worker runs which task) is *not*
+//! deterministic — tasks must not depend on execution order, only on their
+//! own input. Proof search satisfies this: goals are independent.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::thread;
+
+/// Stack size for worker threads. Reduction and proof search recurse on
+/// term structure, which for deep numeral towers can nest thousands of
+/// frames; the default 2 MiB spawn stack is too tight, so workers get the
+/// same order of headroom as the main thread.
+const WORKER_STACK_BYTES: usize = 32 * 1024 * 1024;
+
+/// The number of hardware threads, with a floor of 1 (used for `--jobs 0`
+/// / "auto").
+pub fn available_parallelism() -> usize {
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A fixed-width work-stealing executor for independent, indexed tasks.
+#[derive(Copy, Clone, Debug)]
+pub struct BatchScheduler {
+    jobs: usize,
+}
+
+impl BatchScheduler {
+    /// A scheduler running `jobs` workers; `0` means one worker per
+    /// hardware thread.
+    pub fn new(jobs: usize) -> BatchScheduler {
+        BatchScheduler {
+            jobs: if jobs == 0 {
+                available_parallelism()
+            } else {
+                jobs
+            },
+        }
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every task and returns the results **in task order**.
+    ///
+    /// Each task receives the index of the worker running it (workers own
+    /// per-worker state such as a term store, so the index lets callers
+    /// pre-allocate one slot per worker). With one worker — or a single
+    /// task — everything runs inline on the calling thread, in order: the
+    /// sequential fallback involves no threads at all.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the panic is propagated to the caller once the
+    /// remaining workers have drained their queues.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce(usize) -> T + Send,
+    {
+        let n = tasks.len();
+        let workers = self.jobs.min(n).max(1);
+        if workers == 1 {
+            return tasks.into_iter().map(|t| t(0)).collect();
+        }
+        // Seed round-robin so every worker starts with a contiguous share
+        // of the index space interleaved with its peers'.
+        let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, t) in tasks.into_iter().enumerate() {
+            queues[i % workers]
+                .lock()
+                .expect("queue poisoned")
+                .push_back((i, t));
+        }
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for w in 0..workers {
+                let queues = &queues;
+                let slots = &slots;
+                thread::Builder::new()
+                    .name(format!("cycleq-batch-{w}"))
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, move || loop {
+                        let job = {
+                            let own = queues[w].lock().expect("queue poisoned").pop_front();
+                            own.or_else(|| {
+                                (1..workers).find_map(|off| {
+                                    queues[(w + off) % workers]
+                                        .lock()
+                                        .expect("queue poisoned")
+                                        .pop_back()
+                                })
+                            })
+                        };
+                        match job {
+                            Some((i, task)) => {
+                                let out = task(w);
+                                *slots[i].lock().expect("slot poisoned") = Some(out);
+                            }
+                            // Every deque empty and tasks never spawn
+                            // tasks: nothing left to do.
+                            None => break,
+                        }
+                    })
+                    .expect("spawn batch worker");
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("slot poisoned")
+                    .expect("scope joined, so every task ran")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn results_are_in_task_order() {
+        // Make early tasks slow so completion order inverts task order.
+        let out = BatchScheduler::new(4).run(
+            (0..32)
+                .map(|i| {
+                    move |_w: usize| {
+                        if i < 4 {
+                            thread::sleep(Duration::from_millis(20));
+                        }
+                        i * 10
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline_in_order() {
+        let order = Mutex::new(Vec::new());
+        let out = BatchScheduler::new(1).run(
+            (0..8)
+                .map(|i| {
+                    let order = &order;
+                    move |w: usize| {
+                        assert_eq!(w, 0);
+                        order.lock().unwrap().push(i);
+                        i
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+        assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let none: Vec<i32> = BatchScheduler::new(4).run(Vec::<fn(usize) -> i32>::new());
+        assert!(none.is_empty());
+        let one = BatchScheduler::new(4).run(vec![|_w: usize| 42]);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_loaded_ones() {
+        // One long task pins a worker; the other workers must steal the
+        // remaining short tasks instead of idling. If stealing is broken
+        // the short tasks seeded behind the long one would wait the full
+        // sleep, and distinct_workers would be 1.
+        let workers_seen = Mutex::new(std::collections::BTreeSet::new());
+        let done = AtomicUsize::new(0);
+        BatchScheduler::new(3).run(
+            (0..9)
+                .map(|i| {
+                    let workers_seen = &workers_seen;
+                    let done = &done;
+                    move |w: usize| {
+                        workers_seen.lock().unwrap().insert(w);
+                        if i == 0 {
+                            // Wait until everyone else finished: only
+                            // possible if the other workers made progress
+                            // concurrently (and stole worker 0's share).
+                            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                            while done.load(Ordering::SeqCst) < 8 {
+                                assert!(
+                                    std::time::Instant::now() < deadline,
+                                    "peers never stole worker 0's queued tasks"
+                                );
+                                thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                        done.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(done.load(Ordering::SeqCst), 9);
+        assert!(workers_seen.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn jobs_zero_means_auto() {
+        let s = BatchScheduler::new(0);
+        assert!(s.jobs() >= 1);
+        assert_eq!(s.jobs(), available_parallelism());
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let out = BatchScheduler::new(64).run((0..3).map(|i| move |_w: usize| i).collect());
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

@@ -47,6 +47,7 @@ fn main() {
         },
         with_hints: false,
         recheck: true,
+        ..RunConfig::default()
     };
 
     // Average solve times across runs (status taken from the first run;

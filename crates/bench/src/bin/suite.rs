@@ -4,19 +4,31 @@
 //! Usage:
 //!
 //! ```text
-//! suite [--category isaplanner|mutual|figure] [--hints] [--csv] [--timeout-ms N]
+//! suite [--category isaplanner|mutual|figure] [--quick] [--jobs N]
+//!       [--hints] [--csv] [--timeout-ms N]
 //! ```
+//!
+//! `--jobs N` fans problems out across N worker threads (0 = one per
+//! hardware thread); output order stays declaration order. `--quick`
+//! restricts the run to the fast figure + mutual-induction problems — the
+//! combination `--quick --jobs 2` is the CI smoke test for the parallel
+//! scheduler. Exits non-zero when any problem is refuted or errors (a
+//! mis-encoded property), so CI catches those too.
 
 use std::time::Duration;
 
 use cycleq::SearchConfig;
-use cycleq_benchsuite::{all_problems, csv, run_suite, summarize, text_table, Category, RunConfig};
+use cycleq_benchsuite::{
+    all_problems, csv, run_suite, summarize, text_table, Category, RunConfig, RunStatus,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut category: Option<Category> = None;
     let mut with_hints = false;
     let mut as_csv = false;
+    let mut quick = false;
+    let mut jobs: usize = 1;
     let mut timeout_ms: u64 = 2000;
     let mut i = 0;
     while i < args.len() {
@@ -35,6 +47,14 @@ fn main() {
             }
             "--hints" => with_hints = true,
             "--csv" => as_csv = true,
+            "--quick" => quick = true,
+            "--jobs" => {
+                i += 1;
+                jobs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--jobs needs a number");
+                    std::process::exit(2);
+                });
+            }
             "--timeout-ms" => {
                 i += 1;
                 timeout_ms = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -53,6 +73,7 @@ fn main() {
     let problems: Vec<_> = all_problems()
         .into_iter()
         .filter(|p| category.is_none_or(|c| p.category == c))
+        .filter(|p| !quick || p.category != Category::IsaPlanner)
         .collect();
     let config = RunConfig {
         search: SearchConfig {
@@ -61,6 +82,7 @@ fn main() {
         },
         with_hints,
         recheck: true,
+        jobs,
     };
     let outcomes = run_suite(&problems, &config);
     if as_csv {
@@ -70,13 +92,21 @@ fn main() {
         let s = summarize(&outcomes);
         println!();
         println!(
-            "attempted {} | proved {} | out-of-scope {} | <100ms {} | mean {:.2}ms | max {:.2}ms",
+            "attempted {} | proved {} | out-of-scope {} | <100ms {} | mean {:.2}ms | max {:.2}ms | jobs {}",
             s.attempted,
             s.proved,
             s.out_of_scope,
             s.proved_under_100ms,
             s.mean_proved_ms,
-            s.max_proved_ms
+            s.max_proved_ms,
+            config.jobs,
         );
+    }
+    let broken = outcomes
+        .iter()
+        .any(|o| matches!(o.status, RunStatus::Refuted | RunStatus::Error(_)));
+    if broken {
+        eprintln!("error: a problem was refuted or failed to load — mis-encoded property?");
+        std::process::exit(1);
     }
 }

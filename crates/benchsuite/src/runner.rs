@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use cycleq::{Outcome, SearchConfig, SearchStats, Session};
+use cycleq_batch::BatchScheduler;
 
 use crate::problems::{Category, Expectation, Problem};
 
@@ -17,6 +18,15 @@ pub struct RunConfig {
     pub with_hints: bool,
     /// Re-check proofs with the independent checker.
     pub recheck: bool,
+    /// Worker threads for [`run_suite`] (1 = sequential, no threads;
+    /// 0 = one per hardware thread). Each problem loads its own program,
+    /// so workers share nothing; for problems that finish comfortably
+    /// within [`SearchConfig::timeout`] the statuses are identical to a
+    /// sequential run. Per-problem `time` fields include any contention
+    /// between workers, so near the timeout boundary a heavily loaded
+    /// machine can flip a borderline problem to `Timeout` — benchmark
+    /// timings (Figure 7 regeneration) should use `jobs: 1`.
+    pub jobs: usize,
 }
 
 impl Default for RunConfig {
@@ -28,6 +38,7 @@ impl Default for RunConfig {
             },
             with_hints: false,
             recheck: true,
+            jobs: 1,
         }
     }
 }
@@ -132,9 +143,27 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
     }
 }
 
-/// Runs a set of problems sequentially.
+/// Runs a set of problems, fanning them out across [`RunConfig::jobs`]
+/// workers (sequentially, with no threads, when `jobs` is 1).
+///
+/// The returned outcomes are **always in the order of `problems`**
+/// (declaration order), never completion order: each outcome is tagged
+/// with its input index and the batch is explicitly sorted by that index
+/// before returning, so reporters ([`text_table`], [`csv`],
+/// [`cactus_series`]) see the same deterministic sequence whatever the
+/// parallelism.
 pub fn run_suite(problems: &[&'static Problem], config: &RunConfig) -> Vec<RunOutcome> {
-    problems.iter().map(|p| run_problem(p, config)).collect()
+    let tasks: Vec<_> = problems
+        .iter()
+        .enumerate()
+        .map(|(index, &p)| move |_worker: usize| (index, run_problem(p, config)))
+        .collect();
+    let mut indexed = BatchScheduler::new(config.jobs).run(tasks);
+    // The scheduler already returns results in task order; the sort makes
+    // declaration ordering an invariant of this function rather than of
+    // the scheduler implementation.
+    indexed.sort_by_key(|(index, _)| *index);
+    indexed.into_iter().map(|(_, out)| out).collect()
 }
 
 /// Aggregate statistics matching the numbers reported in §6.1.
@@ -234,19 +263,33 @@ pub fn text_table(outcomes: &[RunOutcome]) -> String {
     out
 }
 
-/// Renders outcomes as CSV (`id,suite,status,time_ms,nodes`).
+/// Quotes a CSV field when it contains a comma, quote or newline (RFC
+/// 4180: wrap in double quotes, double any embedded quotes). Problem ids
+/// and error messages are the fields that can need this; plain fields pass
+/// through untouched.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders outcomes as CSV (`id,suite,status,time_ms,nodes`), with fields
+/// escaped per RFC 4180 so ids or error messages containing commas/quotes
+/// cannot produce malformed rows.
 pub fn csv(outcomes: &[RunOutcome]) -> String {
     let mut out = String::from("id,suite,status,time_ms,nodes\n");
     for o in outcomes {
         let status = match &o.status {
-            RunStatus::Proved => "proved",
-            RunStatus::Refuted => "refuted",
-            RunStatus::Exhausted => "exhausted",
-            RunStatus::Timeout => "timeout",
-            RunStatus::NodeBudget => "budget",
-            RunStatus::OutOfScope => "out-of-scope",
-            RunStatus::HintFailed => "hint-failed",
-            RunStatus::Error(_) => "error",
+            RunStatus::Proved => "proved".to_string(),
+            RunStatus::Refuted => "refuted".to_string(),
+            RunStatus::Exhausted => "exhausted".to_string(),
+            RunStatus::Timeout => "timeout".to_string(),
+            RunStatus::NodeBudget => "budget".to_string(),
+            RunStatus::OutOfScope => "out-of-scope".to_string(),
+            RunStatus::HintFailed => "hint-failed".to_string(),
+            RunStatus::Error(e) => format!("error: {e}"),
         };
         let suite = match o.problem.category {
             Category::IsaPlanner => "isaplanner",
@@ -256,9 +299,9 @@ pub fn csv(outcomes: &[RunOutcome]) -> String {
         let _ = writeln!(
             out,
             "{},{},{},{:.3},{}",
-            o.problem.id,
+            csv_field(o.problem.id),
             suite,
-            status,
+            csv_field(&status),
             o.time.as_secs_f64() * 1000.0,
             o.stats.as_ref().map(|s| s.nodes_created).unwrap_or(0)
         );
@@ -328,6 +371,92 @@ mod tests {
         let csv_out = csv(&outcomes);
         assert!(csv_out.starts_with("id,suite,status"));
         assert!(csv_out.contains("proved"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes_in_fields() {
+        static AWKWARD: Problem = Problem {
+            id: "IP,\"evil\",01",
+            category: Category::IsaPlanner,
+            expectation: Expectation::InScope,
+            goal: None,
+            hints: &[],
+            note: None,
+        };
+        let outcomes = vec![
+            RunOutcome {
+                problem: &AWKWARD,
+                status: RunStatus::Proved,
+                time: Duration::from_millis(1),
+                stats: None,
+            },
+            RunOutcome {
+                problem: &AWKWARD,
+                status: RunStatus::Error("load failed: expected `,`, got `=`".to_string()),
+                time: Duration::ZERO,
+                stats: None,
+            },
+        ];
+        let rendered = csv(&outcomes);
+        let mut lines = rendered.lines();
+        let header = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), 5);
+        // The awkward id must come out as one RFC 4180-quoted field…
+        let row = lines.next().unwrap();
+        assert!(
+            row.starts_with("\"IP,\"\"evil\"\",01\",isaplanner,proved,"),
+            "bad row: {row}"
+        );
+        // …so that un-escaping yields exactly the header's column count.
+        for row in rendered.lines().skip(1) {
+            let mut cols = 0;
+            let mut in_quotes = false;
+            for c in row.chars() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => cols += 1,
+                    _ => {}
+                }
+            }
+            assert_eq!(cols, 4, "row has wrong column count: {row}");
+        }
+        // The error message (which contains commas and backticks) is
+        // carried in the status field, quoted.
+        assert!(rendered.contains("\"error: load failed: expected `,`, got `=`\""));
+    }
+
+    #[test]
+    fn parallel_suite_matches_sequential_statuses_and_order() {
+        let ps: Vec<&'static Problem> = FIGURES.iter().chain(MUTUAL.iter()).collect();
+        let sequential = run_suite(&ps, &RunConfig::default());
+        let parallel = run_suite(
+            &ps,
+            &RunConfig {
+                jobs: 4,
+                ..RunConfig::default()
+            },
+        );
+        assert_eq!(sequential.len(), parallel.len());
+        for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                s.problem.id, ps[i].id,
+                "sequential order is declaration order"
+            );
+            assert_eq!(
+                p.problem.id, ps[i].id,
+                "parallel order is declaration order"
+            );
+            assert_eq!(s.status, p.status, "{}: verdicts must agree", ps[i].id);
+        }
+        // The reporters therefore agree row-for-row on everything but
+        // timing, e.g. the id column of the text table.
+        let ids = |t: &str| -> Vec<String> {
+            t.lines()
+                .skip(1)
+                .map(|l| l.split_whitespace().next().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(ids(&text_table(&sequential)), ids(&text_table(&parallel)));
     }
 
     #[test]

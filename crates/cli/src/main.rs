@@ -40,6 +40,10 @@ OPTIONS:
     --stats             Print search statistics for each goal
     --hints g1,g2       Prove the named goals first and provide them as
                         (Subst) lemmas for every requested goal
+    --jobs N            Prove goals in parallel on N worker threads
+                        (0 = one per hardware thread; default 1). Output
+                        stays in declaration order; a batch summary line
+                        with shared-cache statistics is printed at the end
     --validate          Print standing-assumption warnings (pattern
                         completeness, orthogonality) before proving
     --max-nodes N       Cap proof nodes created during search
@@ -64,6 +68,9 @@ struct Options {
     proof: bool,
     stats: bool,
     validate: bool,
+    /// `Some(n)` when `--jobs` was passed: the batch path (with its summary
+    /// line) runs even for `--jobs 1`, exactly as the help text promises.
+    jobs: Option<usize>,
     config: SearchConfig,
 }
 
@@ -78,6 +85,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         proof: true,
         stats: false,
         validate: false,
+        jobs: None,
         config: SearchConfig::default(),
     };
     let mut positional = Vec::new();
@@ -106,6 +114,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 let list = it.next().ok_or("--hints requires a value")?;
                 opts.hints.extend(list.split(',').map(str::to_string));
             }
+            "--jobs" => opts.jobs = Some(numeric("--jobs")?),
             "--max-nodes" => opts.config.max_nodes = numeric("--max-nodes")?,
             "--max-depth" => opts.config.max_depth = numeric("--max-depth")?,
             "--timeout-ms" => {
@@ -158,7 +167,8 @@ fn print_verdict(opts: &Options, verdict: &Verdict) {
         annotate(&format!(
             "  stats: nodes={} case_splits={} subst_attempts={} \
              unsound_cycles_pruned={} depth_limit_hits={} closure_graphs={} \
-             reduce_memo_hits={} interned_nodes={} elapsed={:?}",
+             reduce_memo_hits={} shared_cache_hits={} shared_cache_misses={} \
+             interned_nodes={} elapsed={:?}",
             s.nodes_created,
             s.case_splits,
             s.subst_attempts,
@@ -166,6 +176,8 @@ fn print_verdict(opts: &Options, verdict: &Verdict) {
             s.depth_limit_hits,
             s.closure_graphs,
             s.reduce_memo_hits,
+            s.shared_cache_hits,
+            s.shared_cache_misses,
             s.interned_nodes,
             s.elapsed,
         ));
@@ -197,7 +209,8 @@ fn run(opts: &Options) -> Result<Tally, String> {
         .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
     let session = Session::from_source(&source)
         .map_err(|e| format!("{}: {e}", opts.file))?
-        .with_config(opts.config.clone());
+        .with_config(opts.config.clone())
+        .with_jobs(opts.jobs.unwrap_or(1));
     if opts.validate {
         for warning in session.validate() {
             eprintln!("warning: {warning}");
@@ -212,6 +225,9 @@ fn run(opts: &Options) -> Result<Tally, String> {
         return Err(format!("`{}` declares no goals", opts.file));
     }
     let hints: Vec<&str> = opts.hints.iter().map(String::as_str).collect();
+    if opts.jobs.is_some() {
+        return run_batch(opts, &session, &goals, &hints);
+    }
     let mut tally = Tally::default();
     for goal in &goals {
         let verdict = session
@@ -224,6 +240,51 @@ fn run(opts: &Options) -> Result<Tally, String> {
             tally.gave_up = true;
         }
         print_verdict(opts, &verdict);
+    }
+    Ok(tally)
+}
+
+/// Parallel path: proves the goals as one batch across the session's
+/// workers, printing verdicts in declaration order plus a summary line.
+/// The exit code is the worst verdict, exactly as in the sequential path.
+fn run_batch(
+    opts: &Options,
+    session: &Session,
+    goals: &[String],
+    hints: &[&str],
+) -> Result<Tally, String> {
+    let goal_refs: Vec<&str> = goals.iter().map(String::as_str).collect();
+    let report = session
+        .prove_many(&goal_refs, hints)
+        .map_err(|e| e.to_string())?;
+    let mut tally = Tally::default();
+    for g in &report.goals {
+        match &g.outcome {
+            Ok(verdict) => {
+                if verdict.is_refuted() {
+                    tally.refuted = true;
+                } else if !verdict.is_proved() {
+                    tally.gave_up = true;
+                }
+                print_verdict(opts, verdict);
+            }
+            Err(e) => return Err(format!("goal `{}`: {e}", g.goal)),
+        }
+    }
+    let summary = format!(
+        "batch: proved {}/{} | jobs={} | cache hits={} misses={} entries={} | elapsed={:?}",
+        report.proved(),
+        report.goals.len(),
+        report.jobs,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.entries,
+        report.stats.elapsed,
+    );
+    if opts.dot {
+        eprintln!("{summary}");
+    } else {
+        println!("{summary}");
     }
     Ok(tally)
 }

@@ -141,6 +141,81 @@ fn proved_goal_exits_zero_even_with_refutable_sibling_unselected() {
 }
 
 #[test]
+fn parallel_jobs_match_sequential_verdicts_and_order() {
+    let file = quickstart();
+    let sequential = run(&["--no-proof", file.to_str().unwrap()]);
+    let parallel = run(&["--no-proof", "--jobs", "4", file.to_str().unwrap()]);
+    assert!(sequential.status.success());
+    assert!(
+        parallel.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&parallel.stderr)
+    );
+    let seq_out = String::from_utf8(sequential.stdout).unwrap();
+    let par_out = String::from_utf8(parallel.stdout).unwrap();
+    // Same verdict lines in the same (declaration) order.
+    let verdicts = |s: &str| -> Vec<String> {
+        s.lines()
+            .filter(|l| l.starts_with("goal "))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(verdicts(&seq_out), verdicts(&par_out));
+    // Plus the batch summary with shared-cache statistics.
+    assert!(
+        par_out.contains("batch: proved 3/3"),
+        "missing summary:\n{par_out}"
+    );
+    assert!(
+        par_out.contains("cache hits="),
+        "no cache stats:\n{par_out}"
+    );
+}
+
+#[test]
+fn explicit_jobs_one_still_prints_the_batch_summary() {
+    // `--jobs N` promises a summary line for every N, including 1 (the
+    // deterministic single-worker batch).
+    let file = quickstart();
+    let out = run(&["--no-proof", "--jobs", "1", file.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("batch: proved 3/3 | jobs=1"),
+        "missing summary:\n{stdout}"
+    );
+}
+
+#[test]
+fn parallel_refuted_goal_keeps_distinct_exit_code() {
+    let file = mixed_goals_file("wrong_parallel.hs");
+    let out = run(&["--jobs", "2", file.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "worst verdict dominates the batch exit code; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("goal good: Proved"));
+    assert!(stdout.contains("goal wrong: Refuted"));
+}
+
+#[test]
+fn parallel_gave_up_goal_keeps_exit_code_one() {
+    let file = mixed_goals_file("budget_parallel.hs");
+    let out = run(&[
+        "--jobs",
+        "2",
+        "--max-nodes",
+        "0",
+        file.to_str().unwrap(),
+        "good",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
 fn missing_file_is_a_usage_error() {
     let out = run(&["/nonexistent/nope.hs"]);
     assert_eq!(out.status.code(), Some(2));

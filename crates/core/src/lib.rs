@@ -18,6 +18,7 @@
 //! | [`cycleq_search`] | the CycleQ proof search (§5.1, §6) |
 //! | [`cycleq_lang`] | the Haskell-like frontend (§6) |
 //! | [`cycleq_ri`] | rewriting induction and the Thm 4.3 translation (§4) |
+//! | [`cycleq_batch`] | parallel goal batching and the shared normal-form cache |
 //!
 //! # Quickstart
 //!
@@ -36,16 +37,43 @@
 //! assert!(verdict.is_proved());
 //! println!("{}", verdict.render_proof().unwrap());
 //! ```
+//!
+//! # Batch proving
+//!
+//! Goals are independent, so a multi-goal program can be proved as one
+//! parallel batch; results come back in declaration order with aggregated
+//! statistics, and goals share reductions through the session's
+//! program-scoped normal-form cache:
+//!
+//! ```
+//! use cycleq::Session;
+//!
+//! let session = Session::from_source(
+//!     "data Nat = Z | S Nat
+//!      add :: Nat -> Nat -> Nat
+//!      add Z y = y
+//!      add (S x) y = S (add x y)
+//!      goal zeroRight: add x Z === x
+//!      goal comm: add x y === add y x",
+//! )
+//! .unwrap()
+//! .with_jobs(2);
+//! let report = session.prove_all();
+//! assert!(report.all_proved());
+//! assert_eq!(report.goals[0].goal, "zeroRight");
+//! ```
 
 use std::error::Error as StdError;
 use std::fmt;
+use std::time::{Duration, Instant};
 
+pub use cycleq_batch::{available_parallelism, BatchScheduler};
 pub use cycleq_lang::{GoalDef, LangError, Module};
 pub use cycleq_proof::{
     check, check_global, check_global_incremental, cycle_witnesses, global_edges, render_dot,
     render_text, CheckReport, GlobalCheck, NodeId, Preproof, RuleApp,
 };
-pub use cycleq_rewrite::Program;
+pub use cycleq_rewrite::{CacheStats, Program, SharedNormalFormCache};
 pub use cycleq_search::{LemmaPolicy, Outcome, ProofResult, Prover, SearchConfig, SearchStats};
 pub use cycleq_term::{Equation, Signature, Term, Type, VarStore};
 
@@ -135,6 +163,9 @@ impl Verdict {
 }
 
 /// A loaded program with its goals: the main entry point of the library.
+///
+/// Clones share the program-scoped normal-form cache, so proving through a
+/// clone warms the original and vice versa.
 #[derive(Clone, Debug)]
 pub struct Session {
     module: Module,
@@ -142,6 +173,14 @@ pub struct Session {
     /// Re-check every proof with the independent checker before returning
     /// it (on by default; the cost is negligible next to search).
     recheck: bool,
+    /// Worker threads used by [`Session::prove_all`]/[`Session::prove_many`]
+    /// (1 = sequential, no threads).
+    jobs: usize,
+    /// The program-scoped shared normal-form cache. Every `prove` call
+    /// consults and populates it, so reductions are shared across goals,
+    /// hints, deepening rounds and worker threads. `None` only after
+    /// [`Session::without_shared_cache`].
+    cache: Option<SharedNormalFormCache>,
 }
 
 impl Session {
@@ -155,6 +194,8 @@ impl Session {
             module: cycleq_lang::parse_module(src)?,
             config: SearchConfig::default(),
             recheck: true,
+            jobs: 1,
+            cache: Some(SharedNormalFormCache::new()),
         })
     }
 
@@ -169,6 +210,38 @@ impl Session {
     pub fn without_recheck(mut self) -> Session {
         self.recheck = false;
         self
+    }
+
+    /// Sets the worker count for [`Session::prove_all`] and
+    /// [`Session::prove_many`]; `0` means one worker per hardware thread.
+    pub fn with_jobs(mut self, jobs: usize) -> Session {
+        self.jobs = if jobs == 0 {
+            available_parallelism()
+        } else {
+            jobs
+        };
+        self
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Detaches the shared normal-form cache: every prove call recomputes
+    /// all reductions from scratch (for benchmarking the cache itself).
+    pub fn without_shared_cache(mut self) -> Session {
+        self.cache = None;
+        self
+    }
+
+    /// Hit/miss/size counters of the shared normal-form cache (all zero
+    /// after [`Session::without_shared_cache`]).
+    pub fn shared_cache_stats(&self) -> CacheStats {
+        self.cache
+            .as_ref()
+            .map(SharedNormalFormCache::stats)
+            .unwrap_or_default()
     }
 
     /// The loaded module.
@@ -222,7 +295,10 @@ impl Session {
                 .ok_or_else(|| Error::UnknownGoal(h.to_string()))?;
             hint_eqs.push(hd.rename_into(&mut vars));
         }
-        let prover = Prover::with_config(&self.module.program, self.config.clone());
+        let mut prover = Prover::with_config(&self.module.program, self.config.clone());
+        if let Some(cache) = &self.cache {
+            prover = prover.with_shared_cache(cache.clone());
+        }
         let result = prover.prove_with_hints(g.eq.clone(), vars, &hint_eqs);
         if self.recheck {
             if let Outcome::Proved { .. } = result.outcome {
@@ -239,6 +315,140 @@ impl Session {
             result,
             sig: self.module.program.sig.clone(),
         })
+    }
+
+    /// Attempts to prove **every declared goal**, fanning the batch out
+    /// across [`Session::jobs`] workers. Results come back in declaration
+    /// order regardless of which worker finished when; each worker owns its
+    /// own term store and memo table, with the session's shared normal-form
+    /// cache the only synchronised state.
+    pub fn prove_all(&self) -> BatchReport {
+        let goals: Vec<String> = self.module.goals.iter().map(|g| g.name.clone()).collect();
+        let goal_refs: Vec<&str> = goals.iter().map(String::as_str).collect();
+        self.prove_many(&goal_refs, &[])
+            .expect("declared goal names are always known")
+    }
+
+    /// Attempts to prove the named goals (each with the given hints),
+    /// batched across [`Session::jobs`] workers, returning per-goal
+    /// verdicts in the order the goals were requested.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownGoal`] when any requested goal or hint does
+    /// not name a declared goal — validated up front, before any search
+    /// runs. Per-goal failures (including a proof failing re-checking) are
+    /// reported inside the corresponding [`GoalReport`], not as a batch
+    /// error.
+    pub fn prove_many(&self, goals: &[&str], hints: &[&str]) -> Result<BatchReport, Error> {
+        for name in goals.iter().chain(hints) {
+            if self.module.goal(name).is_none() {
+                return Err(Error::UnknownGoal(name.to_string()));
+            }
+        }
+        let start = Instant::now();
+        let scheduler = BatchScheduler::new(self.jobs);
+        let tasks: Vec<_> = goals
+            .iter()
+            .map(|&name| {
+                move |_worker: usize| {
+                    let goal_start = Instant::now();
+                    let outcome = self.prove_with_hints(name, hints);
+                    GoalReport {
+                        goal: name.to_string(),
+                        outcome,
+                        time: goal_start.elapsed(),
+                    }
+                }
+            })
+            .collect();
+        let reports = scheduler.run(tasks);
+        let mut stats = SearchStats::default();
+        for r in &reports {
+            if let Ok(v) = &r.outcome {
+                stats.absorb(&v.result.stats);
+            }
+        }
+        // Wall clock of the whole batch, not the sum of per-goal times:
+        // with jobs > 1 the sum exceeds the wall clock by design.
+        stats.elapsed = start.elapsed();
+        Ok(BatchReport {
+            goals: reports,
+            stats,
+            jobs: scheduler.jobs(),
+            cache: self.shared_cache_stats(),
+        })
+    }
+}
+
+/// The outcome of one goal within a batch.
+#[derive(Clone, Debug)]
+pub struct GoalReport {
+    /// The goal's name.
+    pub goal: String,
+    /// The verdict, or the per-goal error (e.g. a proof that failed
+    /// re-checking).
+    pub outcome: Result<Verdict, Error>,
+    /// Wall-clock time this goal occupied its worker (parse excluded,
+    /// search and re-check included).
+    pub time: Duration,
+}
+
+impl GoalReport {
+    /// The verdict, when the goal ran to a verdict.
+    pub fn verdict(&self) -> Option<&Verdict> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// Whether the goal was proved (and, if enabled, re-checked).
+    pub fn is_proved(&self) -> bool {
+        self.verdict().is_some_and(Verdict::is_proved)
+    }
+
+    /// Whether the goal was refuted.
+    pub fn is_refuted(&self) -> bool {
+        self.verdict().is_some_and(Verdict::is_refuted)
+    }
+}
+
+/// The outcome of [`Session::prove_all`]/[`Session::prove_many`]:
+/// deterministic, declaration-ordered per-goal reports plus aggregates.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-goal reports, in the order the goals were requested (declaration
+    /// order for [`Session::prove_all`]) — independent of completion order.
+    pub goals: Vec<GoalReport>,
+    /// Search counters summed over all goals. `elapsed` is the wall clock
+    /// of the whole batch; the gauges (`closure_graphs`,
+    /// `interned_nodes`) are summed across goals.
+    pub stats: SearchStats,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Shared normal-form cache counters at the end of the batch
+    /// (session-lifetime totals, so earlier `prove` calls count too).
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// Number of proved goals.
+    pub fn proved(&self) -> usize {
+        self.goals.iter().filter(|g| g.is_proved()).count()
+    }
+
+    /// Whether every goal in the batch was proved.
+    pub fn all_proved(&self) -> bool {
+        self.goals.iter().all(GoalReport::is_proved)
+    }
+
+    /// Whether any goal was refuted (a ground counterexample exists).
+    pub fn any_refuted(&self) -> bool {
+        self.goals.iter().any(GoalReport::is_refuted)
+    }
+
+    /// Whether any goal ended without a proof or refutation (exhausted,
+    /// timeout, node budget, failed hint, or a per-goal error).
+    pub fn any_gave_up(&self) -> bool {
+        self.goals.iter().any(|g| !g.is_proved() && !g.is_refuted())
     }
 }
 
@@ -298,6 +508,81 @@ goal comm: add x y === add y x
         let s = Session::from_source(src).unwrap();
         let v = s.prove_with_hints("comm", &["succRight"]).unwrap();
         assert!(v.is_proved());
+    }
+
+    #[test]
+    fn prove_all_reports_every_goal_in_declaration_order() {
+        for jobs in [1, 4] {
+            let s = Session::from_source(SRC).unwrap().with_jobs(jobs);
+            let report = s.prove_all();
+            assert_eq!(report.jobs, jobs);
+            let names: Vec<&str> = report.goals.iter().map(|g| g.goal.as_str()).collect();
+            assert_eq!(names, vec!["comm", "zeroRight", "wrong"]);
+            assert!(report.goals[0].is_proved());
+            assert!(report.goals[1].is_proved());
+            assert!(report.goals[2].is_refuted());
+            assert_eq!(report.proved(), 2);
+            assert!(!report.all_proved());
+            assert!(report.any_refuted());
+            assert!(!report.any_gave_up());
+            assert!(report.stats.nodes_created > 0);
+        }
+    }
+
+    #[test]
+    fn batch_shares_reductions_through_the_session_cache() {
+        let s = Session::from_source(SRC).unwrap().with_jobs(2);
+        let report = s.prove_all();
+        assert!(
+            report.stats.shared_cache_hits > 0,
+            "goals over one program must share normal forms: {:?}",
+            report.stats
+        );
+        assert!(report.cache.entries > 0);
+        assert_eq!(report.cache.hits, report.stats.shared_cache_hits);
+    }
+
+    #[test]
+    fn prove_many_validates_names_up_front() {
+        let s = Session::from_source(SRC).unwrap();
+        assert!(matches!(
+            s.prove_many(&["comm", "nope"], &[]),
+            Err(Error::UnknownGoal(n)) if n == "nope"
+        ));
+        assert!(matches!(
+            s.prove_many(&["comm"], &["missingHint"]),
+            Err(Error::UnknownGoal(_))
+        ));
+        let subset = s.prove_many(&["zeroRight"], &[]).unwrap();
+        assert_eq!(subset.goals.len(), 1);
+        assert!(subset.goals[0].is_proved());
+    }
+
+    #[test]
+    fn jobs_zero_selects_hardware_parallelism() {
+        let s = Session::from_source(SRC).unwrap().with_jobs(0);
+        assert!(s.jobs() >= 1);
+    }
+
+    #[test]
+    fn without_shared_cache_still_proves() {
+        let s = Session::from_source(SRC).unwrap().without_shared_cache();
+        let v = s.prove("comm").unwrap();
+        assert!(v.is_proved());
+        assert_eq!(s.shared_cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn repeated_prove_calls_reuse_the_cache() {
+        let s = Session::from_source(SRC).unwrap();
+        let first = s.prove("comm").unwrap();
+        let second = s.prove("comm").unwrap();
+        assert!(second.result.stats.shared_cache_hits > 0);
+        assert_eq!(
+            first.is_proved(),
+            second.is_proved(),
+            "cache reuse must not change the verdict"
+        );
     }
 
     #[test]

@@ -38,6 +38,7 @@ mod orders;
 mod orthogonality;
 mod reduce;
 mod rule;
+mod shared_cache;
 mod termination;
 mod trs;
 
@@ -53,6 +54,7 @@ pub use orders::{
 pub use orthogonality::{check_orthogonality, OrthogonalityReport};
 pub use reduce::{Normalized, Rewriter, DEFAULT_FUEL};
 pub use rule::{Rule, RuleError, RuleId};
+pub use shared_cache::{CacheStats, SharedNormalFormCache};
 pub use termination::{
     direct_recursion_decreases, non_terminating_suspects, program_call_graphs,
     size_change_terminates,

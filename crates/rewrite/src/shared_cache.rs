@@ -1,0 +1,227 @@
+//! A program-scoped, store-independent normal-form cache shared across
+//! workers and across `prove` calls.
+//!
+//! Each [`crate::MemoRewriter`] owns its own [`cycleq_term::TermStore`], so
+//! `TermId`s cannot cross rewriter (or thread) boundaries. What *can* cross
+//! is the canonical flat word encoding of a term
+//! ([`cycleq_term::TermStore::canonical_words`]): it is α-invariant in the
+//! term's variables and refers to function symbols by their stable
+//! [`cycleq_term::SymId`] index, so it means the same thing to every
+//! rewriter working over the same [`crate::Program`].
+//!
+//! An entry maps the canonical words of a subject term to the canonical
+//! words of its `R`-normal form, *encoded against the subject's variable
+//! numbering* (rule right-hand sides introduce no fresh variables, so the
+//! normal form's variables are a subset of the subject's). A consumer that
+//! interned an α-equivalent subject inverts its own rename map to decode
+//! the cached normal form straight into its own store.
+//!
+//! The cache is safe to share between threads: entries are keyed purely by
+//! program-relative structure, only *complete* normal forms are ever
+//! published (fuel- or deadline-cut reductions never are), and on the
+//! orthogonal systems of Remark 2.1 normal forms are unique, so two workers
+//! racing to publish the same key write the same value.
+//!
+//! **Scope caveat:** keys do not name the program. Sharing one cache
+//! between rewriters for *different* programs is unsound (the same `SymId`
+//! index may denote different symbols); keep one cache per loaded program,
+//! as `cycleq::Session` does.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently locked shards. Workers normalising unrelated
+/// goals rarely contend on the same shard; 16 keeps the memory overhead
+/// trivial while making lock contention negligible for realistic `--jobs`.
+const SHARDS: usize = 16;
+
+/// Entries whose subject-plus-normal-form node count exceeds this are not
+/// published: encoding/decoding is linear in term size, and gigantic normal
+/// forms (deep numeral towers) would bloat the cache for reductions that
+/// are cheap to replay locally relative to their transfer cost.
+const MAX_ENTRY_NODES: usize = 16_384;
+
+/// Counters describing a cache's lifetime activity.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+}
+
+/// Canonical flat term encoding, as produced by
+/// [`cycleq_term::TermStore::canonical_words`].
+type Words = Box<[u32]>;
+
+#[derive(Debug)]
+struct Shard {
+    map: Mutex<HashMap<Words, Words>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A thread-safe map from canonical subject words to canonical normal-form
+/// words. Cheap to clone (clones share the same underlying map).
+#[derive(Clone, Debug)]
+pub struct SharedNormalFormCache {
+    inner: Arc<Inner>,
+}
+
+impl Default for SharedNormalFormCache {
+    fn default() -> SharedNormalFormCache {
+        SharedNormalFormCache::new()
+    }
+}
+
+impl SharedNormalFormCache {
+    /// An empty cache.
+    pub fn new() -> SharedNormalFormCache {
+        SharedNormalFormCache {
+            inner: Arc::new(Inner {
+                shards: (0..SHARDS)
+                    .map(|_| Shard {
+                        map: Mutex::new(HashMap::new()),
+                    })
+                    .collect(),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn shard(&self, key: &[u32]) -> &Shard {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.inner.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    /// The cached normal-form words for a subject, counting the hit/miss.
+    pub fn lookup(&self, key: &[u32]) -> Option<Words> {
+        let found = self
+            .shard(key)
+            .map
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+            .cloned();
+        match &found {
+            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Publishes a subject → normal-form entry. First writer wins (normal
+    /// forms are unique on the systems we run, so racers agree anyway);
+    /// oversized entries are silently dropped (see [`MAX_ENTRY_NODES`]).
+    pub fn publish(&self, key: Words, nf: Words) {
+        self.shard(&key)
+            .map
+            .lock()
+            .expect("cache shard poisoned")
+            .entry(key)
+            .or_insert(nf);
+    }
+
+    /// Whether a subject/normal-form pair of this node count is small
+    /// enough to publish.
+    pub fn admits(subject_nodes: usize, nf_nodes: usize) -> bool {
+        subject_nodes.saturating_add(nf_nodes) <= MAX_ENTRY_NODES
+    }
+
+    /// The number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.map.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime hit/miss counters and current size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.inner.hits.load(Ordering::Relaxed),
+            misses: self.inner.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_lookup_round_trips() {
+        let cache = SharedNormalFormCache::new();
+        assert!(cache.is_empty());
+        let key: Box<[u32]> = vec![1, 2, 3].into();
+        let nf: Box<[u32]> = vec![4, 5].into();
+        assert_eq!(cache.lookup(&key), None);
+        cache.publish(key.clone(), nf.clone());
+        assert_eq!(cache.lookup(&key), Some(nf));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn first_publish_wins() {
+        let cache = SharedNormalFormCache::new();
+        let key: Box<[u32]> = vec![9].into();
+        cache.publish(key.clone(), vec![1].into());
+        cache.publish(key.clone(), vec![2].into());
+        assert_eq!(cache.lookup(&key).as_deref(), Some(&[1u32][..]));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = SharedNormalFormCache::new();
+        let b = a.clone();
+        a.publish(vec![7].into(), vec![8].into());
+        assert_eq!(b.lookup(&[7]).as_deref(), Some(&[8u32][..]));
+        assert_eq!(b.stats().hits, 1);
+    }
+
+    #[test]
+    fn size_guard_admits_small_rejects_huge() {
+        assert!(SharedNormalFormCache::admits(100, 100));
+        assert!(!SharedNormalFormCache::admits(MAX_ENTRY_NODES, 1));
+        assert!(!SharedNormalFormCache::admits(usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn concurrent_publishes_and_lookups_are_consistent() {
+        let cache = SharedNormalFormCache::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let key: Box<[u32]> = vec![i % 50].into();
+                        cache.publish(key.clone(), vec![(i % 50) * 2].into());
+                        let got = cache.lookup(&key).expect("just published");
+                        assert_eq!(got.as_ref(), &[(i % 50) * 2], "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 50);
+    }
+}

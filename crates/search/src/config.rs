@@ -77,10 +77,38 @@ pub struct SearchStats {
     pub closure_graphs: usize,
     /// Normal forms served from the memoised rewriter's cache.
     pub reduce_memo_hits: u64,
+    /// Normal forms served from the program-scoped *shared* cache (other
+    /// workers, other goals, earlier deepening rounds). Zero when no shared
+    /// cache is attached.
+    pub shared_cache_hits: u64,
+    /// Shared-cache lookups that found nothing.
+    pub shared_cache_misses: u64,
     /// Distinct hash-consed term nodes interned during the search.
     pub interned_nodes: usize,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+}
+
+impl SearchStats {
+    /// Adds every counter of `other` into `self` (including the gauges
+    /// `closure_graphs`/`interned_nodes` and `elapsed`). Aggregators with
+    /// gauge semantics — e.g. the prover's deepening loop, which reports
+    /// the *final* round's gauge values — call this and then overwrite the
+    /// gauge fields; keeping the summation in one place means a counter
+    /// added to this struct is aggregated everywhere automatically.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes_created += other.nodes_created;
+        self.case_splits += other.case_splits;
+        self.subst_attempts += other.subst_attempts;
+        self.unsound_cycles_pruned += other.unsound_cycles_pruned;
+        self.depth_limit_hits += other.depth_limit_hits;
+        self.closure_graphs += other.closure_graphs;
+        self.reduce_memo_hits += other.reduce_memo_hits;
+        self.shared_cache_hits += other.shared_cache_hits;
+        self.shared_cache_misses += other.shared_cache_misses;
+        self.interned_nodes += other.interned_nodes;
+        self.elapsed += other.elapsed;
+    }
 }
 
 #[cfg(test)]

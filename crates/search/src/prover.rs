@@ -18,7 +18,9 @@
 use std::time::Instant;
 
 use cycleq_proof::{edge_graph, CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp};
-use cycleq_rewrite::{DeadlineExceeded, MemoRewriter, NormalizedId, Program};
+use cycleq_rewrite::{
+    DeadlineExceeded, MemoRewriter, NormalizedId, Program, SharedNormalFormCache,
+};
 use cycleq_sizechange::{IncrementalClosure, Mark, Soundness};
 use cycleq_term::{
     CanonKey, Equation, Head, IdSubst, Term, TermId, TyUnifier, Type, VarId, VarStore,
@@ -78,6 +80,7 @@ pub struct ProofResult {
 pub struct Prover<'a> {
     prog: &'a Program,
     config: SearchConfig,
+    shared: Option<SharedNormalFormCache>,
 }
 
 impl<'a> Prover<'a> {
@@ -86,12 +89,27 @@ impl<'a> Prover<'a> {
         Prover {
             prog,
             config: SearchConfig::default(),
+            shared: None,
         }
     }
 
     /// A prover with an explicit configuration.
     pub fn with_config(prog: &'a Program, config: SearchConfig) -> Prover<'a> {
-        Prover { prog, config }
+        Prover {
+            prog,
+            config,
+            shared: None,
+        }
+    }
+
+    /// Attaches a program-scoped shared normal-form cache: every deepening
+    /// round's rewriter consults and populates it, so reductions are shared
+    /// across rounds, across goals and across worker threads. The cache
+    /// must have been created for `prog` (see
+    /// [`cycleq_rewrite::SharedNormalFormCache`]).
+    pub fn with_shared_cache(mut self, cache: SharedNormalFormCache) -> Prover<'a> {
+        self.shared = Some(cache);
+        self
     }
 
     /// The configuration in use.
@@ -125,16 +143,11 @@ impl<'a> Prover<'a> {
         loop {
             let (result, hit_depth_limit) =
                 self.prove_round(goal.clone(), vars.clone(), hints, deadline, depth);
-            total.nodes_created += result.stats.nodes_created;
-            total.case_splits += result.stats.case_splits;
-            total.subst_attempts += result.stats.subst_attempts;
-            total.unsound_cycles_pruned += result.stats.unsound_cycles_pruned;
-            total.depth_limit_hits += result.stats.depth_limit_hits;
+            total.absorb(&result.stats);
+            // Gauges, not counters: each deepening round re-interns into a
+            // fresh store, so report the final round's sizes rather than
+            // the sums `absorb` produced.
             total.closure_graphs = result.stats.closure_graphs;
-            total.reduce_memo_hits += result.stats.reduce_memo_hits;
-            // A gauge, not a counter: each deepening round re-interns into a
-            // fresh store, so report the final round's size (like
-            // closure_graphs).
             total.interned_nodes = result.stats.interned_nodes;
             let deepen = matches!(result.outcome, Outcome::Exhausted)
                 && hit_depth_limit
@@ -161,13 +174,17 @@ impl<'a> Prover<'a> {
         deadline: Option<Instant>,
         depth_limit: usize,
     ) -> (ProofResult, bool) {
+        let mut rw =
+            MemoRewriter::new(&self.prog.sig, &self.prog.trs).with_fuel(self.config.reduction_fuel);
+        if let Some(cache) = &self.shared {
+            rw = rw.with_shared_cache(cache.clone());
+        }
         let mut search = Search {
             prog: self.prog,
             config: &self.config,
             depth_limit,
             proof: Preproof::with_vars(vars),
-            rw: MemoRewriter::new(&self.prog.sig, &self.prog.trs)
-                .with_fuel(self.config.reduction_fuel),
+            rw,
             closure: IncrementalClosure::new(),
             lemmas: Vec::new(),
             path_keys: Vec::new(),
@@ -198,6 +215,8 @@ impl<'a> Prover<'a> {
         let mut stats = search.stats;
         stats.closure_graphs = search.closure.num_graphs();
         stats.reduce_memo_hits = search.rw.memo_hits();
+        stats.shared_cache_hits = search.rw.shared_cache_hits();
+        stats.shared_cache_misses = search.rw.shared_cache_misses();
         stats.interned_nodes = search.rw.store().len();
         let hit = stats.depth_limit_hits > 0;
         (
@@ -918,6 +937,48 @@ mod tests {
         assert!(res.stats.nodes_created > 0);
         assert!(res.stats.case_splits >= 1);
         assert!(res.stats.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn shared_cache_is_reused_across_goals_without_changing_outcomes() {
+        let p = nat_list_program();
+        let cache = SharedNormalFormCache::new();
+        let goals = |vars: &mut VarStore| {
+            let x = vars.fresh("x", p.f.nat_ty());
+            let y = vars.fresh("y", p.f.nat_ty());
+            vec![
+                Equation::new(
+                    Term::apps(p.f.add, vec![Term::var(x), Term::sym(p.f.zero)]),
+                    Term::var(x),
+                ),
+                Equation::new(
+                    Term::apps(p.f.add, vec![Term::var(x), p.f.s(Term::var(y))]),
+                    p.f.s(Term::apps(p.f.add, vec![Term::var(x), Term::var(y)])),
+                ),
+                Equation::new(
+                    Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+                    Term::apps(p.f.add, vec![Term::var(y), Term::var(x)]),
+                ),
+            ]
+        };
+        let mut total_hits = 0;
+        for (i, goal) in goals(&mut VarStore::new()).into_iter().enumerate() {
+            let mut vars = VarStore::new();
+            let eqs = goals(&mut vars);
+            let plain = Prover::new(&p.prog).prove(eqs[i].clone(), vars.clone());
+            let cached = Prover::new(&p.prog)
+                .with_shared_cache(cache.clone())
+                .prove(goal, vars);
+            assert_eq!(plain.outcome, cached.outcome, "goal {i}");
+            if cached.outcome.is_proved() {
+                check(&cached.proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+            }
+            total_hits += cached.stats.shared_cache_hits;
+        }
+        assert!(
+            total_hits > 0,
+            "related goals over the same program must share reductions"
+        );
     }
 
     #[test]

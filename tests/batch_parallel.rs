@@ -1,0 +1,114 @@
+//! Parallel-vs-sequential equivalence: `prove_all` with `jobs=1` and
+//! `jobs=4` must produce identical verdicts, deterministic ordering, and
+//! checkable proofs — the acceptance bar for the batch subsystem. Goals are
+//! independent and each worker owns its term store, so for searches that
+//! complete within their fuel/time budgets (all of the goals below, by a
+//! wide margin) parallelism may only change wall-clock, never outcomes.
+//! (Exactly at a budget boundary a warm shared cache can prove *more* than
+//! a cold run — see the README's batch-proving section — which is why the
+//! budgets here are generous.)
+
+use std::time::Duration;
+
+use cycleq::{GlobalCheck, SearchConfig, Session};
+use cycleq_benchsuite::{run_suite, RunConfig, FIGURES, MUTUAL};
+
+/// A multi-goal program whose goals overlap heavily (shared lemmas and
+/// repeated subterms), so the shared normal-form cache must score hits.
+const SUITE_SRC: &str = "data Nat = Z | S Nat
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+mul :: Nat -> Nat -> Nat
+mul Z y = Z
+mul (S x) y = add y (mul x y)
+goal zeroRight: add x Z === x
+goal succRight: add x (S y) === S (add x y)
+goal comm: add x y === add y x
+goal assoc: add (add x y) z === add x (add y z)
+goal mulZeroRight: mul x Z === Z
+goal wrong: add x Z === Z
+";
+
+fn session(jobs: usize) -> Session {
+    Session::from_source(SUITE_SRC)
+        .unwrap()
+        .with_config(SearchConfig {
+            timeout: Some(Duration::from_secs(10)),
+            ..SearchConfig::default()
+        })
+        .with_jobs(jobs)
+}
+
+#[test]
+fn prove_all_verdicts_are_identical_across_job_counts() {
+    let sequential = session(1).prove_all();
+    let parallel = session(4).prove_all();
+    assert_eq!(sequential.goals.len(), parallel.goals.len());
+    for (s, p) in sequential.goals.iter().zip(&parallel.goals) {
+        assert_eq!(s.goal, p.goal, "declaration order is deterministic");
+        assert_eq!(
+            s.is_proved(),
+            p.is_proved(),
+            "{}: proved status must not depend on jobs",
+            s.goal
+        );
+        assert_eq!(
+            s.is_refuted(),
+            p.is_refuted(),
+            "{}: refuted status must not depend on jobs",
+            s.goal
+        );
+    }
+    assert_eq!(sequential.proved(), 5);
+    assert!(sequential.goals.last().unwrap().is_refuted());
+}
+
+#[test]
+fn parallel_proofs_are_independently_checkable() {
+    // Re-check every parallel-produced proof with the independent checker
+    // against the session's program (recheck is also on inside prove, so
+    // this is belt and braces at the integration level).
+    let s = session(4);
+    let report = s.prove_all();
+    let mut checked = 0;
+    for g in &report.goals {
+        let Some(v) = g.verdict() else {
+            panic!("{}: batch error {:?}", g.goal, g.outcome.as_ref().err());
+        };
+        if v.is_proved() {
+            cycleq::check(&v.result.proof, s.program(), GlobalCheck::VariableTraces)
+                .unwrap_or_else(|e| panic!("{}: proof fails re-checking: {e}", g.goal));
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 5);
+}
+
+#[test]
+fn shared_cache_scores_hits_on_overlapping_goals() {
+    let report = session(4).prove_all();
+    assert!(
+        report.stats.shared_cache_hits > 0,
+        "a suite with repeated lemmas must share normal forms: {:?}",
+        report.stats
+    );
+    assert!(report.cache.entries > 0);
+}
+
+#[test]
+fn quick_benchsuite_statuses_match_across_job_counts() {
+    let ps: Vec<_> = FIGURES.iter().chain(MUTUAL.iter()).collect();
+    let seq = run_suite(&ps, &RunConfig::default());
+    let par = run_suite(
+        &ps,
+        &RunConfig {
+            jobs: 4,
+            ..RunConfig::default()
+        },
+    );
+    for (i, (s, p)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(s.problem.id, p.problem.id, "ordering is deterministic");
+        assert_eq!(s.status, p.status, "{}: status must agree", ps[i].id);
+    }
+}

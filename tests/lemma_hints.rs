@@ -16,6 +16,7 @@ fn config(with_hints: bool) -> RunConfig {
         },
         with_hints,
         recheck: true,
+        ..RunConfig::default()
     }
 }
 

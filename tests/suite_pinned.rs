@@ -16,6 +16,7 @@ fn config() -> RunConfig {
         },
         with_hints: false,
         recheck: true,
+        ..RunConfig::default()
     }
 }
 
@@ -55,6 +56,7 @@ fn pinned_unproved_set() {
         },
         with_hints: false,
         recheck: true,
+        ..RunConfig::default()
     };
     for id in MUST_NOT_PROVE {
         let p = ISAPLANNER.iter().find(|p| &p.id == id).unwrap();
