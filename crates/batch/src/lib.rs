@@ -8,7 +8,9 @@
 //! - [`BatchScheduler`]: a std-only work-stealing executor
 //!   (`std::thread::scope` + per-worker deques, no external crates) that
 //!   fans indexed tasks out across `--jobs` workers and returns results in
-//!   *task order*, independent of completion order;
+//!   *task order*, independent of completion order; seeding is
+//!   cost-ordered ([`BatchScheduler::run_with_costs`]) so predicted-heavy
+//!   goals start first and bound the batch's tail latency;
 //! - [`SharedNormalFormCache`] (re-exported from `cycleq_rewrite`): the
 //!   program-scoped cache each worker's `MemoRewriter` consults, so hint
 //!   goals, re-proved lemmas and benchmark suites share reductions across

@@ -14,12 +14,22 @@
 //! shares across workers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cycleq::Session;
+use cycleq::{Engine, Session};
 use cycleq_benchsuite::{MUTUAL_PRELUDE, PRELUDE};
 
 fn session(prelude: &str, goal: &str) -> Session {
     let src = format!("{prelude}\ngoal g: {goal}\n");
-    Session::from_source(&src).unwrap().without_recheck()
+    Engine::builder().recheck(false).build().load(&src).unwrap()
+}
+
+fn cold_session(prelude: &str, goal: &str) -> Session {
+    let src = format!("{prelude}\ngoal g: {goal}\n");
+    Engine::builder()
+        .recheck(false)
+        .shared_cache(false)
+        .build()
+        .load(&src)
+        .unwrap()
 }
 
 fn bench(c: &mut Criterion) {
@@ -56,7 +66,7 @@ fn bench(c: &mut Criterion) {
         ("fig4_add_comm", PRELUDE, "add x y === add y x"),
         ("fig9_map_id", PRELUDE, "map id xs === xs"),
     ] {
-        let cold = session(prelude, goal).without_shared_cache();
+        let cold = cold_session(prelude, goal);
         cache_group.bench_function(format!("{name}_cold"), |b| {
             b.iter(|| {
                 let v = cold.prove("g").unwrap();

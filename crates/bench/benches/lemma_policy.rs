@@ -8,19 +8,21 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cycleq::{LemmaPolicy, SearchConfig, Session};
+use cycleq::{Engine, LemmaPolicy, SearchConfig, Session};
 use cycleq_benchsuite::PRELUDE;
 
 fn session(goal: &str, policy: LemmaPolicy) -> Session {
     let src = format!("{PRELUDE}\ngoal g: {goal}\n");
-    Session::from_source(&src)
-        .unwrap()
-        .with_config(SearchConfig {
+    Engine::builder()
+        .config(SearchConfig {
             lemma_policy: policy,
             timeout: Some(Duration::from_secs(30)),
             ..SearchConfig::default()
         })
-        .without_recheck()
+        .recheck(false)
+        .build()
+        .load(&src)
+        .unwrap()
 }
 
 fn bench(c: &mut Criterion) {

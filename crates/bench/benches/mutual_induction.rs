@@ -4,14 +4,14 @@
 //! average; this bench measures each of the eight problems in our suite.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use cycleq::Session;
+use cycleq::Engine;
 use cycleq_benchsuite::MUTUAL;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("mutual_induction");
     for p in MUTUAL {
         let src = p.source().expect("mutual problems are in scope");
-        let session = Session::from_source(&src).unwrap().without_recheck();
+        let session = Engine::builder().recheck(false).build().load(&src).unwrap();
         let goal = p.goal_name();
         group.bench_function(p.id, |b| {
             b.iter(|| {

@@ -3,7 +3,7 @@
 //! two proof strategies on the same program.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cycleq::Session;
+use cycleq::Engine;
 use cycleq_benchsuite::PRELUDE;
 use cycleq_ri::RiProver;
 
@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ri_vs_cycleq");
     for (name, goal) in goals {
         let src = format!("{PRELUDE}\ngoal g: {goal}\n");
-        let session = Session::from_source(&src).unwrap().without_recheck();
+        let session = Engine::builder().recheck(false).build().load(&src).unwrap();
         let module = session.module().clone();
         group.bench_with_input(BenchmarkId::new("cycleq", name), &session, |b, s| {
             b.iter(|| {

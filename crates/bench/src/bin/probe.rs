@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use cycleq::{SearchConfig, Session};
+use cycleq::{Engine, SearchConfig};
 use cycleq_benchsuite::all_problems;
 
 fn main() {
@@ -16,13 +16,15 @@ fn main() {
         .find(|p| p.id == id)
         .unwrap_or_else(|| panic!("unknown problem {id}"));
     let src = p.source().expect("problem in scope");
-    let session = Session::from_source(&src)
-        .unwrap()
-        .with_config(SearchConfig {
+    let session = Engine::builder()
+        .config(SearchConfig {
             timeout: Some(Duration::from_millis(timeout)),
             max_depth: depth,
             ..SearchConfig::default()
-        });
+        })
+        .build()
+        .load(&src)
+        .unwrap();
     let v = session.prove(&p.goal_name()).unwrap();
     println!("{id}: {:?}", v.result.outcome);
     println!("stats: {:#?}", v.result.stats);

@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use cycleq::{Outcome, SearchConfig, SearchStats, Session};
+use cycleq::{Engine, Outcome, SearchConfig, SearchStats};
 use cycleq_batch::BatchScheduler;
 
 use crate::problems::{Category, Expectation, Problem};
@@ -57,6 +57,8 @@ pub enum RunStatus {
     Timeout,
     /// Node budget exceeded.
     NodeBudget,
+    /// Cancelled through a [`cycleq::CancelToken`].
+    Cancelled,
     /// Conditional property: out of scope (§6.2).
     OutOfScope,
     /// A hint lemma failed to prove first.
@@ -95,7 +97,11 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
             stats: None,
         };
     };
-    let session = match Session::from_source(&src) {
+    let engine = Engine::builder()
+        .config(config.search.clone())
+        .recheck(config.recheck)
+        .build();
+    let session = match engine.load(&src) {
         Ok(s) => s,
         Err(e) => {
             return RunOutcome {
@@ -106,10 +112,6 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
             }
         }
     };
-    let mut session = session.with_config(config.search.clone());
-    if !config.recheck {
-        session = session.without_recheck();
-    }
     let goal_name = problem.goal_name();
     let hints: Vec<&str> = if config.with_hints {
         problem.hint_names()
@@ -133,6 +135,7 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
         Outcome::Exhausted => RunStatus::Exhausted,
         Outcome::Timeout => RunStatus::Timeout,
         Outcome::NodeBudget => RunStatus::NodeBudget,
+        Outcome::Cancelled => RunStatus::Cancelled,
         Outcome::HintFailed { .. } => RunStatus::HintFailed,
     };
     RunOutcome {
@@ -241,6 +244,7 @@ pub fn text_table(outcomes: &[RunOutcome]) -> String {
             RunStatus::Exhausted => "exhausted".to_string(),
             RunStatus::Timeout => "timeout".to_string(),
             RunStatus::NodeBudget => "budget".to_string(),
+            RunStatus::Cancelled => "cancelled".to_string(),
             RunStatus::OutOfScope => "out-of-scope".to_string(),
             RunStatus::HintFailed => "hint-failed".to_string(),
             RunStatus::Error(e) => format!("ERROR: {e}"),
@@ -287,6 +291,7 @@ pub fn csv(outcomes: &[RunOutcome]) -> String {
             RunStatus::Exhausted => "exhausted".to_string(),
             RunStatus::Timeout => "timeout".to_string(),
             RunStatus::NodeBudget => "budget".to_string(),
+            RunStatus::Cancelled => "cancelled".to_string(),
             RunStatus::OutOfScope => "out-of-scope".to_string(),
             RunStatus::HintFailed => "hint-failed".to_string(),
             RunStatus::Error(e) => format!("error: {e}"),

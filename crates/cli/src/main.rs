@@ -11,9 +11,13 @@
 //! 2 on usage or load errors.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use cycleq::{SearchConfig, Session, Verdict};
+use cycleq::{
+    BatchReport, Engine, Outcome, ProveEvent, SearchConfig, SearchStats, Session, Verdict,
+};
 
 /// Some goal was not proved, but none was refuted (exhausted / timeout /
 /// node budget / failed hint).
@@ -42,8 +46,13 @@ OPTIONS:
                         (Subst) lemmas for every requested goal
     --jobs N            Prove goals in parallel on N worker threads
                         (0 = one per hardware thread; default 1). Output
-                        stays in declaration order; a batch summary line
-                        with shared-cache statistics is printed at the end
+                        stays in declaration order; live per-goal progress
+                        lines stream to stderr as goals finish, and a batch
+                        summary line with shared-cache statistics is
+                        printed at the end
+    --format FMT        Output format: `text` (default) or `json` — one
+                        machine-readable JSON object per goal plus a batch
+                        summary object, one per line, on stdout
     --validate          Print standing-assumption warnings (pattern
                         completeness, orthogonality) before proving
     --max-nodes N       Cap proof nodes created during search
@@ -60,6 +69,13 @@ EXIT STATUS:
     3   a goal was refuted (a ground counterexample exists)
 ";
 
+/// Output format for verdicts and summaries.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
 struct Options {
     file: String,
     goals: Vec<String>,
@@ -68,8 +84,10 @@ struct Options {
     proof: bool,
     stats: bool,
     validate: bool,
+    format: Format,
     /// `Some(n)` when `--jobs` was passed: the batch path (with its summary
-    /// line) runs even for `--jobs 1`, exactly as the help text promises.
+    /// line and live progress) runs even for `--jobs 1`, exactly as the
+    /// help text promises.
     jobs: Option<usize>,
     config: SearchConfig,
 }
@@ -85,6 +103,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         proof: true,
         stats: false,
         validate: false,
+        format: Format::Text,
         jobs: None,
         config: SearchConfig::default(),
     };
@@ -115,6 +134,14 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 opts.hints.extend(list.split(',').map(str::to_string));
             }
             "--jobs" => opts.jobs = Some(numeric("--jobs")?),
+            "--format" => {
+                let fmt = it.next().ok_or("--format requires a value")?;
+                opts.format = match fmt.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                };
+            }
             "--max-nodes" => opts.config.max_nodes = numeric("--max-nodes")?,
             "--max-depth" => opts.config.max_depth = numeric("--max-depth")?,
             "--timeout-ms" => {
@@ -127,10 +154,91 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             _ => positional.push(arg.clone()),
         }
     }
+    if opts.format == Format::Json && opts.dot {
+        return Err("--format json and --dot are mutually exclusive".to_string());
+    }
     let mut positional = positional.into_iter();
     opts.file = positional.next().ok_or("missing <FILE> argument")?;
     opts.goals = positional.collect();
     Ok(Some(opts))
+}
+
+/// Escapes a string for a JSON string literal (RFC 8259 §7).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The granular verdict word for `--format json`.
+fn verdict_word(outcome: &Outcome) -> &'static str {
+    match outcome {
+        Outcome::Proved { .. } => "proved",
+        Outcome::Refuted => "refuted",
+        Outcome::Exhausted => "exhausted",
+        Outcome::Timeout => "timeout",
+        Outcome::NodeBudget => "node-budget",
+        Outcome::Cancelled => "cancelled",
+        Outcome::HintFailed { .. } => "hint-failed",
+    }
+}
+
+fn json_stats(s: &SearchStats) -> String {
+    format!(
+        "{{\"nodes\":{},\"case_splits\":{},\"subst_attempts\":{},\
+         \"unsound_cycles_pruned\":{},\"depth_limit_hits\":{},\
+         \"closure_graphs\":{},\"reduce_memo_hits\":{},\
+         \"shared_cache_hits\":{},\"shared_cache_misses\":{},\
+         \"interned_nodes\":{}}}",
+        s.nodes_created,
+        s.case_splits,
+        s.subst_attempts,
+        s.unsound_cycles_pruned,
+        s.depth_limit_hits,
+        s.closure_graphs,
+        s.reduce_memo_hits,
+        s.shared_cache_hits,
+        s.shared_cache_misses,
+        s.interned_nodes,
+    )
+}
+
+/// One NDJSON object per goal: verdict, stats, elapsed.
+fn print_goal_json(verdict: &Verdict, time: Duration) {
+    println!(
+        "{{\"type\":\"goal\",\"goal\":\"{}\",\"verdict\":\"{}\",\"time_ms\":{:.3},\"stats\":{}}}",
+        json_escape(&verdict.goal),
+        verdict_word(&verdict.result.outcome),
+        time.as_secs_f64() * 1000.0,
+        json_stats(&verdict.result.stats),
+    );
+}
+
+/// The NDJSON batch summary object.
+fn print_batch_json(report: &BatchReport) {
+    println!(
+        "{{\"type\":\"batch\",\"proved\":{},\"total\":{},\"jobs\":{},\
+         \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evictions\":{}}},\
+         \"elapsed_ms\":{:.3}}}",
+        report.proved(),
+        report.goals.len(),
+        report.jobs,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.entries,
+        report.cache.evictions,
+        report.stats.elapsed.as_secs_f64() * 1000.0,
+    );
 }
 
 fn print_verdict(opts: &Options, verdict: &Verdict) {
@@ -207,10 +315,30 @@ impl Tally {
 fn run(opts: &Options) -> Result<Tally, String> {
     let source = std::fs::read_to_string(&opts.file)
         .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
-    let session = Session::from_source(&source)
-        .map_err(|e| format!("{}: {e}", opts.file))?
-        .with_config(opts.config.clone())
-        .with_jobs(opts.jobs.unwrap_or(1));
+    let mut builder = Engine::builder()
+        .config(opts.config.clone())
+        .jobs(opts.jobs.unwrap_or(1));
+    if opts.jobs.is_some() {
+        // Live per-goal progress to stderr, streamed in completion order
+        // while stdout keeps the declaration-ordered verdicts.
+        let done = Arc::new(AtomicUsize::new(0));
+        builder = builder.on_event(move |ev: &ProveEvent| {
+            if let ProveEvent::GoalFinished {
+                goal, status, time, ..
+            } = ev
+            {
+                let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "[{n}] goal {goal}: {status} ({:.1}ms)",
+                    time.as_secs_f64() * 1000.0
+                );
+            }
+        });
+    }
+    let engine = builder.build();
+    let session = engine
+        .load(&source)
+        .map_err(|e| format!("{}: {e}", opts.file))?;
     if opts.validate {
         for warning in session.validate() {
             eprintln!("warning: {warning}");
@@ -225,7 +353,9 @@ fn run(opts: &Options) -> Result<Tally, String> {
         return Err(format!("`{}` declares no goals", opts.file));
     }
     let hints: Vec<&str> = opts.hints.iter().map(String::as_str).collect();
-    if opts.jobs.is_some() {
+    // JSON output always goes through the batch path: one object per goal
+    // plus the summary object, whatever the worker count.
+    if opts.jobs.is_some() || opts.format == Format::Json {
         return run_batch(opts, &session, &goals, &hints);
     }
     let mut tally = Tally::default();
@@ -236,7 +366,7 @@ fn run(opts: &Options) -> Result<Tally, String> {
         if verdict.is_refuted() {
             tally.refuted = true;
         } else if !verdict.is_proved() {
-            // Exhausted, Timeout, NodeBudget or HintFailed.
+            // Exhausted, Timeout, NodeBudget, Cancelled or HintFailed.
             tally.gave_up = true;
         }
         print_verdict(opts, &verdict);
@@ -244,9 +374,9 @@ fn run(opts: &Options) -> Result<Tally, String> {
     Ok(tally)
 }
 
-/// Parallel path: proves the goals as one batch across the session's
-/// workers, printing verdicts in declaration order plus a summary line.
-/// The exit code is the worst verdict, exactly as in the sequential path.
+/// Batch path: proves the goals across the session's workers, printing
+/// verdicts in declaration order plus a summary. The exit code is the
+/// worst verdict, exactly as in the sequential path.
 fn run_batch(
     opts: &Options,
     session: &Session,
@@ -266,25 +396,33 @@ fn run_batch(
                 } else if !verdict.is_proved() {
                     tally.gave_up = true;
                 }
-                print_verdict(opts, verdict);
+                match opts.format {
+                    Format::Json => print_goal_json(verdict, g.time),
+                    Format::Text => print_verdict(opts, verdict),
+                }
             }
             Err(e) => return Err(format!("goal `{}`: {e}", g.goal)),
         }
     }
-    let summary = format!(
-        "batch: proved {}/{} | jobs={} | cache hits={} misses={} entries={} | elapsed={:?}",
-        report.proved(),
-        report.goals.len(),
-        report.jobs,
-        report.cache.hits,
-        report.cache.misses,
-        report.cache.entries,
-        report.stats.elapsed,
-    );
-    if opts.dot {
-        eprintln!("{summary}");
-    } else {
-        println!("{summary}");
+    match opts.format {
+        Format::Json => print_batch_json(&report),
+        Format::Text => {
+            let summary = format!(
+                "batch: proved {}/{} | jobs={} | cache hits={} misses={} entries={} | elapsed={:?}",
+                report.proved(),
+                report.goals.len(),
+                report.jobs,
+                report.cache.hits,
+                report.cache.misses,
+                report.cache.entries,
+                report.stats.elapsed,
+            );
+            if opts.dot {
+                eprintln!("{summary}");
+            } else {
+                println!("{summary}");
+            }
+        }
     }
     Ok(tally)
 }

@@ -228,3 +228,105 @@ fn unknown_flag_prints_usage() {
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
 }
+
+/// Minimal hand parser for one flat-ish NDJSON object: extracts the string
+/// or number value of a top-level (or nested, since keys are unique in our
+/// schema) key. Good enough to pin the `--format json` schema without a
+/// JSON dependency.
+fn json_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    if let Some(stripped) = rest.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        Some(&stripped[..end])
+    } else {
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(&rest[..end])
+    }
+}
+
+#[test]
+fn json_format_emits_one_object_per_goal_plus_batch_summary() {
+    let file = quickstart();
+    let out = run(&["--format", "json", "--jobs", "2", file.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.trim().is_empty()).collect();
+    // quickstart.hs declares 3 goals: 3 goal objects + 1 batch object.
+    assert_eq!(lines.len(), 4, "unexpected output:\n{stdout}");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not an NDJSON object: {line}"
+        );
+    }
+    let mut goals_seen = Vec::new();
+    for line in &lines[..3] {
+        assert_eq!(json_value(line, "type"), Some("goal"), "in {line}");
+        assert_eq!(json_value(line, "verdict"), Some("proved"), "in {line}");
+        let ms: f64 = json_value(line, "time_ms").unwrap().parse().unwrap();
+        assert!(ms >= 0.0);
+        let nodes: u64 = json_value(line, "nodes").unwrap().parse().unwrap();
+        assert!(nodes > 0, "in {line}");
+        goals_seen.push(json_value(line, "goal").unwrap().to_string());
+    }
+    // Declaration order, independent of parallel completion order.
+    assert_eq!(goals_seen, vec!["addZeroRight", "addSuccRight", "addComm"]);
+    let batch = lines[3];
+    assert_eq!(json_value(batch, "type"), Some("batch"));
+    assert_eq!(json_value(batch, "proved"), Some("3"));
+    assert_eq!(json_value(batch, "total"), Some("3"));
+    assert_eq!(json_value(batch, "jobs"), Some("2"));
+    let elapsed: f64 = json_value(batch, "elapsed_ms").unwrap().parse().unwrap();
+    assert!(elapsed > 0.0);
+    for key in ["hits", "misses", "entries", "evictions"] {
+        let v: u64 = json_value(batch, key).unwrap().parse().unwrap();
+        let _ = v; // parses as a number — schema pinned
+    }
+}
+
+#[test]
+fn json_format_carries_granular_verdicts_and_worst_exit_code() {
+    let file = mixed_goals_file("json-mixed.hs");
+    let out = run(&["--format", "json", file.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "refuted exit code survives json"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3);
+    assert_eq!(json_value(lines[0], "verdict"), Some("proved"));
+    assert_eq!(json_value(lines[1], "verdict"), Some("refuted"));
+    assert_eq!(json_value(lines[2], "type"), Some("batch"));
+    assert_eq!(json_value(lines[2], "proved"), Some("1"));
+}
+
+#[test]
+fn json_format_rejects_dot() {
+    let file = quickstart();
+    let out = run(&["--format", "json", "--dot", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn batch_mode_streams_progress_lines_to_stderr() {
+    let file = quickstart();
+    let out = run(&["--no-proof", "--jobs", "2", file.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    for goal in ["addZeroRight", "addSuccRight", "addComm"] {
+        assert!(
+            stderr.contains(&format!("goal {goal}: proved")),
+            "no progress line for {goal} in stderr:\n{stderr}"
+        );
+    }
+    // Completion counter prefixes: [1] [2] [3] in some order-independent way.
+    assert!(stderr.contains("[1]") && stderr.contains("[3]"));
+}

@@ -38,34 +38,66 @@
 //! println!("{}", verdict.render_proof().unwrap());
 //! ```
 //!
-//! # Batch proving
+//! # The Engine API
 //!
-//! Goals are independent, so a multi-goal program can be proved as one
-//! parallel batch; results come back in declaration order with aggregated
-//! statistics, and goals share reductions through the session's
-//! program-scoped normal-form cache:
+//! Long-lived embedders configure an [`Engine`] once and load cheap
+//! per-program [`Session`] handles from it. Goals are independent, so a
+//! multi-goal program proves as one parallel batch — results come back in
+//! declaration order with aggregated statistics, goals share reductions
+//! through the session's program-scoped normal-form cache, and progress
+//! streams to an optional [`EventSink`] in completion order:
 //!
 //! ```
-//! use cycleq::Session;
+//! use cycleq::Engine;
+//!
+//! let engine = Engine::builder().jobs(2).build();
+//! let session = engine
+//!     .load(
+//!         "data Nat = Z | S Nat
+//!          add :: Nat -> Nat -> Nat
+//!          add Z y = y
+//!          add (S x) y = S (add x y)
+//!          goal zeroRight: add x Z === x
+//!          goal comm: add x y === add y x",
+//!     )
+//!     .unwrap();
+//! let report = session.prove_all();
+//! assert!(report.all_proved());
+//! assert_eq!(report.goals[0].goal, "zeroRight");
+//! ```
+//!
+//! Searches accept external [`Budget`]s (wall-clock, nodes, fuel) and a
+//! shareable [`CancelToken`], polled at every DFS node and inside committed
+//! reduction chains, so an embedding service can abort a search mid-flight:
+//!
+//! ```
+//! use cycleq::{Budget, CancelToken, Session};
+//! use std::time::Duration;
 //!
 //! let session = Session::from_source(
 //!     "data Nat = Z | S Nat
 //!      add :: Nat -> Nat -> Nat
 //!      add Z y = y
 //!      add (S x) y = S (add x y)
-//!      goal zeroRight: add x Z === x
 //!      goal comm: add x y === add y x",
 //! )
-//! .unwrap()
-//! .with_jobs(2);
-//! let report = session.prove_all();
-//! assert!(report.all_proved());
-//! assert_eq!(report.goals[0].goal, "zeroRight");
+//! .unwrap();
+//! let budget = Budget::unlimited().with_timeout(Duration::from_secs(5));
+//! let cancel = CancelToken::new(); // cancel.cancel() aborts from any thread
+//! let verdict = session.prove_with_budget("comm", &[], &budget, &cancel).unwrap();
+//! assert!(verdict.is_proved());
 //! ```
 
+use std::collections::HashMap;
 use std::error::Error as StdError;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+mod engine;
+
+pub use engine::{Engine, EngineBuilder, EventSink, GoalStatus, ProveEvent};
 
 pub use cycleq_batch::{available_parallelism, BatchScheduler};
 pub use cycleq_lang::{GoalDef, LangError, Module};
@@ -73,9 +105,13 @@ pub use cycleq_proof::{
     check, check_global, check_global_incremental, cycle_witnesses, global_edges, render_dot,
     render_text, CheckReport, GlobalCheck, NodeId, Preproof, RuleApp,
 };
-pub use cycleq_rewrite::{CacheStats, Program, SharedNormalFormCache};
-pub use cycleq_search::{LemmaPolicy, Outcome, ProofResult, Prover, SearchConfig, SearchStats};
+pub use cycleq_rewrite::{CacheStats, CancelToken, Program, SharedNormalFormCache};
+pub use cycleq_search::{
+    Budget, LemmaPolicy, Outcome, ProofResult, Prover, SearchConfig, SearchStats,
+};
 pub use cycleq_term::{Equation, Signature, Term, Type, VarStore};
+
+use engine::Settings;
 
 /// Errors surfaced by a [`Session`].
 #[derive(Clone, Debug)]
@@ -162,60 +198,85 @@ impl Verdict {
     }
 }
 
-/// A loaded program with its goals: the main entry point of the library.
+/// A per-program proving handle: one parsed program plus the settings of
+/// the [`Engine`] that loaded it.
 ///
-/// Clones share the program-scoped normal-form cache, so proving through a
-/// clone warms the original and vice versa.
+/// Sessions are created by [`Engine::load`]; [`Session::from_source`]
+/// remains as a one-liner for the default engine. Clones share the
+/// program-scoped normal-form cache, so proving through a clone warms the
+/// original and vice versa.
+///
+/// The `with_*`/`without_*` mutators predate the engine and survive as a
+/// thin source-compatible shim; new code should configure an
+/// [`EngineBuilder`] instead (see the README's *Engine API* migration
+/// table).
 #[derive(Clone, Debug)]
 pub struct Session {
+    /// Program-independent settings inherited from the engine. The
+    /// deprecated shim mutators copy-on-write these.
+    settings: Arc<Settings>,
     module: Module,
-    config: SearchConfig,
-    /// Re-check every proof with the independent checker before returning
-    /// it (on by default; the cost is negligible next to search).
-    recheck: bool,
-    /// Worker threads used by [`Session::prove_all`]/[`Session::prove_many`]
-    /// (1 = sequential, no threads).
-    jobs: usize,
     /// The program-scoped shared normal-form cache. Every `prove` call
     /// consults and populates it, so reductions are shared across goals,
-    /// hints, deepening rounds and worker threads. `None` only after
-    /// [`Session::without_shared_cache`].
+    /// hints, deepening rounds and worker threads. `None` only with
+    /// [`EngineBuilder::shared_cache`]`(false)` (or the deprecated
+    /// [`Session::without_shared_cache`]).
     cache: Option<SharedNormalFormCache>,
+    /// Predicted per-goal costs recorded from a previous run
+    /// ([`Session::with_cost_hints`]); goals missing here fall back to
+    /// goal-size prediction.
+    cost_hints: HashMap<String, u64>,
 }
 
 impl Session {
-    /// Parses, type checks and loads a program.
+    /// Parses, type checks and loads a program through a default
+    /// [`Engine`]. Equivalent to `Engine::new().load(src)`.
     ///
     /// # Errors
     ///
     /// Returns the first frontend error.
     pub fn from_source(src: &str) -> Result<Session, Error> {
-        Ok(Session {
-            module: cycleq_lang::parse_module(src)?,
-            config: SearchConfig::default(),
-            recheck: true,
-            jobs: 1,
-            cache: Some(SharedNormalFormCache::new()),
-        })
+        Engine::new().load(src)
+    }
+
+    pub(crate) fn assemble(
+        settings: Arc<Settings>,
+        module: Module,
+        cache: Option<SharedNormalFormCache>,
+    ) -> Session {
+        Session {
+            settings,
+            module,
+            cache,
+            cost_hints: HashMap::new(),
+        }
+    }
+
+    /// Copy-on-write access for the deprecated shim mutators.
+    fn settings_mut(&mut self) -> &mut Settings {
+        Arc::make_mut(&mut self.settings)
     }
 
     /// Replaces the search configuration.
+    #[deprecated(note = "configure the engine instead: Engine::builder().config(..).build()")]
     pub fn with_config(mut self, config: SearchConfig) -> Session {
-        self.config = config;
+        self.settings_mut().config = config;
         self
     }
 
     /// Disables post-hoc re-checking of proofs (for benchmarking raw search
     /// time).
+    #[deprecated(note = "configure the engine instead: Engine::builder().recheck(false).build()")]
     pub fn without_recheck(mut self) -> Session {
-        self.recheck = false;
+        self.settings_mut().recheck = false;
         self
     }
 
     /// Sets the worker count for [`Session::prove_all`] and
     /// [`Session::prove_many`]; `0` means one worker per hardware thread.
+    #[deprecated(note = "configure the engine instead: Engine::builder().jobs(n).build()")]
     pub fn with_jobs(mut self, jobs: usize) -> Session {
-        self.jobs = if jobs == 0 {
+        self.settings_mut().jobs = if jobs == 0 {
             available_parallelism()
         } else {
             jobs
@@ -225,18 +286,33 @@ impl Session {
 
     /// The configured worker count.
     pub fn jobs(&self) -> usize {
-        self.jobs
+        self.settings.jobs
     }
 
     /// Detaches the shared normal-form cache: every prove call recomputes
     /// all reductions from scratch (for benchmarking the cache itself).
+    #[deprecated(
+        note = "configure the engine instead: Engine::builder().shared_cache(false).build()"
+    )]
     pub fn without_shared_cache(mut self) -> Session {
         self.cache = None;
         self
     }
 
-    /// Hit/miss/size counters of the shared normal-form cache (all zero
-    /// after [`Session::without_shared_cache`]).
+    /// Records the per-goal times of a previous [`BatchReport`] as
+    /// predicted costs for batch scheduling: goals that were slow last run
+    /// are seeded first this run. Goals absent from the report keep the
+    /// default goal-size prediction.
+    pub fn with_cost_hints(mut self, report: &BatchReport) -> Session {
+        for g in &report.goals {
+            let micros = u64::try_from(g.time.as_micros()).unwrap_or(u64::MAX);
+            self.cost_hints.insert(g.goal.clone(), micros.max(1));
+        }
+        self
+    }
+
+    /// Hit/miss/size/eviction counters of the shared normal-form cache
+    /// (all zero when the cache is disabled).
     pub fn shared_cache_stats(&self) -> CacheStats {
         self.cache
             .as_ref()
@@ -282,6 +358,40 @@ impl Session {
     ///
     /// As [`Session::prove`]; hints must also name declared goals.
     pub fn prove_with_hints(&self, goal: &str, hints: &[&str]) -> Result<Verdict, Error> {
+        self.prove_goal(goal, hints, &Budget::unlimited(), None, None)
+    }
+
+    /// Attempts to prove the named goal under an external [`Budget`] and
+    /// [`CancelToken`], on top of the engine configuration's own limits
+    /// (the effective limit in each dimension is the tighter of the two).
+    ///
+    /// Cancelling the token from another thread — any clone observes the
+    /// same flag — makes the search return promptly with a
+    /// [`Outcome::Cancelled`] verdict; the partial preproof and the
+    /// statistics gathered so far remain inspectable on the verdict.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::prove_with_hints`].
+    pub fn prove_with_budget(
+        &self,
+        goal: &str,
+        hints: &[&str],
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> Result<Verdict, Error> {
+        self.prove_goal(goal, hints, budget, Some(cancel), None)
+    }
+
+    /// The one prove path every public entry point funnels through.
+    fn prove_goal(
+        &self,
+        goal: &str,
+        hints: &[&str],
+        budget: &Budget,
+        cancel: Option<&CancelToken>,
+        observer: Option<cycleq_search::RoundObserver>,
+    ) -> Result<Verdict, Error> {
         let g = self
             .module
             .goal(goal)
@@ -295,12 +405,15 @@ impl Session {
                 .ok_or_else(|| Error::UnknownGoal(h.to_string()))?;
             hint_eqs.push(hd.rename_into(&mut vars));
         }
-        let mut prover = Prover::with_config(&self.module.program, self.config.clone());
+        let mut prover = Prover::with_config(&self.module.program, self.settings.config.clone());
         if let Some(cache) = &self.cache {
             prover = prover.with_shared_cache(cache.clone());
         }
-        let result = prover.prove_with_hints(g.eq.clone(), vars, &hint_eqs);
-        if self.recheck {
+        if let Some(observer) = observer {
+            prover = prover.with_round_observer(observer);
+        }
+        let result = prover.prove_with_budget(g.eq.clone(), vars, &hint_eqs, budget, cancel);
+        if self.settings.recheck {
             if let Outcome::Proved { .. } = result.outcome {
                 check(
                     &result.proof,
@@ -321,17 +434,31 @@ impl Session {
     /// across [`Session::jobs`] workers. Results come back in declaration
     /// order regardless of which worker finished when; each worker owns its
     /// own term store and memo table, with the session's shared normal-form
-    /// cache the only synchronised state.
+    /// cache the only synchronised state. Streams [`ProveEvent`]s to the
+    /// engine's sink, when one is configured.
     pub fn prove_all(&self) -> BatchReport {
+        let (budget, cancel) = engine::unbounded();
+        self.prove_all_with(&budget, &cancel)
+    }
+
+    /// [`Session::prove_all`] under an external batch [`Budget`] and
+    /// [`CancelToken`]. See [`Session::prove_many_with`] for how a batch
+    /// deadline is apportioned across goals.
+    pub fn prove_all_with(&self, budget: &Budget, cancel: &CancelToken) -> BatchReport {
         let goals: Vec<String> = self.module.goals.iter().map(|g| g.name.clone()).collect();
         let goal_refs: Vec<&str> = goals.iter().map(String::as_str).collect();
-        self.prove_many(&goal_refs, &[])
+        self.prove_many_with(&goal_refs, &[], budget, cancel)
             .expect("declared goal names are always known")
     }
 
     /// Attempts to prove the named goals (each with the given hints),
     /// batched across [`Session::jobs`] workers, returning per-goal
     /// verdicts in the order the goals were requested.
+    ///
+    /// Duplicate goal names in the request are **deduplicated, preserving
+    /// the first occurrence**: proving a goal twice in one batch would do
+    /// identical work for identical verdicts, so the report carries one
+    /// entry per distinct goal, in first-occurrence order.
     ///
     /// # Errors
     ///
@@ -341,28 +468,116 @@ impl Session {
     /// reported inside the corresponding [`GoalReport`], not as a batch
     /// error.
     pub fn prove_many(&self, goals: &[&str], hints: &[&str]) -> Result<BatchReport, Error> {
+        let (budget, cancel) = engine::unbounded();
+        self.prove_many_with(goals, hints, &budget, &cancel)
+    }
+
+    /// [`Session::prove_many`] under an external batch [`Budget`] and
+    /// [`CancelToken`].
+    ///
+    /// The budget's node and fuel ceilings apply to **each goal**; its
+    /// wall-clock ceiling bounds the **whole batch** and is apportioned
+    /// into per-goal slices: a goal starting with `r` time remaining and
+    /// `g` goals not yet started (out of `w` workers) receives
+    /// `min(r, r·w/g)`. One explosive goal therefore exhausts only its
+    /// slice, and cheap goals scheduled after it still get their share —
+    /// the batch as a whole never overruns the deadline. Cancelling the
+    /// token aborts every running and queued goal promptly; finished goals
+    /// keep their verdicts and the rest report
+    /// [`Outcome::Cancelled`]-carrying verdicts in the returned report.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::prove_many`].
+    pub fn prove_many_with(
+        &self,
+        goals: &[&str],
+        hints: &[&str],
+        budget: &Budget,
+        cancel: &CancelToken,
+    ) -> Result<BatchReport, Error> {
         for name in goals.iter().chain(hints) {
             if self.module.goal(name).is_none() {
                 return Err(Error::UnknownGoal(name.to_string()));
             }
         }
+        // Dedupe, preserving first occurrence (see `prove_many` docs).
+        let mut seen = std::collections::HashSet::new();
+        let goals: Vec<&str> = goals
+            .iter()
+            .copied()
+            .filter(|name| seen.insert(*name))
+            .collect();
+        let total = goals.len();
+        let costs: Vec<u64> = goals.iter().map(|name| self.predicted_cost(name)).collect();
         let start = Instant::now();
-        let scheduler = BatchScheduler::new(self.jobs);
+        let batch_deadline = budget.timeout.map(|d| start + d);
+        let scheduler = BatchScheduler::new(self.settings.jobs);
+        let workers = scheduler.jobs().min(total.max(1)) as u32;
+        let started = AtomicUsize::new(0);
+        let sink = self.settings.sink.clone();
         let tasks: Vec<_> = goals
             .iter()
-            .map(|&name| {
+            .enumerate()
+            .map(|(index, &name)| {
+                let sink = sink.clone();
+                let started = &started;
                 move |_worker: usize| {
                     let goal_start = Instant::now();
-                    let outcome = self.prove_with_hints(name, hints);
-                    GoalReport {
+                    if let Some(sink) = &sink {
+                        sink.event(&ProveEvent::GoalStarted {
+                            index,
+                            goal: name.to_string(),
+                        });
+                    }
+                    let goal_budget = match batch_deadline {
+                        None => budget.clone(),
+                        Some(deadline) => {
+                            let remaining = deadline.saturating_duration_since(goal_start);
+                            let not_started =
+                                total.saturating_sub(started.load(Ordering::Relaxed)).max(1);
+                            let slice = remaining
+                                .checked_mul(workers)
+                                .map(|r| r / u32::try_from(not_started).unwrap_or(u32::MAX))
+                                .unwrap_or(remaining)
+                                .min(remaining);
+                            let mut b = budget.clone();
+                            b.timeout = Some(slice);
+                            b
+                        }
+                    };
+                    started.fetch_add(1, Ordering::Relaxed);
+                    let observer = sink.as_ref().map(|sink| {
+                        let sink = sink.clone();
+                        let goal = name.to_string();
+                        Arc::new(move |depth: usize| {
+                            sink.event(&ProveEvent::RoundDeepened {
+                                index,
+                                goal: goal.clone(),
+                                depth,
+                            });
+                        }) as cycleq_search::RoundObserver
+                    });
+                    let outcome =
+                        self.prove_goal(name, hints, &goal_budget, Some(cancel), observer);
+                    let report = GoalReport {
                         goal: name.to_string(),
                         outcome,
                         time: goal_start.elapsed(),
+                    };
+                    if let Some(sink) = &sink {
+                        sink.event(&ProveEvent::GoalFinished {
+                            index,
+                            goal: report.goal.clone(),
+                            status: GoalStatus::of(&report.outcome),
+                            time: report.time,
+                        });
                     }
+                    report
                 }
             })
             .collect();
-        let reports = scheduler.run(tasks);
+        let reports = scheduler.run_with_costs(tasks, &costs);
         let mut stats = SearchStats::default();
         for r in &reports {
             if let Ok(v) = &r.outcome {
@@ -372,12 +587,44 @@ impl Session {
         // Wall clock of the whole batch, not the sum of per-goal times:
         // with jobs > 1 the sum exceeds the wall clock by design.
         stats.elapsed = start.elapsed();
-        Ok(BatchReport {
+        let report = BatchReport {
             goals: reports,
             stats,
             jobs: scheduler.jobs(),
             cache: self.shared_cache_stats(),
-        })
+        };
+        if let Some(sink) = &sink {
+            sink.event(&ProveEvent::BatchFinished {
+                proved: report.proved(),
+                total: report.goals.len(),
+                elapsed: report.stats.elapsed,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Predicted relative cost of a goal for batch seeding: the recorded
+    /// time from a previous run when available ([`Session::with_cost_hints`]),
+    /// the goal equation's term size otherwise.
+    ///
+    /// Recorded times (microseconds) and term sizes (node counts) are
+    /// incomparable units, so when hints exist a goal *without* one is
+    /// treated pessimistically — at least as heavy as the heaviest hinted
+    /// goal. An unknown goal is the risky one: seeding it first costs
+    /// nothing if it turns out cheap (work stealing mops up), while
+    /// seeding it last recreates exactly the tail latency this ordering
+    /// exists to avoid.
+    fn predicted_cost(&self, goal: &str) -> u64 {
+        if let Some(&cost) = self.cost_hints.get(goal) {
+            return cost;
+        }
+        let size = self
+            .module
+            .goal(goal)
+            .map(|g| u64::try_from(g.eq.size()).unwrap_or(u64::MAX))
+            .unwrap_or(1);
+        let heaviest_hint = self.cost_hints.values().copied().max().unwrap_or(0);
+        size.max(heaviest_hint)
     }
 }
 
@@ -513,7 +760,7 @@ goal comm: add x y === add y x
     #[test]
     fn prove_all_reports_every_goal_in_declaration_order() {
         for jobs in [1, 4] {
-            let s = Session::from_source(SRC).unwrap().with_jobs(jobs);
+            let s = Engine::builder().jobs(jobs).build().load(SRC).unwrap();
             let report = s.prove_all();
             assert_eq!(report.jobs, jobs);
             let names: Vec<&str> = report.goals.iter().map(|g| g.goal.as_str()).collect();
@@ -531,7 +778,7 @@ goal comm: add x y === add y x
 
     #[test]
     fn batch_shares_reductions_through_the_session_cache() {
-        let s = Session::from_source(SRC).unwrap().with_jobs(2);
+        let s = Engine::builder().jobs(2).build().load(SRC).unwrap();
         let report = s.prove_all();
         assert!(
             report.stats.shared_cache_hits > 0,
@@ -560,16 +807,158 @@ goal comm: add x y === add y x
 
     #[test]
     fn jobs_zero_selects_hardware_parallelism() {
-        let s = Session::from_source(SRC).unwrap().with_jobs(0);
+        let s = Engine::builder().jobs(0).build().load(SRC).unwrap();
         assert!(s.jobs() >= 1);
     }
 
     #[test]
-    fn without_shared_cache_still_proves() {
-        let s = Session::from_source(SRC).unwrap().without_shared_cache();
+    fn disabled_shared_cache_still_proves() {
+        let s = Engine::builder()
+            .shared_cache(false)
+            .build()
+            .load(SRC)
+            .unwrap();
         let v = s.prove("comm").unwrap();
         assert!(v.is_proved());
         assert_eq!(s.shared_cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn bounded_cache_engine_still_proves_and_reports_capacity() {
+        let s = Engine::builder()
+            .cache_capacity(1_000)
+            .build()
+            .load(SRC)
+            .unwrap();
+        let report = s.prove_all();
+        assert_eq!(report.proved(), 2);
+        // No eviction pressure at this size, but the plumbing is live.
+        assert_eq!(report.cache.evictions, 0);
+        assert!(report.cache.entries > 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_session_mutators_still_work() {
+        // The pre-engine API remains a working shim (with deprecation
+        // notes pointing at EngineBuilder).
+        let s = Session::from_source(SRC)
+            .unwrap()
+            .with_config(SearchConfig::default())
+            .with_jobs(2)
+            .without_recheck();
+        assert_eq!(s.jobs(), 2);
+        let report = s.prove_all();
+        assert_eq!(report.proved(), 2);
+        let cold = Session::from_source(SRC).unwrap().without_shared_cache();
+        assert!(cold.prove("comm").unwrap().is_proved());
+        assert_eq!(cold.shared_cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn prove_many_dedupes_duplicate_goal_names_preserving_first_occurrence() {
+        let s = Session::from_source(SRC).unwrap();
+        let report = s
+            .prove_many(
+                &["zeroRight", "comm", "zeroRight", "comm", "zeroRight"],
+                &[],
+            )
+            .unwrap();
+        let names: Vec<&str> = report.goals.iter().map(|g| g.goal.as_str()).collect();
+        assert_eq!(names, vec!["zeroRight", "comm"]);
+        assert!(report.all_proved());
+    }
+
+    #[test]
+    fn prove_all_streams_events_for_every_goal() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Collect(Mutex<Vec<ProveEvent>>);
+        impl EventSink for Collect {
+            fn event(&self, event: &ProveEvent) {
+                self.0.lock().unwrap().push(event.clone());
+            }
+        }
+
+        let sink = Arc::new(Collect::default());
+        for jobs in [1, 4] {
+            sink.0.lock().unwrap().clear();
+            let events = sink.clone();
+            let engine = Engine::builder()
+                .jobs(jobs)
+                .event_sink(move |ev: &ProveEvent| events.event(ev))
+                .build();
+            let s = engine.load(SRC).unwrap();
+            let report = s.prove_all();
+            assert_eq!(report.proved(), 2);
+
+            let log = sink.0.lock().unwrap();
+            let started: Vec<usize> = log
+                .iter()
+                .filter_map(|e| match e {
+                    ProveEvent::GoalStarted { index, .. } => Some(*index),
+                    _ => None,
+                })
+                .collect();
+            let finished: Vec<(usize, GoalStatus)> = log
+                .iter()
+                .filter_map(|e| match e {
+                    ProveEvent::GoalFinished { index, status, .. } => Some((*index, *status)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(started.len(), 3, "jobs={jobs}: {log:?}");
+            assert_eq!(finished.len(), 3, "jobs={jobs}");
+            // Every goal index appears exactly once in both streams.
+            for idx in 0..3 {
+                assert_eq!(started.iter().filter(|&&i| i == idx).count(), 1);
+                assert_eq!(finished.iter().filter(|&(i, _)| *i == idx).count(), 1);
+            }
+            // Statuses agree with the declaration-ordered report.
+            for (idx, status) in &finished {
+                assert_eq!(
+                    *status,
+                    GoalStatus::of(&report.goals[*idx].outcome),
+                    "jobs={jobs} goal {idx}"
+                );
+            }
+            // The terminal event closes the stream with the batch totals.
+            assert!(matches!(
+                log.last(),
+                Some(ProveEvent::BatchFinished {
+                    proved: 2,
+                    total: 3,
+                    ..
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn cost_hints_from_a_previous_report_reorder_scheduling() {
+        let s = Session::from_source(SRC).unwrap();
+        let first = s.prove_all();
+        let warmed = s.clone().with_cost_hints(&first);
+        let second = warmed.prove_all();
+        // Identical verdicts whatever the seeding order.
+        for (a, b) in first.goals.iter().zip(&second.goals) {
+            assert_eq!(a.goal, b.goal);
+            assert_eq!(a.is_proved(), b.is_proved());
+        }
+    }
+
+    #[test]
+    fn cancelled_single_prove_reports_cancelled_outcome() {
+        let s = Session::from_source(SRC).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let v = s
+            .prove_with_budget("comm", &[], &Budget::unlimited(), &token)
+            .unwrap();
+        assert_eq!(v.result.outcome, Outcome::Cancelled);
+        assert!(!v.is_proved());
+        assert!(!v.is_refuted());
     }
 
     #[test]

@@ -32,6 +32,7 @@
 
 mod blocked;
 mod completeness;
+mod limits;
 mod memo;
 mod narrow;
 mod orders;
@@ -46,7 +47,8 @@ pub mod fixtures;
 
 pub use blocked::{case_candidates, root_case_candidates};
 pub use completeness::{check_program, check_symbol, Completeness, WitnessPat};
-pub use memo::{DeadlineExceeded, MemoRewriter, NormalizedId};
+pub use limits::{CancelToken, Interrupted, RunLimits};
+pub use memo::{MemoRewriter, NormalizedId};
 pub use narrow::{narrow_at, NarrowingStep};
 pub use orders::{
     check_rules_decreasing, DecreasingOrder, Lpo, Precedence, SubtermOrder, TermOrder,

@@ -1,0 +1,159 @@
+//! Cooperative cancellation and combined run limits.
+//!
+//! The reduction engine ([`crate::MemoRewriter`]) and the proof search
+//! built on top of it are long loops of cheap steps; bounding them needs a
+//! signal that is nearly free to poll from the innermost loop. This module
+//! provides the two halves:
+//!
+//! - [`CancelToken`]: a shareable atomic flag. A caller hands a clone to
+//!   the search and keeps one for itself; flipping it from any thread makes
+//!   every holder's next poll observe the cancellation.
+//! - [`RunLimits`]: a wall-clock deadline bundled with an optional token,
+//!   so the hot loops poll one value instead of plumbing two.
+//!
+//! Polling a token is one relaxed atomic load — cheap enough to do every
+//! contraction — while deadline polls (a syscall on most platforms) are
+//! rate-limited by the caller.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shareable, thread-safe cancellation flag.
+///
+/// Clones observe the same flag: cancelling any clone cancels them all.
+/// Cancellation is cooperative and sticky — once set it never resets, so a
+/// token belongs to one logical run (create a fresh token per run).
+///
+/// ```
+/// use cycleq_rewrite::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let shared = token.clone();
+/// assert!(!shared.is_cancelled());
+/// token.cancel();
+/// assert!(shared.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested (one relaxed atomic load).
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a bounded run stopped before reaching its result.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Interrupted {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+/// The external limits on one run: an optional wall-clock deadline plus an
+/// optional cancellation token. `Default` is unlimited.
+///
+/// Cheap to clone (an `Option<Instant>` and an `Arc` bump), so the hot
+/// loops hold their own copy.
+#[derive(Clone, Debug, Default)]
+pub struct RunLimits {
+    /// Stop when `Instant::now()` reaches this.
+    pub deadline: Option<Instant>,
+    /// Stop when this token is cancelled.
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunLimits {
+    /// No limits at all.
+    pub fn none() -> RunLimits {
+        RunLimits::default()
+    }
+
+    /// Limits with just a wall-clock deadline.
+    pub fn with_deadline(deadline: Option<Instant>) -> RunLimits {
+        RunLimits {
+            deadline,
+            cancel: None,
+        }
+    }
+
+    /// Adds a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> RunLimits {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Polls the cancellation token only (no syscall; safe to call every
+    /// step of a hot loop).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Polls both limits. Cancellation is reported ahead of the deadline
+    /// when both have tripped: the caller asked to stop explicitly.
+    ///
+    /// # Errors
+    ///
+    /// [`Interrupted::Cancelled`] or [`Interrupted::Deadline`].
+    pub fn check(&self) -> Result<(), Interrupted> {
+        if self.is_cancelled() {
+            return Err(Interrupted::Cancelled);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Err(Interrupted::Deadline);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_is_shared_across_clones_and_threads() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || clone.cancel());
+        });
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn limits_check_reports_the_tripped_limit() {
+        assert_eq!(RunLimits::none().check(), Ok(()));
+
+        let passed = RunLimits::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert_eq!(passed.check(), Err(Interrupted::Deadline));
+
+        let token = CancelToken::new();
+        let limits = RunLimits::none().with_cancel(token.clone());
+        assert_eq!(limits.check(), Ok(()));
+        token.cancel();
+        assert_eq!(limits.check(), Err(Interrupted::Cancelled));
+
+        // Cancellation wins over a passed deadline.
+        let both = RunLimits::with_deadline(Some(Instant::now() - Duration::from_millis(1)))
+            .with_cancel(token);
+        assert_eq!(both.check(), Err(Interrupted::Cancelled));
+    }
+}

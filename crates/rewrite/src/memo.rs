@@ -15,10 +15,14 @@
 //! [`Rewriter`] — see the equivalence property tests — while sharing all
 //! repeated work through the store.
 //!
-//! Normalisation is doubly bounded: by step fuel (like [`Rewriter`]) and by
-//! an optional wall-clock deadline, checked every few contractions, so a
-//! prover's committed reduction phase can never blow past its time budget
-//! on an explosive (or non-terminating) input program.
+//! Normalisation is triply bounded: by step fuel (like [`Rewriter`]), by an
+//! optional wall-clock deadline, and by an optional [`CancelToken`] — the
+//! latter two carried in a [`RunLimits`]. The deadline is polled every few
+//! contractions (an `Instant::now` call is not free); the token is polled
+//! every contraction (one relaxed atomic load), so a prover's committed
+//! reduction phase can never blow past its time budget on an explosive (or
+//! non-terminating) input program, and an external caller can abort it
+//! mid-chain.
 
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
@@ -26,6 +30,7 @@ use std::time::Instant;
 use cycleq_term::{Head, IdSubst, Signature, SymId, Term, TermId, TermStore, VarId};
 
 use crate::blocked::Sim;
+use crate::limits::{Interrupted, RunLimits};
 use crate::reduce::{Normalized, DEFAULT_FUEL};
 use crate::rule::Rule;
 use crate::shared_cache::SharedNormalFormCache;
@@ -42,22 +47,20 @@ pub struct NormalizedId {
     pub in_normal_form: bool,
 }
 
-/// Normalisation was cut short by the wall-clock deadline.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
-pub struct DeadlineExceeded;
-
 /// Why an in-flight normalisation stopped early.
 enum Stop {
     Fuel,
-    Deadline,
+    Interrupted(Interrupted),
 }
 
-/// Per-call budget: step fuel plus an optional deadline, polled every few
-/// contractions so the `Instant::now` cost stays negligible.
+/// Per-call budget: step fuel plus the external [`RunLimits`]. The
+/// cancellation token is polled every contraction (one relaxed atomic
+/// load); the deadline every few contractions, so the `Instant::now` cost
+/// stays negligible.
 struct RunBudget {
     fuel_left: usize,
     steps: usize,
-    deadline: Option<Instant>,
+    limits: RunLimits,
     tick: u32,
 }
 
@@ -82,11 +85,11 @@ const MAX_SHARED_SUBJECT_NODES: usize = 512;
 const CHAIN_MEMO_CAP: usize = 4_096;
 
 impl RunBudget {
-    fn new(fuel: usize, deadline: Option<Instant>) -> RunBudget {
+    fn new(fuel: usize, limits: RunLimits) -> RunBudget {
         RunBudget {
             fuel_left: fuel,
             steps: 0,
-            deadline,
+            limits,
             tick: 0,
         }
     }
@@ -99,10 +102,13 @@ impl RunBudget {
         self.fuel_left -= 1;
         self.steps += 1;
         self.tick = self.tick.wrapping_add(1);
+        if self.limits.is_cancelled() {
+            return Err(Stop::Interrupted(Interrupted::Cancelled));
+        }
         if self.tick & DEADLINE_POLL_MASK == 0 {
-            if let Some(d) = self.deadline {
+            if let Some(d) = self.limits.deadline {
                 if Instant::now() >= d {
-                    return Err(Stop::Deadline);
+                    return Err(Stop::Interrupted(Interrupted::Deadline));
                 }
             }
         }
@@ -301,27 +307,28 @@ impl<'a> MemoRewriter<'a> {
         }
     }
 
-    /// Reduces to normal form with the configured fuel and no deadline.
+    /// Reduces to normal form with the configured fuel and no external
+    /// limits.
     pub fn normalize_id(&mut self, id: TermId) -> NormalizedId {
-        self.try_normalize_id(id, None)
-            .expect("no deadline was set")
+        self.try_normalize_id(id, &RunLimits::none())
+            .expect("no limits were set")
     }
 
-    /// Reduces to normal form, bounded by fuel *and* an optional wall-clock
-    /// deadline.
+    /// Reduces to normal form, bounded by fuel *and* the external
+    /// [`RunLimits`] (wall-clock deadline, cancellation token).
     ///
     /// # Errors
     ///
-    /// Returns [`DeadlineExceeded`] the moment the deadline passes; fuel
-    /// exhaustion is reported in-band via
+    /// Returns [`Interrupted`] the moment the deadline passes or the token
+    /// is cancelled; fuel exhaustion is reported in-band via
     /// [`NormalizedId::in_normal_form`] being `false` (the id is returned
     /// unreduced — callers treat such branches as failed).
     pub fn try_normalize_id(
         &mut self,
         id: TermId,
-        deadline: Option<Instant>,
-    ) -> Result<NormalizedId, DeadlineExceeded> {
-        let mut budget = RunBudget::new(self.fuel, deadline);
+        limits: &RunLimits,
+    ) -> Result<NormalizedId, Interrupted> {
+        let mut budget = RunBudget::new(self.fuel, limits.clone());
         match self.norm(id, &mut budget) {
             Ok(nf) => Ok(NormalizedId {
                 id: nf,
@@ -333,7 +340,7 @@ impl<'a> MemoRewriter<'a> {
                 steps: budget.steps,
                 in_normal_form: false,
             }),
-            Err(Stop::Deadline) => Err(DeadlineExceeded),
+            Err(Stop::Interrupted(why)) => Err(why),
         }
     }
 
@@ -640,6 +647,7 @@ impl<'a> MemoRewriter<'a> {
 mod tests {
     use super::*;
     use crate::fixtures::nat_list_program;
+    use crate::limits::CancelToken;
     use crate::{case_candidates, Rewriter};
     use cycleq_term::{Term, VarStore};
     use std::time::Duration;
@@ -723,9 +731,26 @@ mod tests {
         let id = memo.intern(&t);
         let already_passed = Instant::now() - Duration::from_millis(1);
         assert_eq!(
-            memo.try_normalize_id(id, Some(already_passed)),
-            Err(DeadlineExceeded)
+            memo.try_normalize_id(id, &RunLimits::with_deadline(Some(already_passed))),
+            Err(Interrupted::Deadline)
         );
+    }
+
+    #[test]
+    fn cancellation_cuts_normalization_short() {
+        let p = nat_list_program();
+        let mut memo = MemoRewriter::new(&p.prog.sig, &p.prog.trs).with_fuel(usize::MAX);
+        let t = Term::apps(p.f.add, vec![p.f.num(2_000), p.f.num(1)]);
+        let id = memo.intern(&t);
+        let token = CancelToken::new();
+        token.cancel();
+        let limits = RunLimits::none().with_cancel(token);
+        assert_eq!(
+            memo.try_normalize_id(id, &limits),
+            Err(Interrupted::Cancelled)
+        );
+        // Nothing partial was memoised by the aborted run.
+        assert_eq!(memo.memo_len(), 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! as `cycleq::Session` does.
 
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -53,22 +53,76 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: usize,
+    /// Entries evicted to stay under the configured capacity (zero for
+    /// unbounded caches).
+    pub evictions: u64,
 }
 
 /// Canonical flat term encoding, as produced by
 /// [`cycleq_term::TermStore::canonical_words`].
 type Words = Box<[u32]>;
 
+/// A stored normal form plus its second-chance reference bit.
+#[derive(Debug)]
+struct Entry {
+    nf: Words,
+    /// Set by every lookup hit; gives the entry one extra trip around the
+    /// eviction clock.
+    referenced: bool,
+}
+
+/// One shard: the entry map plus the clock queue driving second-chance
+/// eviction. Both live under one mutex, so the queue and map never
+/// disagree about membership.
+#[derive(Debug, Default)]
+struct ShardMap {
+    map: HashMap<Words, Entry>,
+    /// Keys in clock order. An entry is evicted when its key reaches the
+    /// front with the reference bit clear; a set bit buys it one rotation.
+    clock: VecDeque<Words>,
+}
+
+impl ShardMap {
+    /// Evicts entries until the shard is under `cap`, returning how many
+    /// were evicted. Second chance: a referenced entry at the clock hand is
+    /// unmarked and pushed to the back instead of evicted. Terminates
+    /// because every rotation clears bits: at most one full trip precedes
+    /// each eviction.
+    fn evict_to(&mut self, cap: usize) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() > cap {
+            let Some(key) = self.clock.pop_front() else {
+                break; // unreachable: clock and map stay in sync
+            };
+            match self.map.get_mut(&key) {
+                Some(e) if e.referenced => {
+                    e.referenced = false;
+                    self.clock.push_back(key);
+                }
+                Some(_) => {
+                    self.map.remove(&key);
+                    evicted += 1;
+                }
+                None => {} // unreachable: eviction is the only removal
+            }
+        }
+        evicted
+    }
+}
+
 #[derive(Debug)]
 struct Shard {
-    map: Mutex<HashMap<Words, Words>>,
+    map: Mutex<ShardMap>,
 }
 
 #[derive(Debug)]
 struct Inner {
     shards: Vec<Shard>,
+    /// Per-shard entry cap; `None` is unbounded.
+    shard_cap: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A thread-safe map from canonical subject words to canonical normal-form
@@ -85,19 +139,43 @@ impl Default for SharedNormalFormCache {
 }
 
 impl SharedNormalFormCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> SharedNormalFormCache {
+        SharedNormalFormCache::bounded(None)
+    }
+
+    /// An empty cache holding at most roughly `capacity` entries, evicting
+    /// with a second-chance (clock) policy once full: a hit marks its entry,
+    /// a marked entry at the clock hand survives one extra rotation.
+    ///
+    /// The bound is enforced per shard (`capacity / 16`, floored at one
+    /// entry per shard), so the total is approximate: tiny capacities round
+    /// up to one entry per shard, and skewed key distributions can leave
+    /// some shards below their share.
+    pub fn with_capacity(capacity: usize) -> SharedNormalFormCache {
+        SharedNormalFormCache::bounded(Some((capacity / SHARDS).max(1)))
+    }
+
+    fn bounded(shard_cap: Option<usize>) -> SharedNormalFormCache {
         SharedNormalFormCache {
             inner: Arc::new(Inner {
                 shards: (0..SHARDS)
                     .map(|_| Shard {
-                        map: Mutex::new(HashMap::new()),
+                        map: Mutex::new(ShardMap::default()),
                     })
                     .collect(),
+                shard_cap,
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// The configured entry capacity (`None` when unbounded). Approximate:
+    /// see [`SharedNormalFormCache::with_capacity`].
+    pub fn capacity(&self) -> Option<usize> {
+        self.inner.shard_cap.map(|c| c * SHARDS)
     }
 
     fn shard(&self, key: &[u32]) -> &Shard {
@@ -106,15 +184,15 @@ impl SharedNormalFormCache {
         &self.inner.shards[(h.finish() as usize) % SHARDS]
     }
 
-    /// The cached normal-form words for a subject, counting the hit/miss.
+    /// The cached normal-form words for a subject, counting the hit/miss
+    /// and marking the entry's second-chance bit.
     pub fn lookup(&self, key: &[u32]) -> Option<Words> {
-        let found = self
-            .shard(key)
-            .map
-            .lock()
-            .expect("cache shard poisoned")
-            .get(key)
-            .cloned();
+        let mut shard = self.shard(key).map.lock().expect("cache shard poisoned");
+        let found = shard.map.get_mut(key).map(|e| {
+            e.referenced = true;
+            e.nf.clone()
+        });
+        drop(shard);
         match &found {
             Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
             None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
@@ -124,14 +202,31 @@ impl SharedNormalFormCache {
 
     /// Publishes a subject → normal-form entry. First writer wins (normal
     /// forms are unique on the systems we run, so racers agree anyway);
-    /// oversized entries are silently dropped (see [`MAX_ENTRY_NODES`]).
+    /// oversized entries are silently dropped (see [`MAX_ENTRY_NODES`]),
+    /// and on bounded caches the insert may evict the coldest entries.
     pub fn publish(&self, key: Words, nf: Words) {
-        self.shard(&key)
-            .map
-            .lock()
-            .expect("cache shard poisoned")
-            .entry(key)
-            .or_insert(nf);
+        let mut shard = self.shard(&key).map.lock().expect("cache shard poisoned");
+        if !shard.map.contains_key(&key) {
+            // The clock (a second copy of every key) only exists on bounded
+            // caches; an unbounded cache never evicts, so feeding its clock
+            // would just duplicate key memory forever.
+            if self.inner.shard_cap.is_some() {
+                shard.clock.push_back(key.clone());
+            }
+            shard.map.insert(
+                key,
+                Entry {
+                    nf,
+                    referenced: false,
+                },
+            );
+            if let Some(cap) = self.inner.shard_cap {
+                let evicted = shard.evict_to(cap);
+                if evicted > 0 {
+                    self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
+                }
+            }
+        }
     }
 
     /// Whether a subject/normal-form pair of this node count is small
@@ -145,7 +240,7 @@ impl SharedNormalFormCache {
         self.inner
             .shards
             .iter()
-            .map(|s| s.map.lock().expect("cache shard poisoned").len())
+            .map(|s| s.map.lock().expect("cache shard poisoned").map.len())
             .sum()
     }
 
@@ -154,12 +249,13 @@ impl SharedNormalFormCache {
         self.len() == 0
     }
 
-    /// Lifetime hit/miss counters and current size.
+    /// Lifetime hit/miss/eviction counters and current size.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.inner.hits.load(Ordering::Relaxed),
             misses: self.inner.misses.load(Ordering::Relaxed),
             entries: self.len(),
+            evictions: self.inner.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -204,6 +300,67 @@ mod tests {
         assert!(SharedNormalFormCache::admits(100, 100));
         assert!(!SharedNormalFormCache::admits(MAX_ENTRY_NODES, 1));
         assert!(!SharedNormalFormCache::admits(usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_to_capacity() {
+        let cache = SharedNormalFormCache::with_capacity(64);
+        assert_eq!(cache.capacity(), Some(64));
+        for i in 0..1_000u32 {
+            cache.publish(vec![i].into(), vec![i, i].into());
+        }
+        assert!(
+            cache.len() <= 64,
+            "cache grew past its capacity: {}",
+            cache.len()
+        );
+        let s = cache.stats();
+        assert!(s.evictions > 0, "expected evictions, got {s:?}");
+        assert_eq!(s.entries, cache.len());
+        // Every surviving entry still round-trips.
+        let mut live = 0;
+        for i in 0..1_000u32 {
+            if let Some(nf) = cache.lookup(&[i]) {
+                assert_eq!(nf.as_ref(), &[i, i]);
+                live += 1;
+            }
+        }
+        assert_eq!(live, cache.len());
+    }
+
+    #[test]
+    fn second_chance_keeps_recently_used_entries() {
+        // One shard-sized working set: keep hitting key A while flooding
+        // with cold keys; the reference bit must keep A resident.
+        let cache = SharedNormalFormCache::with_capacity(SHARDS * 4);
+        let hot: Box<[u32]> = vec![42].into();
+        cache.publish(hot.clone(), vec![1].into());
+        for i in 100..400u32 {
+            assert!(cache.lookup(&hot).is_some(), "hot entry evicted at i={i}");
+            cache.publish(vec![i].into(), vec![2].into());
+        }
+        assert!(cache.lookup(&hot).is_some());
+        assert!(cache.stats().evictions > 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_and_keeps_no_clock() {
+        let cache = SharedNormalFormCache::new();
+        assert_eq!(cache.capacity(), None);
+        for i in 0..500u32 {
+            cache.publish(vec![i].into(), vec![i].into());
+        }
+        assert_eq!(cache.len(), 500);
+        assert_eq!(cache.stats().evictions, 0);
+        // No duplicated key memory: the eviction clock stays empty when
+        // there is no capacity to enforce.
+        let queued: usize = cache
+            .inner
+            .shards
+            .iter()
+            .map(|s| s.map.lock().unwrap().clock.len())
+            .sum();
+        assert_eq!(queued, 0);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Resource budgets for proof search.
+//!
+//! A [`Budget`] bundles the three resources a prove call can run out of —
+//! wall clock, proof nodes, and reduction fuel — into one value that can be
+//! passed around, tightened, and (at the engine level) apportioned across
+//! the goals of a batch. It complements [`SearchConfig`](crate::SearchConfig):
+//! the config describes *how* to search (depths, lemma policy) plus the
+//! prover's own default limits, while a budget is a per-call ceiling imposed
+//! from outside. The effective limit of a run is always the tighter of the
+//! two.
+
+use std::time::Duration;
+
+/// A per-call resource ceiling: wall-clock time, proof nodes created, and
+/// reduction fuel per normalisation. `None` in a field means "no ceiling
+/// from this budget" (the prover's [`SearchConfig`](crate::SearchConfig)
+/// limits still apply).
+///
+/// ```
+/// use std::time::Duration;
+/// use cycleq_search::Budget;
+///
+/// let budget = Budget::unlimited()
+///     .with_timeout(Duration::from_millis(250))
+///     .with_max_nodes(10_000);
+/// assert_eq!(budget.timeout, Some(Duration::from_millis(250)));
+/// assert_eq!(budget.max_nodes, Some(10_000));
+/// assert_eq!(budget.fuel, None);
+/// ```
+///
+/// Budgets combine with [`Budget::min`], which keeps the tighter limit in
+/// every dimension — useful when a batch-level ceiling meets a per-goal
+/// slice:
+///
+/// ```
+/// use std::time::Duration;
+/// use cycleq_search::Budget;
+///
+/// let batch = Budget::unlimited().with_timeout(Duration::from_secs(10));
+/// let slice = Budget::unlimited()
+///     .with_timeout(Duration::from_secs(2))
+///     .with_max_nodes(50_000);
+/// let effective = batch.min(&slice);
+/// assert_eq!(effective.timeout, Some(Duration::from_secs(2)));
+/// assert_eq!(effective.max_nodes, Some(50_000));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock ceiling for the whole call.
+    pub timeout: Option<Duration>,
+    /// Ceiling on proof nodes created (across backtracking).
+    pub max_nodes: Option<usize>,
+    /// Ceiling on reduction fuel per normalisation.
+    pub fuel: Option<usize>,
+}
+
+impl Budget {
+    /// A budget imposing no limits of its own.
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Sets the wall-clock ceiling.
+    pub fn with_timeout(mut self, timeout: Duration) -> Budget {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the proof-node ceiling.
+    pub fn with_max_nodes(mut self, max_nodes: usize) -> Budget {
+        self.max_nodes = Some(max_nodes);
+        self
+    }
+
+    /// Sets the per-normalisation reduction-fuel ceiling.
+    pub fn with_fuel(mut self, fuel: usize) -> Budget {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Whether this budget imposes no limit in any dimension.
+    pub fn is_unlimited(&self) -> bool {
+        self.timeout.is_none() && self.max_nodes.is_none() && self.fuel.is_none()
+    }
+
+    /// The tighter of two budgets in every dimension.
+    pub fn min(&self, other: &Budget) -> Budget {
+        fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(x.min(y)),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        Budget {
+            timeout: tighter(self.timeout, other.timeout),
+            max_nodes: tighter(self.max_nodes, other.max_nodes),
+            fuel: tighter(self.fuel, other.fuel),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_is_the_identity_of_min() {
+        let b = Budget::unlimited()
+            .with_timeout(Duration::from_secs(1))
+            .with_max_nodes(5)
+            .with_fuel(7);
+        assert_eq!(Budget::unlimited().min(&b), b);
+        assert_eq!(b.min(&Budget::unlimited()), b);
+        assert!(Budget::unlimited().is_unlimited());
+        assert!(!b.is_unlimited());
+    }
+
+    #[test]
+    fn min_takes_the_tighter_limit_per_dimension() {
+        let a = Budget::unlimited()
+            .with_timeout(Duration::from_secs(1))
+            .with_fuel(100);
+        let b = Budget::unlimited()
+            .with_timeout(Duration::from_secs(2))
+            .with_max_nodes(10);
+        let m = a.min(&b);
+        assert_eq!(m.timeout, Some(Duration::from_secs(1)));
+        assert_eq!(m.max_nodes, Some(10));
+        assert_eq!(m.fuel, Some(100));
+    }
+}

@@ -35,7 +35,8 @@ pub struct SearchConfig {
     pub depth_step: usize,
     /// Maximum DFS depth (rule applications along a branch).
     pub max_depth: usize,
-    /// Maximum number of proof nodes created in total (across backtracking).
+    /// Maximum number of proof nodes created in total per prove call
+    /// (across backtracking *and* iterative-deepening rounds).
     pub max_nodes: usize,
     /// Reduction fuel per normalisation.
     pub reduction_fuel: usize,

@@ -33,10 +33,13 @@
 //! assert!(result.outcome.is_proved());
 //! ```
 
+mod budget;
 mod config;
 mod induction;
 mod prover;
 
+pub use budget::Budget;
 pub use config::{LemmaPolicy, SearchConfig, SearchStats};
+pub use cycleq_rewrite::CancelToken;
 pub use induction::{structural_induction, InductionError};
-pub use prover::{Outcome, ProofResult, Prover};
+pub use prover::{Outcome, ProofResult, Prover, RoundObserver};

@@ -15,17 +15,20 @@
 //! without a strict self-edge appears, the cycle can never satisfy the
 //! global condition and the candidate is pruned immediately (§5.2).
 
+use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cycleq_proof::{edge_graph, CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp};
 use cycleq_rewrite::{
-    DeadlineExceeded, MemoRewriter, NormalizedId, Program, SharedNormalFormCache,
+    CancelToken, Interrupted, MemoRewriter, NormalizedId, Program, RunLimits, SharedNormalFormCache,
 };
 use cycleq_sizechange::{IncrementalClosure, Mark, Soundness};
 use cycleq_term::{
     CanonKey, Equation, Head, IdSubst, Term, TermId, TyUnifier, Type, VarId, VarStore,
 };
 
+use crate::budget::Budget;
 use crate::config::{LemmaPolicy, SearchConfig, SearchStats};
 
 /// Floor above which type variables are inference metavariables (below are
@@ -49,6 +52,9 @@ pub enum Outcome {
     Timeout,
     /// The node budget ran out.
     NodeBudget,
+    /// The caller cancelled the search through its
+    /// [`CancelToken`](cycleq_rewrite::CancelToken).
+    Cancelled,
     /// A hint lemma could not be proved first.
     HintFailed {
         /// Index of the failing hint.
@@ -75,12 +81,28 @@ pub struct ProofResult {
     pub stats: SearchStats,
 }
 
+/// Called with the new depth bound whenever the iterative-deepening loop
+/// starts another round; lets embedders stream `RoundDeepened`-style
+/// progress events from a running search.
+pub type RoundObserver = Arc<dyn Fn(usize) + Send + Sync>;
+
 /// A cyclic equational prover for a fixed program.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct Prover<'a> {
     prog: &'a Program,
     config: SearchConfig,
     shared: Option<SharedNormalFormCache>,
+    observer: Option<RoundObserver>,
+}
+
+impl fmt::Debug for Prover<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Prover")
+            .field("config", &self.config)
+            .field("shared", &self.shared.is_some())
+            .field("observer", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> Prover<'a> {
@@ -90,6 +112,7 @@ impl<'a> Prover<'a> {
             prog,
             config: SearchConfig::default(),
             shared: None,
+            observer: None,
         }
     }
 
@@ -99,7 +122,16 @@ impl<'a> Prover<'a> {
             prog,
             config,
             shared: None,
+            observer: None,
         }
+    }
+
+    /// Attaches a deepening-round observer, called with the new depth bound
+    /// each time the search starts another iterative-deepening round beyond
+    /// the first.
+    pub fn with_round_observer(mut self, observer: RoundObserver) -> Prover<'a> {
+        self.observer = Some(observer);
+        self
     }
 
     /// Attaches a program-scoped shared normal-form cache: every deepening
@@ -136,13 +168,56 @@ impl<'a> Prover<'a> {
         vars: VarStore,
         hints: &[Equation],
     ) -> ProofResult {
+        self.prove_with_budget(goal, vars, hints, &Budget::unlimited(), None)
+    }
+
+    /// Attempts to prove `goal` under an external [`Budget`] and optional
+    /// [`CancelToken`], on top of the configuration's own limits (the
+    /// effective limit in each dimension is the tighter of the two).
+    ///
+    /// Cancelling the token from another thread makes the search return
+    /// [`Outcome::Cancelled`] promptly: the token is polled at every DFS
+    /// node *and* inside committed reduction chains, so even a search stuck
+    /// deep in one explosive normalisation notices within a few thousand
+    /// contractions.
+    pub fn prove_with_budget(
+        &self,
+        goal: Equation,
+        vars: VarStore,
+        hints: &[Equation],
+        budget: &Budget,
+        cancel: Option<&CancelToken>,
+    ) -> ProofResult {
         let start = Instant::now();
-        let deadline = self.config.timeout.map(|d| start + d);
+        let config_budget = Budget {
+            timeout: self.config.timeout,
+            max_nodes: Some(self.config.max_nodes),
+            fuel: Some(self.config.reduction_fuel),
+        };
+        let effective = config_budget.min(budget);
+        let mut limits = RunLimits::with_deadline(effective.timeout.map(|d| start + d));
+        if let Some(token) = cancel {
+            limits = limits.with_cancel(token.clone());
+        }
+        let max_nodes = effective.max_nodes.unwrap_or(usize::MAX);
+        let fuel = effective.fuel.unwrap_or(usize::MAX);
         let mut depth = self.config.initial_depth.min(self.config.max_depth).max(1);
         let mut total = SearchStats::default();
         loop {
-            let (result, hit_depth_limit) =
-                self.prove_round(goal.clone(), vars.clone(), hints, deadline, depth);
+            // The node budget is a *per-call* ceiling: nodes created by
+            // earlier deepening rounds count against it, so deepening can
+            // never multiply the requested bound.
+            let nodes_before = total.nodes_created;
+            let (result, hit_depth_limit) = self.prove_round(
+                goal.clone(),
+                vars.clone(),
+                hints,
+                &limits,
+                nodes_before,
+                max_nodes,
+                fuel,
+                depth,
+            );
             total.absorb(&result.stats);
             // Gauges, not counters: each deepening round re-interns into a
             // fresh store, so report the final round's sizes rather than
@@ -162,20 +237,26 @@ impl<'a> Prover<'a> {
                 };
             }
             depth = (depth + self.config.depth_step).min(self.config.max_depth);
+            if let Some(observer) = &self.observer {
+                observer(depth);
+            }
         }
     }
 
     /// One bounded-DFS round at a fixed depth limit.
+    #[allow(clippy::too_many_arguments)]
     fn prove_round(
         &self,
         goal: Equation,
         vars: VarStore,
         hints: &[Equation],
-        deadline: Option<Instant>,
+        limits: &RunLimits,
+        nodes_before: usize,
+        max_nodes: usize,
+        fuel: usize,
         depth_limit: usize,
     ) -> (ProofResult, bool) {
-        let mut rw =
-            MemoRewriter::new(&self.prog.sig, &self.prog.trs).with_fuel(self.config.reduction_fuel);
+        let mut rw = MemoRewriter::new(&self.prog.sig, &self.prog.trs).with_fuel(fuel);
         if let Some(cache) = &self.shared {
             rw = rw.with_shared_cache(cache.clone());
         }
@@ -189,7 +270,9 @@ impl<'a> Prover<'a> {
             lemmas: Vec::new(),
             path_keys: Vec::new(),
             stats: SearchStats::default(),
-            deadline,
+            limits: limits.clone(),
+            nodes_before,
+            max_nodes,
         };
         let mut outcome = None;
         for (i, hint) in hints.iter().enumerate() {
@@ -233,6 +316,7 @@ impl<'a> Prover<'a> {
 fn stop_outcome(stop: Stop) -> Outcome {
     match stop {
         Stop::Timeout => Outcome::Timeout,
+        Stop::Cancelled => Outcome::Cancelled,
         Stop::Budget => Outcome::NodeBudget,
         Stop::Refuted => Outcome::Refuted,
     }
@@ -247,6 +331,7 @@ enum Solve {
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
 enum Stop {
     Timeout,
+    Cancelled,
     Budget,
     Refuted,
 }
@@ -278,7 +363,15 @@ struct Search<'a> {
     /// `(Subst)` continuations that recreate an ancestor goal verbatim.
     path_keys: Vec<CanonKey>,
     stats: SearchStats,
-    deadline: Option<Instant>,
+    /// External limits (deadline + cancellation), polled at every DFS node
+    /// and inside committed reduction chains.
+    limits: RunLimits,
+    /// Nodes created by earlier deepening rounds of the same prove call;
+    /// counted against [`Search::max_nodes`].
+    nodes_before: usize,
+    /// Effective per-call node budget (the tighter of config and external
+    /// budget).
+    max_nodes: usize,
 }
 
 impl<'a> Search<'a> {
@@ -303,12 +396,16 @@ impl<'a> Search<'a> {
     }
 
     /// Normalises with the round's memo table, honouring the wall-clock
-    /// deadline *inside* the reduction loop: a single long committed
-    /// reduction chain can no longer blow past `config.timeout`.
+    /// deadline and the cancellation token *inside* the reduction loop: a
+    /// single long committed reduction chain can neither blow past
+    /// `config.timeout` nor survive a cancellation.
     fn normalize_or_stop(&mut self, id: TermId) -> Result<NormalizedId, Stop> {
         self.rw
-            .try_normalize_id(id, self.deadline)
-            .map_err(|DeadlineExceeded| Stop::Timeout)
+            .try_normalize_id(id, &self.limits)
+            .map_err(|why| match why {
+                Interrupted::Deadline => Stop::Timeout,
+                Interrupted::Cancelled => Stop::Cancelled,
+            })
     }
 
     fn mark(&self) -> Frame {
@@ -335,12 +432,11 @@ impl<'a> Search<'a> {
     }
 
     fn check_limits(&mut self) -> Result<(), Stop> {
-        if let Some(deadline) = self.deadline {
-            if Instant::now() >= deadline {
-                return Err(Stop::Timeout);
-            }
-        }
-        if self.stats.nodes_created > self.config.max_nodes {
+        self.limits.check().map_err(|why| match why {
+            Interrupted::Deadline => Stop::Timeout,
+            Interrupted::Cancelled => Stop::Cancelled,
+        })?;
+        if self.nodes_before + self.stats.nodes_created > self.max_nodes {
             return Err(Stop::Budget);
         }
         Ok(())
@@ -883,9 +979,30 @@ mod tests {
         // non-terminating (or merely explosive) program could blow past
         // `config.timeout`. With effectively unlimited fuel, only the
         // in-reduction deadline check can stop this goal.
+        use std::time::Duration;
+
+        let (prog, lp, zero) = looping_program();
+        let goal = Equation::new(Term::apps(lp, vec![Term::sym(zero)]), Term::sym(zero));
+        let config = SearchConfig {
+            reduction_fuel: usize::MAX,
+            timeout: Some(Duration::from_millis(50)),
+            ..SearchConfig::default()
+        };
+        let prover = Prover::with_config(&prog, config);
+        let start = Instant::now();
+        let res = prover.prove(goal, VarStore::new());
+        assert_eq!(res.outcome, Outcome::Timeout);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "deadline was not honoured inside the committed reduction: {:?}",
+            start.elapsed()
+        );
+    }
+
+    /// A program whose single rule loops forever: `loop x → loop x`.
+    fn looping_program() -> (Program, cycleq_term::SymId, cycleq_term::SymId) {
         use cycleq_rewrite::Trs;
         use cycleq_term::{Signature, TypeScheme};
-        use std::time::Duration;
 
         let mut sig = Signature::new();
         let nat = sig.add_datatype("Nat", 0).unwrap();
@@ -906,23 +1023,144 @@ mod tests {
             Term::apps(lp, vec![Term::var(x)]),
         )
         .unwrap();
-        let prog = Program::new(sig, trs);
+        (Program::new(sig, trs), lp, zero)
+    }
 
+    #[test]
+    fn cancellation_aborts_a_committed_reduction_promptly() {
+        use std::time::Duration;
+
+        // No timeout, effectively unlimited fuel: only the cancellation
+        // token can stop this goal, and it must do so from another thread
+        // while the search is deep inside a committed reduction chain.
+        let (prog, lp, zero) = looping_program();
         let goal = Equation::new(Term::apps(lp, vec![Term::sym(zero)]), Term::sym(zero));
         let config = SearchConfig {
             reduction_fuel: usize::MAX,
-            timeout: Some(Duration::from_millis(50)),
+            timeout: None,
+            ..SearchConfig::default()
+        };
+        let token = CancelToken::new();
+        let worker_token = token.clone();
+        let prover = Prover::with_config(&prog, config);
+        let (res, waited) = std::thread::scope(|s| {
+            let handle = s.spawn(|| {
+                prover.prove_with_budget(
+                    goal,
+                    VarStore::new(),
+                    &[],
+                    &Budget::unlimited(),
+                    Some(&worker_token),
+                )
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            token.cancel();
+            let cancelled_at = Instant::now();
+            let res = handle.join().expect("search thread panicked");
+            (res, cancelled_at.elapsed())
+        });
+        assert_eq!(res.outcome, Outcome::Cancelled);
+        assert!(
+            waited < Duration::from_millis(200),
+            "cancellation latency too high: {waited:?}"
+        );
+        // The partial state is still inspectable.
+        assert!(res.stats.elapsed >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn budget_timeout_tightens_config_timeout() {
+        use std::time::Duration;
+
+        let (prog, lp, zero) = looping_program();
+        let goal = Equation::new(Term::apps(lp, vec![Term::sym(zero)]), Term::sym(zero));
+        // Config allows 30s; the per-call budget allows 50ms and must win.
+        let config = SearchConfig {
+            reduction_fuel: usize::MAX,
+            timeout: Some(Duration::from_secs(30)),
             ..SearchConfig::default()
         };
         let prover = Prover::with_config(&prog, config);
+        let budget = Budget::unlimited().with_timeout(Duration::from_millis(50));
         let start = Instant::now();
-        let res = prover.prove(goal, VarStore::new());
+        let res = prover.prove_with_budget(goal, VarStore::new(), &[], &budget, None);
         assert_eq!(res.outcome, Outcome::Timeout);
-        assert!(
-            start.elapsed() < Duration::from_secs(5),
-            "deadline was not honoured inside the committed reduction: {:?}",
-            start.elapsed()
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn budget_node_cap_stops_search() {
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        let goal = Equation::new(
+            Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+            Term::apps(p.f.add, vec![Term::var(y), Term::var(x)]),
         );
+        let budget = Budget::unlimited().with_max_nodes(3);
+        let res = Prover::new(&p.prog).prove_with_budget(goal, vars, &[], &budget, None);
+        assert_eq!(res.outcome, Outcome::NodeBudget);
+    }
+
+    #[test]
+    fn node_budget_is_a_per_call_ceiling_across_deepening_rounds() {
+        // With a tiny initial depth the deepening loop runs many rounds;
+        // the node budget must bound the *sum* of nodes across rounds, not
+        // reset each round.
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        let goal = Equation::new(
+            Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+            Term::apps(p.f.add, vec![Term::var(y), Term::var(x)]),
+        );
+        let config = SearchConfig {
+            initial_depth: 1,
+            depth_step: 1,
+            ..SearchConfig::default()
+        };
+        let cap = 40;
+        let budget = Budget::unlimited().with_max_nodes(cap);
+        let res =
+            Prover::with_config(&p.prog, config).prove_with_budget(goal, vars, &[], &budget, None);
+        assert_eq!(res.outcome, Outcome::NodeBudget);
+        assert!(
+            res.stats.nodes_created <= cap + 5,
+            "budget multiplied across rounds: {} nodes for a cap of {cap}",
+            res.stats.nodes_created
+        );
+    }
+
+    #[test]
+    fn round_observer_sees_deepening_rounds() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let p = nat_list_program();
+        let mut vars = VarStore::new();
+        let x = vars.fresh("x", p.f.nat_ty());
+        let y = vars.fresh("y", p.f.nat_ty());
+        // Commutativity needs more than the initial depth of 1, so the
+        // deepening loop must fire the observer at least once.
+        let goal = Equation::new(
+            Term::apps(p.f.add, vec![Term::var(x), Term::var(y)]),
+            Term::apps(p.f.add, vec![Term::var(y), Term::var(x)]),
+        );
+        let config = SearchConfig {
+            initial_depth: 1,
+            depth_step: 1,
+            ..SearchConfig::default()
+        };
+        let rounds = Arc::new(AtomicUsize::new(0));
+        let seen = rounds.clone();
+        let prover =
+            Prover::with_config(&p.prog, config).with_round_observer(Arc::new(move |_depth| {
+                seen.fetch_add(1, Ordering::Relaxed);
+            }));
+        let res = prover.prove(goal, vars);
+        assert!(res.outcome.is_proved(), "{:?}", res.outcome);
+        assert!(rounds.load(Ordering::Relaxed) >= 1, "no deepening observed");
     }
 
     #[test]

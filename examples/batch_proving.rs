@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example batch_proving`.
 
-use cycleq::Session;
+use cycleq::Engine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = "
@@ -23,10 +23,10 @@ goal comm: add x y === add y x
 goal assoc: add (add x y) z === add x (add y z)
 goal mulZeroRight: mul x Z === Z
 ";
-    // `with_jobs(0)` means one worker per hardware thread; any fixed count
+    // `jobs(0)` means one worker per hardware thread; any fixed count
     // works too. Each worker owns its term store — the only shared state is
     // the normal-form cache, so verdicts are identical to a sequential run.
-    let session = Session::from_source(source)?.with_jobs(0);
+    let session = Engine::builder().jobs(0).build().load(source)?;
     let report = session.prove_all();
 
     // Reports come back in declaration order, whatever order workers

@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use cycleq::{GlobalCheck, SearchConfig, Session};
+use cycleq::{Engine, GlobalCheck, SearchConfig, Session};
 use cycleq_benchsuite::{run_suite, RunConfig, FIGURES, MUTUAL};
 
 /// A multi-goal program whose goals overlap heavily (shared lemmas and
@@ -31,13 +31,15 @@ goal wrong: add x Z === Z
 ";
 
 fn session(jobs: usize) -> Session {
-    Session::from_source(SUITE_SRC)
-        .unwrap()
-        .with_config(SearchConfig {
+    Engine::builder()
+        .config(SearchConfig {
             timeout: Some(Duration::from_secs(10)),
             ..SearchConfig::default()
         })
-        .with_jobs(jobs)
+        .jobs(jobs)
+        .build()
+        .load(SUITE_SRC)
+        .unwrap()
 }
 
 #[test]
@@ -94,6 +96,81 @@ fn shared_cache_scores_hits_on_overlapping_goals() {
         report.stats
     );
     assert!(report.cache.entries > 0);
+}
+
+#[test]
+fn streaming_events_cover_every_goal_and_match_the_blocking_report() {
+    // Acceptance bar for the event-driven batch form: an EventSink gets
+    // GoalStarted/GoalFinished for every goal (in completion order, from
+    // worker threads), while the returned BatchReport stays
+    // declaration-ordered and verdict-identical to the blocking path.
+    use cycleq::{EventSink, GoalStatus, ProveEvent};
+    use std::sync::{Arc, Mutex};
+
+    let blocking = session(1).prove_all();
+
+    #[derive(Default)]
+    struct Collect(Mutex<Vec<ProveEvent>>);
+    impl EventSink for Collect {
+        fn event(&self, event: &ProveEvent) {
+            self.0.lock().unwrap().push(event.clone());
+        }
+    }
+
+    for jobs in [1, 4] {
+        let sink = Arc::new(Collect::default());
+        let events = sink.clone();
+        let streamed = Engine::builder()
+            .config(SearchConfig {
+                timeout: Some(Duration::from_secs(10)),
+                ..SearchConfig::default()
+            })
+            .jobs(jobs)
+            .on_event(move |ev: &ProveEvent| events.event(ev))
+            .build()
+            .load(SUITE_SRC)
+            .unwrap()
+            .prove_all();
+
+        // Verdict-identical, declaration-ordered report.
+        assert_eq!(blocking.goals.len(), streamed.goals.len());
+        for (b, s) in blocking.goals.iter().zip(&streamed.goals) {
+            assert_eq!(b.goal, s.goal);
+            assert_eq!(b.is_proved(), s.is_proved(), "jobs={jobs}: {}", b.goal);
+            assert_eq!(b.is_refuted(), s.is_refuted(), "jobs={jobs}: {}", b.goal);
+        }
+
+        // Started and Finished exactly once per goal, statuses agreeing
+        // with the report; BatchFinished closes the stream.
+        let log = sink.0.lock().unwrap();
+        let n = streamed.goals.len();
+        for idx in 0..n {
+            let starts = log
+                .iter()
+                .filter(|e| matches!(e, ProveEvent::GoalStarted { index, .. } if *index == idx))
+                .count();
+            assert_eq!(starts, 1, "jobs={jobs}: goal {idx} started {starts}×");
+            let finishes: Vec<&GoalStatus> = log
+                .iter()
+                .filter_map(|e| match e {
+                    ProveEvent::GoalFinished { index, status, .. } if *index == idx => Some(status),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(finishes.len(), 1, "jobs={jobs}: goal {idx}");
+            let expect = if streamed.goals[idx].is_proved() {
+                GoalStatus::Proved
+            } else {
+                GoalStatus::Refuted
+            };
+            assert_eq!(*finishes[0], expect, "jobs={jobs}: goal {idx}");
+        }
+        assert!(
+            matches!(log.last(), Some(ProveEvent::BatchFinished { total, .. }) if *total == n),
+            "jobs={jobs}: stream not closed by BatchFinished: {:?}",
+            log.last()
+        );
+    }
 }
 
 #[test]

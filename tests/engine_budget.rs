@@ -1,0 +1,150 @@
+//! Cancellation and budget behaviour of the Engine API, end to end:
+//!
+//! - cancelling a search from another thread returns promptly (the
+//!   acceptance bar is ~50 ms of latency; the token is polled every
+//!   contraction, so the observed latency is microseconds — the bound here
+//!   only absorbs CI scheduler noise) with a `Cancelled` outcome and a
+//!   checkable partial state;
+//! - a batch deadline on a suite with one explosive goal is apportioned
+//!   into per-goal slices, so the cheap goals still finish and the batch
+//!   never overruns its deadline (the tail-latency regression test).
+
+use std::time::{Duration, Instant};
+
+use cycleq::{Budget, CancelToken, Engine, Outcome, SearchConfig};
+
+/// A program whose `loop` rule diverges: with unbounded fuel and no
+/// config-level timeout, only an external budget or cancellation can stop
+/// a goal that reduces `loop`.
+const EXPLOSIVE_SRC: &str = "data Nat = Z | S Nat
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+loop :: Nat -> Nat
+loop x = loop x
+goal cheapA: add Z y === y
+goal heavy: loop x === Z
+goal cheapB: add x Z === x
+goal cheapC: add x (S y) === S (add x y)
+";
+
+/// An engine whose own limits never fire, so the external budget/token is
+/// the only thing that can stop the explosive goal.
+fn unbounded_engine(jobs: usize) -> Engine {
+    Engine::builder()
+        .config(SearchConfig {
+            reduction_fuel: usize::MAX,
+            timeout: None,
+            ..SearchConfig::default()
+        })
+        .jobs(jobs)
+        .build()
+}
+
+#[test]
+fn cancelling_mid_search_returns_promptly_with_partial_state() {
+    let session = unbounded_engine(1).load(EXPLOSIVE_SRC).unwrap();
+    let token = CancelToken::new();
+    let worker_token = token.clone();
+    let (verdict, latency) = std::thread::scope(|s| {
+        let handle = s
+            .spawn(|| session.prove_with_budget("heavy", &[], &Budget::unlimited(), &worker_token));
+        // Let the search get stuck deep inside the committed reduction of
+        // `loop x` before cancelling from this thread.
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel();
+        let cancelled_at = Instant::now();
+        let verdict = handle.join().expect("search thread panicked");
+        (verdict, cancelled_at.elapsed())
+    });
+    let verdict = verdict.expect("known goal");
+    assert_eq!(verdict.result.outcome, Outcome::Cancelled);
+    // ~50ms acceptance bar; see module docs for why the bound is generous.
+    assert!(
+        latency < Duration::from_millis(200),
+        "cancellation latency too high: {latency:?}"
+    );
+    // The partial state stays inspectable: the root goal node exists and
+    // the stats cover the time spent before cancellation.
+    assert!(!verdict.result.proof.is_empty());
+    assert!(verdict.result.stats.nodes_created >= 1);
+    assert!(verdict.result.stats.elapsed >= Duration::from_millis(25));
+    assert!(!verdict.is_proved());
+    assert!(!verdict.is_refuted());
+}
+
+#[test]
+fn pre_cancelled_batch_returns_immediately_with_cancelled_goals() {
+    let session = unbounded_engine(2).load(EXPLOSIVE_SRC).unwrap();
+    let token = CancelToken::new();
+    token.cancel();
+    let start = Instant::now();
+    let report = session.prove_all_with(&Budget::unlimited(), &token);
+    assert!(start.elapsed() < Duration::from_secs(2));
+    assert_eq!(report.goals.len(), 4);
+    assert!(report.any_gave_up());
+    assert_eq!(report.proved(), 0);
+    for g in &report.goals {
+        let v = g.verdict().expect("cancellation is not a goal error");
+        assert_eq!(v.result.outcome, Outcome::Cancelled, "{}", g.goal);
+    }
+}
+
+#[test]
+fn batch_deadline_with_one_explosive_goal_still_lets_cheap_goals_finish() {
+    // The tail-latency regression test: `heavy` would run forever, but the
+    // batch deadline is apportioned into per-goal slices, so it exhausts
+    // only its slice while the cheap goals (milliseconds each) all prove.
+    for jobs in [1, 2] {
+        let session = unbounded_engine(jobs).load(EXPLOSIVE_SRC).unwrap();
+        let budget = Budget::unlimited().with_timeout(Duration::from_secs(2));
+        let start = Instant::now();
+        let report = session.prove_all_with(&budget, &CancelToken::new());
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(8),
+            "jobs={jobs}: batch overran its deadline: {elapsed:?}"
+        );
+        let by_name = |name: &str| {
+            report
+                .goals
+                .iter()
+                .find(|g| g.goal == name)
+                .unwrap_or_else(|| panic!("missing goal {name}"))
+        };
+        for cheap in ["cheapA", "cheapB", "cheapC"] {
+            assert!(
+                by_name(cheap).is_proved(),
+                "jobs={jobs}: {cheap} starved by the explosive goal: {:?}",
+                by_name(cheap).verdict().map(|v| &v.result.outcome)
+            );
+        }
+        let heavy = by_name("heavy").verdict().expect("ran to a verdict");
+        assert_eq!(
+            heavy.result.outcome,
+            Outcome::Timeout,
+            "jobs={jobs}: the explosive goal must exhaust only its slice"
+        );
+        // Declaration order survives whatever the scheduler did.
+        let names: Vec<&str> = report.goals.iter().map(|g| g.goal.as_str()).collect();
+        assert_eq!(names, vec!["cheapA", "heavy", "cheapB", "cheapC"]);
+    }
+}
+
+#[test]
+fn per_goal_budget_dimensions_apply_to_each_goal() {
+    // Node and fuel ceilings are per goal (not apportioned): a tiny node
+    // budget stops the inductive goals but leaves the reduce-only goal
+    // provable.
+    let session = unbounded_engine(1).load(EXPLOSIVE_SRC).unwrap();
+    let budget = Budget::unlimited()
+        .with_max_nodes(2)
+        .with_fuel(10_000)
+        .with_timeout(Duration::from_secs(5));
+    let report = session
+        .prove_many_with(&["cheapA", "cheapB"], &[], &budget, &CancelToken::new())
+        .unwrap();
+    assert!(report.goals[0].is_proved(), "reduce-only goal fits 2 nodes");
+    let b = report.goals[1].verdict().unwrap();
+    assert_eq!(b.result.outcome, Outcome::NodeBudget);
+}
