@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use cycleq_rewrite::fixtures::nat_list_program;
 use cycleq_rewrite::{MemoRewriter, Rewriter};
-use cycleq_sizechange::{Closure, Label, ScGraph};
+use cycleq_sizechange::{Closure, GraphStore, IncrementalClosure, Label, ScGraph};
 use cycleq_term::{match_term, unify, Term, TermStore, VarStore};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -115,5 +115,122 @@ fn bench_closure(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_normalize, bench_matching, bench_closure);
+/// The `add_comm`-shaped incremental workload: a two-node cycle whose
+/// edges are repeatedly added and undone, as the prover does across
+/// backtracking and deepening rounds. Compares the subsumption-pruned
+/// engine against the prune-free one, and the memoized composition path
+/// against a cold store.
+fn bench_sizechange_closure(c: &mut Criterion) {
+    // Deterministic edge pool shaped like the commutativity proof: two
+    // nodes, forward edges with a strict hop, back edges that rename, over
+    // 4 variables.
+    let mut rng = StdRng::seed_from_u64(0xADDC0);
+    let mut edges: Vec<(usize, usize, ScGraph<u32>)> = Vec::new();
+    for i in 0..10 {
+        let (a, b) = if i % 2 == 0 { (0, 1) } else { (1, 0) };
+        let mut g = ScGraph::new();
+        for _ in 0..rng.gen_range(2..5) {
+            let x = rng.gen_range(0..4u32);
+            let y = rng.gen_range(0..4u32);
+            let l = if rng.gen_bool(0.5) {
+                Label::Strict
+            } else {
+                Label::NonStrict
+            };
+            g.insert(x, y, l);
+        }
+        // Keep the cycle plausibly sound: every edge keeps a strict
+        // self-trace on variable 0, like the analysed induction variable.
+        g.insert(0, 0, Label::Strict);
+        edges.push((a, b, g));
+    }
+
+    let mut group = c.benchmark_group("sizechange_closure");
+    let rounds = 6;
+    group.bench_function("incremental_add_undo", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalClosure::new();
+            for round in 0..rounds {
+                let mark = inc.mark();
+                for (a, b, g) in &edges {
+                    inc.add_edge(*a, *b, g.clone());
+                }
+                if round < rounds - 1 {
+                    inc.undo_to(mark);
+                }
+            }
+            inc.num_graphs()
+        })
+    });
+    group.bench_function("incremental_add_undo_no_subsumption", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalClosure::without_subsumption();
+            for round in 0..rounds {
+                let mark = inc.mark();
+                for (a, b, g) in &edges {
+                    inc.add_edge(*a, *b, g.clone());
+                }
+                if round < rounds - 1 {
+                    inc.undo_to(mark);
+                }
+            }
+            inc.num_graphs()
+        })
+    });
+
+    // Cold vs memoized composition on the graphs the workload produces.
+    let pool: Vec<ScGraph<u32>> = edges.iter().map(|(_, _, g)| g.clone()).collect();
+    group.bench_function("seq_cold", |b| {
+        b.iter(|| {
+            let mut store = GraphStore::new();
+            let ids: Vec<_> = pool.iter().map(|g| store.intern(g)).collect();
+            let mut acc = 0usize;
+            for &x in &ids {
+                for &y in &ids {
+                    acc += store.seq(x, y).index();
+                }
+            }
+            acc
+        })
+    });
+    let mut warm = GraphStore::new();
+    let warm_ids: Vec<_> = pool.iter().map(|g| warm.intern(g)).collect();
+    // Populate the memo once; iterations below are pure hits.
+    for &x in &warm_ids {
+        for &y in &warm_ids {
+            warm.seq(x, y);
+        }
+    }
+    group.bench_function("seq_memoized", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &x in &warm_ids {
+                for &y in &warm_ids {
+                    acc += warm.seq(x, y).index();
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("seq_owned_scgraph", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for x in &pool {
+                for y in &pool {
+                    acc += x.seq(y).len();
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_normalize,
+    bench_matching,
+    bench_closure,
+    bench_sizechange_closure
+);
 criterion_main!(benches);

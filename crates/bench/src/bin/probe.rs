@@ -28,4 +28,15 @@ fn main() {
     let v = session.prove(&p.goal_name()).unwrap();
     println!("{id}: {:?}", v.result.outcome);
     println!("stats: {:#?}", v.result.stats);
+    // One greppable line for the size-change engine counters, asserted
+    // non-trivial by the CI smoke step so they cannot silently rot.
+    let s = &v.result.stats;
+    println!(
+        "closure: graphs={} interned={} compositions={} memo_hits={} subsumed={}",
+        s.closure_graphs,
+        s.interned_graphs,
+        s.closure_compositions,
+        s.composition_memo_hits,
+        s.graphs_subsumed,
+    );
 }

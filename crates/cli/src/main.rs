@@ -197,7 +197,9 @@ fn json_stats(s: &SearchStats) -> String {
     format!(
         "{{\"nodes\":{},\"case_splits\":{},\"subst_attempts\":{},\
          \"unsound_cycles_pruned\":{},\"depth_limit_hits\":{},\
-         \"closure_graphs\":{},\"reduce_memo_hits\":{},\
+         \"closure_graphs\":{},\"closure_compositions\":{},\
+         \"composition_memo_hits\":{},\"graphs_subsumed\":{},\
+         \"interned_graphs\":{},\"reduce_memo_hits\":{},\
          \"shared_cache_hits\":{},\"shared_cache_misses\":{},\
          \"interned_nodes\":{}}}",
         s.nodes_created,
@@ -206,6 +208,10 @@ fn json_stats(s: &SearchStats) -> String {
         s.unsound_cycles_pruned,
         s.depth_limit_hits,
         s.closure_graphs,
+        s.closure_compositions,
+        s.composition_memo_hits,
+        s.graphs_subsumed,
+        s.interned_graphs,
         s.reduce_memo_hits,
         s.shared_cache_hits,
         s.shared_cache_misses,
@@ -275,6 +281,8 @@ fn print_verdict(opts: &Options, verdict: &Verdict) {
         annotate(&format!(
             "  stats: nodes={} case_splits={} subst_attempts={} \
              unsound_cycles_pruned={} depth_limit_hits={} closure_graphs={} \
+             closure_compositions={} composition_memo_hits={} \
+             graphs_subsumed={} interned_graphs={} \
              reduce_memo_hits={} shared_cache_hits={} shared_cache_misses={} \
              interned_nodes={} elapsed={:?}",
             s.nodes_created,
@@ -283,6 +291,10 @@ fn print_verdict(opts: &Options, verdict: &Verdict) {
             s.unsound_cycles_pruned,
             s.depth_limit_hits,
             s.closure_graphs,
+            s.closure_compositions,
+            s.composition_memo_hits,
+            s.graphs_subsumed,
+            s.interned_graphs,
             s.reduce_memo_hits,
             s.shared_cache_hits,
             s.shared_cache_misses,

@@ -273,6 +273,21 @@ fn json_format_emits_one_object_per_goal_plus_batch_summary() {
         assert!(ms >= 0.0);
         let nodes: u64 = json_value(line, "nodes").unwrap().parse().unwrap();
         assert!(nodes > 0, "in {line}");
+        // Size-change engine counters: present and numeric in every goal
+        // object (schema pinned).
+        for key in [
+            "closure_graphs",
+            "closure_compositions",
+            "composition_memo_hits",
+            "graphs_subsumed",
+            "interned_graphs",
+        ] {
+            let v: u64 = json_value(line, key)
+                .unwrap_or_else(|| panic!("missing {key} in {line}"))
+                .parse()
+                .unwrap();
+            let _ = v;
+        }
         goals_seen.push(json_value(line, "goal").unwrap().to_string());
     }
     // Declaration order, independent of parallel completion order.

@@ -667,7 +667,7 @@ pub struct BatchReport {
     pub goals: Vec<GoalReport>,
     /// Search counters summed over all goals. `elapsed` is the wall clock
     /// of the whole batch; the gauges (`closure_graphs`,
-    /// `interned_nodes`) are summed across goals.
+    /// `interned_nodes`, `interned_graphs`) are summed across goals.
     pub stats: SearchStats,
     /// Worker threads used.
     pub jobs: usize,

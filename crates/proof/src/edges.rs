@@ -1,11 +1,58 @@
 //! The canonical size-change graph of each proof edge (Definition 5.3) and
 //! the global-correctness check (Theorem 5.2).
 
-use cycleq_sizechange::{Closure, IncrementalClosure, Label, ScGraph, Soundness};
+use cycleq_sizechange::{
+    Closure, GraphId, GraphStore, IncrementalClosure, Label, ScGraph, Soundness,
+};
 use cycleq_term::VarId;
 
 use crate::node::{NodeId, RuleApp};
 use crate::preproof::Preproof;
+
+/// The labelled edges of the size-change graph annotating the edge from
+/// `v` to its `premise_idx`-th premise (Definition 5.3), shared by
+/// [`edge_graph`] and [`edge_graph_id`].
+fn edge_triples(proof: &Preproof, v: NodeId, premise_idx: usize) -> Vec<(VarId, VarId, Label)> {
+    let node = proof.node(v);
+    let premise = node.premises[premise_idx];
+    let premise_eq = &proof.node(premise).eq;
+    let mut out = Vec::new();
+    match &node.rule {
+        RuleApp::Open => panic!("edge_graph on an open node"),
+        RuleApp::Subst(app) if premise_idx == 0 => {
+            // Lemma edge: x ≃ y for θ(y) = x.
+            for y in premise_eq.vars() {
+                match app.theta.get(y) {
+                    Some(t) => {
+                        if let Some(x) = t.as_var() {
+                            out.push((x, y, Label::NonStrict));
+                        }
+                    }
+                    // Unbound lemma variables are untouched by θ.
+                    None => out.push((y, y, Label::NonStrict)),
+                }
+            }
+        }
+        RuleApp::Case { var, branches } => {
+            for z in node.eq.vars() {
+                if z != *var {
+                    out.push((z, z, Label::NonStrict));
+                }
+            }
+            for y in &branches[premise_idx].fresh {
+                out.push((*var, *y, Label::Strict));
+            }
+        }
+        _ => {
+            // Continuation of (Subst), (Reduce), (Cong), (FunExt), (Refl):
+            // identity on shared variables.
+            let conc = node.eq.vars();
+            let prem = premise_eq.vars();
+            out.extend(conc.intersection(&prem).map(|&z| (z, z, Label::NonStrict)));
+        }
+    }
+    out
+}
 
 /// The size-change graph annotating the edge from `v` to its
 /// `premise_idx`-th premise (Definition 5.3).
@@ -23,47 +70,26 @@ use crate::preproof::Preproof;
 /// Panics if `premise_idx` is out of range for the node or the node is
 /// `Open`.
 pub fn edge_graph(proof: &Preproof, v: NodeId, premise_idx: usize) -> ScGraph<VarId> {
-    let node = proof.node(v);
-    let premise = node.premises[premise_idx];
-    let premise_eq = &proof.node(premise).eq;
-    match &node.rule {
-        RuleApp::Open => panic!("edge_graph on an open node"),
-        RuleApp::Subst(app) if premise_idx == 0 => {
-            // Lemma edge: x ≃ y for θ(y) = x.
-            let mut g = ScGraph::new();
-            for y in premise_eq.vars() {
-                match app.theta.get(y) {
-                    Some(t) => {
-                        if let Some(x) = t.as_var() {
-                            g.insert(x, y, Label::NonStrict);
-                        }
-                    }
-                    // Unbound lemma variables are untouched by θ.
-                    None => g.insert(y, y, Label::NonStrict),
-                }
-            }
-            g
-        }
-        RuleApp::Case { var, branches } => {
-            let mut g = ScGraph::new();
-            for z in node.eq.vars() {
-                if z != *var {
-                    g.insert(z, z, Label::NonStrict);
-                }
-            }
-            for y in &branches[premise_idx].fresh {
-                g.insert(*var, *y, Label::Strict);
-            }
-            g
-        }
-        _ => {
-            // Continuation of (Subst), (Reduce), (Cong), (FunExt), (Refl):
-            // identity on shared variables.
-            let conc = node.eq.vars();
-            let prem = premise_eq.vars();
-            ScGraph::identity(conc.intersection(&prem).copied())
-        }
-    }
+    edge_triples(proof, v, premise_idx).into_iter().collect()
+}
+
+/// [`edge_graph`], built directly into a [`GraphStore`] with no owned
+/// intermediate: the triples are interned in one pass and the store's
+/// dedup table makes the recurring graph shapes (identity graphs on the
+/// same variable sets, the per-constructor `(Case)` graphs) a hash lookup
+/// after their first construction. This is the path the prover uses.
+///
+/// # Panics
+///
+/// Panics if `premise_idx` is out of range for the node or the node is
+/// `Open`.
+pub fn edge_graph_id(
+    proof: &Preproof,
+    v: NodeId,
+    premise_idx: usize,
+    store: &mut GraphStore<VarId>,
+) -> GraphId {
+    store.intern_edges(edge_triples(proof, v, premise_idx))
 }
 
 /// All annotated edges of the preproof, ready for closure computation.
@@ -109,11 +135,17 @@ pub fn cycle_witnesses(proof: &Preproof) -> Vec<(NodeId, ScGraph<VarId>)> {
     for (v, node) in proof.nodes() {
         for p in &node.premises {
             if proof.is_back_edge(v, *p) {
-                for g in closure.between(*p, *p) {
-                    if g.is_idempotent() && g.has_strict_self_edge() {
-                        out.push((*p, g.clone()));
-                        break;
-                    }
+                // Check the cached strict-self flag first: idempotence is
+                // only computed (uncached on this read-only path) for the
+                // graphs that can actually be witnesses.
+                if let Some(g) = closure
+                    .between_ids(*p, *p)
+                    .find(|&g| {
+                        closure.store().has_strict_self_edge(g) && closure.store().is_idempotent(g)
+                    })
+                    .map(|g| closure.store().resolve(g))
+                {
+                    out.push((*p, g));
                 }
             }
         }

@@ -27,7 +27,8 @@ mod transform;
 
 pub use checker::{check, CheckError, CheckErrorKind, CheckReport, GlobalCheck};
 pub use edges::{
-    check_global, check_global_incremental, cycle_witnesses, edge_graph, global_edges,
+    check_global, check_global_incremental, cycle_witnesses, edge_graph, edge_graph_id,
+    global_edges,
 };
 pub use node::{CaseBranch, Node, NodeId, RuleApp, Side, SubstApp};
 pub use preproof::Preproof;

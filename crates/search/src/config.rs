@@ -76,6 +76,19 @@ pub struct SearchStats {
     pub depth_limit_hits: usize,
     /// Size-change graphs currently in the closure at the end of search.
     pub closure_graphs: usize,
+    /// Cold size-change graph compositions performed by the closure's
+    /// graph store (memo misses).
+    pub closure_compositions: u64,
+    /// Graph compositions served from the store's `(GraphId, GraphId)`
+    /// memo table — including re-derivations after backtracking, since the
+    /// store survives undo.
+    pub composition_memo_hits: u64,
+    /// Size-change graphs dropped by cross-pair subsumption pruning
+    /// (edge-wise dominated by an already-retained graph; see
+    /// `cycleq_sizechange::incremental`).
+    pub graphs_subsumed: u64,
+    /// Distinct hash-consed size-change graphs interned during the search.
+    pub interned_graphs: usize,
     /// Normal forms served from the memoised rewriter's cache.
     pub reduce_memo_hits: u64,
     /// Normal forms served from the program-scoped *shared* cache (other
@@ -104,6 +117,10 @@ impl SearchStats {
         self.unsound_cycles_pruned += other.unsound_cycles_pruned;
         self.depth_limit_hits += other.depth_limit_hits;
         self.closure_graphs += other.closure_graphs;
+        self.closure_compositions += other.closure_compositions;
+        self.composition_memo_hits += other.composition_memo_hits;
+        self.graphs_subsumed += other.graphs_subsumed;
+        self.interned_graphs += other.interned_graphs;
         self.reduce_memo_hits += other.reduce_memo_hits;
         self.shared_cache_hits += other.shared_cache_hits;
         self.shared_cache_misses += other.shared_cache_misses;

@@ -15,15 +15,16 @@
 //! without a strict self-edge appears, the cycle can never satisfy the
 //! global condition and the candidate is pruned immediately (§5.2).
 
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 use std::time::Instant;
 
-use cycleq_proof::{edge_graph, CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp};
+use cycleq_proof::{edge_graph_id, CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp};
 use cycleq_rewrite::{
     CancelToken, Interrupted, MemoRewriter, NormalizedId, Program, RunLimits, SharedNormalFormCache,
 };
-use cycleq_sizechange::{IncrementalClosure, Mark, Soundness};
+use cycleq_sizechange::{GraphId, IncrementalClosure, Mark, Soundness};
 use cycleq_term::{
     CanonKey, Equation, Head, IdSubst, Term, TermId, TyUnifier, Type, VarId, VarStore,
 };
@@ -224,6 +225,7 @@ impl<'a> Prover<'a> {
             // the sums `absorb` produced.
             total.closure_graphs = result.stats.closure_graphs;
             total.interned_nodes = result.stats.interned_nodes;
+            total.interned_graphs = result.stats.interned_graphs;
             let deepen = matches!(result.outcome, Outcome::Exhausted)
                 && hit_depth_limit
                 && depth < self.config.max_depth;
@@ -267,6 +269,7 @@ impl<'a> Prover<'a> {
             proof: Preproof::with_vars(vars),
             rw,
             closure: IncrementalClosure::new(),
+            edge_memo: HashMap::new(),
             lemmas: Vec::new(),
             path_keys: Vec::new(),
             stats: SearchStats::default(),
@@ -297,6 +300,10 @@ impl<'a> Prover<'a> {
         });
         let mut stats = search.stats;
         stats.closure_graphs = search.closure.num_graphs();
+        stats.closure_compositions = search.closure.compositions();
+        stats.composition_memo_hits = search.closure.memo_hits();
+        stats.graphs_subsumed = search.closure.subsumed();
+        stats.interned_graphs = search.closure.interned_graphs();
         stats.reduce_memo_hits = search.rw.memo_hits();
         stats.shared_cache_hits = search.rw.shared_cache_hits();
         stats.shared_cache_misses = search.rw.shared_cache_misses();
@@ -355,7 +362,14 @@ struct Search<'a> {
     /// whole round (including backtracking — the rewrite system never
     /// changes, so entries stay valid).
     rw: MemoRewriter<'a>,
+    /// The incremental size-change closure; owns the round's
+    /// [`cycleq_sizechange::GraphStore`], so compositions stay memoized
+    /// across backtracking.
     closure: IncrementalClosure<VarId, NodeId>,
+    /// The interned edge graph per `(node, premise)` justification,
+    /// invalidated on undo for reopened/truncated nodes (a re-justified
+    /// node gets different edge graphs).
+    edge_memo: HashMap<(NodeId, usize), GraphId>,
     /// Lemma candidates: `(Case)`-justified ancestors/cousins plus proven
     /// hints, in creation order.
     lemmas: Vec<NodeId>,
@@ -417,18 +431,33 @@ impl<'a> Search<'a> {
     }
 
     fn undo(&mut self, frame: Frame, node: NodeId) {
+        let keep = frame.proof.0;
         self.proof.truncate(frame.proof);
         self.proof.reopen(node);
         self.closure.undo_to(frame.closure);
         self.lemmas.truncate(frame.lemmas);
+        // Edge graphs are keyed by justification: entries of truncated
+        // nodes (their ids will be reused) and of the reopened node (it
+        // will be re-justified differently) are stale.
+        self.edge_memo
+            .retain(|&(n, _), _| n.index() < keep && n != node);
     }
 
     /// Adds the size-change edge for premise `i` of `v` to the incremental
-    /// closure.
+    /// closure. The graph is built directly into the closure's store and
+    /// memoised per `(node, premise)` justification for the lifetime of
+    /// that justification.
     fn add_proof_edge(&mut self, v: NodeId, i: usize) -> Soundness {
-        let g = edge_graph(&self.proof, v, i);
+        let g = match self.edge_memo.get(&(v, i)) {
+            Some(&g) => g,
+            None => {
+                let g = edge_graph_id(&self.proof, v, i, self.closure.store_mut());
+                self.edge_memo.insert((v, i), g);
+                g
+            }
+        };
         let p = self.proof.node(v).premises[i];
-        self.closure.add_edge(v, p, g)
+        self.closure.add_edge_id(v, p, g)
     }
 
     fn check_limits(&mut self) -> Result<(), Stop> {

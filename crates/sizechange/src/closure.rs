@@ -1,10 +1,20 @@
 //! Batch closure of a set of size-change graphs (Definition 5.4) and the
 //! Theorem 5.2 soundness check.
+//!
+//! Since the graph store landed there is exactly **one** composition
+//! engine: [`Closure`] is a thin wrapper that feeds its edges through an
+//! [`IncrementalClosure`](crate::IncrementalClosure) (without ever using
+//! the trail) and reads the verdict off the saturated state. The old
+//! owned-graph saturation loop — `BTreeMap` compositions cloned into
+//! `HashSet`s — is gone; both checkers share interning, cached flags,
+//! memoized composition and cross-pair subsumption pruning (see
+//! [`crate::incremental`] for why pruning preserves the verdict exactly).
 
-use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 
 use crate::graph::ScGraph;
+use crate::incremental::IncrementalClosure;
+use crate::store::{GraphId, GraphStore};
 
 /// Result of the Theorem 5.2 check.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -24,7 +34,7 @@ pub enum Soundness {
 /// nodes (proof vertices or program functions).
 #[derive(Clone, Debug)]
 pub struct Closure<V, N> {
-    graphs: HashMap<(N, N), HashSet<ScGraph<V>>>,
+    inner: IncrementalClosure<V, N>,
 }
 
 impl<V, N> Closure<V, N>
@@ -35,78 +45,48 @@ where
     /// Saturates the given edges under composition.
     ///
     /// Worst-case the closure is exponential in the number of variables per
-    /// node (as in classical SCT), but proof graphs keep environments small.
+    /// node (as in classical SCT), but proof graphs keep environments small
+    /// and subsumption pruning discards dominated parallel graphs.
     pub fn from_edges(edges: impl IntoIterator<Item = (N, N, ScGraph<V>)>) -> Closure<V, N> {
-        let mut closure = Closure {
-            graphs: HashMap::new(),
-        };
-        let mut worklist: Vec<(N, N, ScGraph<V>)> = Vec::new();
+        let mut inner = IncrementalClosure::new();
         for (a, b, g) in edges {
-            worklist.push((a, b, g));
+            inner.add_edge(a, b, g);
         }
-        while let Some((a, b, g)) = worklist.pop() {
-            if !closure.graphs.entry((a, b)).or_default().insert(g.clone()) {
-                continue;
-            }
-            // Compose with everything ending at `a` and starting at `b`.
-            let mut new = Vec::new();
-            for (&(c, d), set) in &closure.graphs {
-                if d == a {
-                    for h in set {
-                        new.push((c, b, h.seq(&g)));
-                    }
-                }
-                if c == b {
-                    for h in set {
-                        new.push((a, d, g.seq(h)));
-                    }
-                }
-            }
-            worklist.extend(new);
-        }
-        closure
+        Closure { inner }
     }
 
-    /// The set of graphs between `a` and `b` in the closure.
-    pub fn between(&self, a: N, b: N) -> impl Iterator<Item = &ScGraph<V>> {
-        self.graphs.get(&(a, b)).into_iter().flatten()
+    /// The graphs between `a` and `b` in the closure, resolved to owned
+    /// [`ScGraph`]s.
+    pub fn between(&self, a: N, b: N) -> impl Iterator<Item = ScGraph<V>> + '_ {
+        self.inner.between(a, b)
     }
 
-    /// The total number of graphs in the closure.
+    /// The interned ids between `a` and `b` in the closure.
+    pub fn between_ids(&self, a: N, b: N) -> impl Iterator<Item = GraphId> + '_ {
+        self.inner.between_ids(a, b)
+    }
+
+    /// The graph store backing the closure.
+    pub fn store(&self) -> &GraphStore<V> {
+        self.inner.store()
+    }
+
+    /// The total number of graphs retained in the closure. O(1).
     pub fn num_graphs(&self) -> usize {
-        self.graphs.values().map(HashSet::len).sum()
+        self.inner.num_graphs()
     }
 
     /// Theorem 5.2: the annotated preproof is a proof iff every idempotent
-    /// `G : v → v` in the closure has a strict self-edge.
+    /// `G : v → v` in the closure has a strict self-edge. O(1) — violations
+    /// are counted as graphs are inserted.
     pub fn check(&self) -> Soundness {
-        for (&(a, b), set) in &self.graphs {
-            if a != b {
-                continue;
-            }
-            for g in set {
-                if g.is_idempotent() && !g.has_strict_self_edge() {
-                    return Soundness::Unsound;
-                }
-            }
-        }
-        Soundness::Sound
+        self.inner.soundness()
     }
 
     /// Returns a witness of unsoundness: a node and an idempotent self-loop
     /// graph without a strict self-edge, if one exists.
-    pub fn unsound_witness(&self) -> Option<(N, &ScGraph<V>)> {
-        for (&(a, b), set) in &self.graphs {
-            if a != b {
-                continue;
-            }
-            for g in set {
-                if g.is_idempotent() && !g.has_strict_self_edge() {
-                    return Some((a, g));
-                }
-            }
-        }
-        None
+    pub fn unsound_witness(&self) -> Option<(N, ScGraph<V>)> {
+        self.inner.unsound_witness()
     }
 }
 

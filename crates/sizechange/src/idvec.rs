@@ -1,0 +1,115 @@
+//! A minimal inline small-vector for [`GraphId`]s.
+//!
+//! The closure keeps one id list per node pair; most pairs carry only a
+//! handful of graphs, so the list lives inline until it outgrows
+//! [`INLINE`] slots and only then spills to the heap. (The workspace is
+//! built offline, so this stands in for the usual `smallvec` crate.)
+
+use crate::store::GraphId;
+
+/// Ids stored inline before spilling.
+const INLINE: usize = 6;
+
+/// An inline-first vector of [`GraphId`]s.
+#[derive(Clone, Debug)]
+pub(crate) enum SmallIdVec {
+    Inline { len: u8, buf: [GraphId; INLINE] },
+    Heap(Vec<GraphId>),
+}
+
+impl Default for SmallIdVec {
+    fn default() -> Self {
+        SmallIdVec::Inline {
+            len: 0,
+            buf: [GraphId(0); INLINE],
+        }
+    }
+}
+
+impl SmallIdVec {
+    pub(crate) fn as_slice(&self) -> &[GraphId] {
+        match self {
+            SmallIdVec::Inline { len, buf } => &buf[..*len as usize],
+            SmallIdVec::Heap(v) => v,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn contains(&self, id: GraphId) -> bool {
+        self.as_slice().contains(&id)
+    }
+
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, GraphId> {
+        self.as_slice().iter()
+    }
+
+    pub(crate) fn push(&mut self, id: GraphId) {
+        match self {
+            SmallIdVec::Inline { len, buf } => {
+                if (*len as usize) < INLINE {
+                    buf[*len as usize] = id;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(id);
+                    *self = SmallIdVec::Heap(v);
+                }
+            }
+            SmallIdVec::Heap(v) => v.push(id),
+        }
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<GraphId> {
+        match self {
+            SmallIdVec::Inline { len, buf } => {
+                if *len == 0 {
+                    None
+                } else {
+                    *len -= 1;
+                    Some(buf[*len as usize])
+                }
+            }
+            SmallIdVec::Heap(v) => v.pop(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_across_the_spill_boundary() {
+        let mut v = SmallIdVec::default();
+        for i in 0..INLINE as u32 + 3 {
+            v.push(GraphId(i));
+        }
+        assert_eq!(v.len(), INLINE + 3);
+        assert!(matches!(v, SmallIdVec::Heap(_)));
+        assert!(v.contains(GraphId(0)));
+        assert!(v.contains(GraphId(INLINE as u32 + 2)));
+        for i in (0..INLINE as u32 + 3).rev() {
+            assert_eq!(v.pop(), Some(GraphId(i)));
+        }
+        assert_eq!(v.pop(), None);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn inline_stays_inline() {
+        let mut v = SmallIdVec::default();
+        for i in 0..INLINE as u32 {
+            v.push(GraphId(i));
+        }
+        assert!(matches!(v, SmallIdVec::Inline { .. }));
+        assert_eq!(v.iter().count(), INLINE);
+    }
+}

@@ -15,7 +15,10 @@
 //! program termination (variables = argument positions, nodes = function
 //! symbols).
 //!
-//! Two closure engines are provided:
+//! Two closure checkers share a single composition engine, the hash-consed
+//! [`GraphStore`] (per-graph bit planes, cached Theorem 5.2 flags,
+//! memoized composition, subsumption pruning — see [`store`] and the
+//! exactness argument in [`incremental`]):
 //!
 //! - [`Closure`]: batch saturation from a fixed edge set, used by the
 //!   stand-alone proof checker.
@@ -24,14 +27,21 @@
 //!   detected the moment they are created and shared proof prefixes are
 //!   never re-verified — the paper's answer to the soundness-checking
 //!   bottleneck observed in Cyclist.
+//!
+//! [`ScGraph`] stays as the owned, construction-facing graph (and the
+//! executable specification the property tests compare the store
+//! against); it lowers into a store via [`GraphStore::intern`].
 
 mod closure;
 mod graph;
-mod incremental;
+mod idvec;
+pub mod incremental;
+pub mod store;
 
 pub use closure::{Closure, Soundness};
 pub use graph::{Label, ScGraph};
 pub use incremental::{IncrementalClosure, Mark};
+pub use store::{GraphId, GraphStore};
 
 /// Convenience entry point: size-change termination of a call graph.
 ///
