@@ -1,0 +1,70 @@
+//! Owned vs interned proof checking on the headline proofs.
+//!
+//! Three variants per proof:
+//!
+//! - `owned`: the reference checker ([`cycleq::check`]) walking owned
+//!   terms and renormalising every `(Reduce)` premise from scratch;
+//! - `interned_cold`: [`cycleq::check_interned`] with a fresh
+//!   [`MemoRewriter`] per call — what a single `cycleq check` of one
+//!   certificate pays;
+//! - `interned_warm`: [`cycleq::check_interned_with`] reusing one
+//!   checker-side rewriter across iterations — what rechecking many
+//!   proofs over the same program pays per proof after the first.
+//!
+//! The interned variants must beat `owned` comfortably (the PR's
+//! acceptance bar is ≥3× on `fig4_add_comm`); `interned_warm` shows the
+//! additional headroom from cross-proof memoisation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cycleq::{check, check_interned, check_interned_with, Engine, GlobalCheck};
+use cycleq_benchsuite::{MUTUAL_PRELUDE, PRELUDE};
+use cycleq_rewrite::MemoRewriter;
+
+fn bench(c: &mut Criterion) {
+    let cases = [
+        ("fig4_add_comm", PRELUDE, "add x y === add y x"),
+        ("fig9_map_id", PRELUDE, "map id xs === xs"),
+        ("fig1_mapE_id", MUTUAL_PRELUDE, "mapE id e === e"),
+        (
+            "fig2_butlast_take_ip50",
+            PRELUDE,
+            "butlast xs === take (sub (len xs) (S Z)) xs",
+        ),
+    ];
+    let mut group = c.benchmark_group("checker");
+    for (name, prelude, goal) in cases {
+        let src = format!("{prelude}\ngoal g: {goal}\n");
+        let session = Engine::builder().recheck(false).build().load(&src).unwrap();
+        let v = session.prove("g").unwrap();
+        assert!(v.is_proved(), "{name}: {:?}", v.result.outcome);
+        let proof = &v.result.proof;
+        let prog = session.program();
+        group.bench_function(format!("{name}_owned"), |b| {
+            b.iter(|| {
+                check(proof, prog, GlobalCheck::VariableTraces)
+                    .unwrap()
+                    .nodes
+            })
+        });
+        group.bench_function(format!("{name}_interned_cold"), |b| {
+            b.iter(|| {
+                check_interned(proof, prog, GlobalCheck::VariableTraces)
+                    .unwrap()
+                    .nodes
+            })
+        });
+        group.bench_function(format!("{name}_interned_warm"), |b| {
+            let mut rw = MemoRewriter::new(&prog.sig, &prog.trs);
+            check_interned_with(proof, prog, GlobalCheck::VariableTraces, &mut rw).unwrap();
+            b.iter(|| {
+                check_interned_with(proof, prog, GlobalCheck::VariableTraces, &mut rw)
+                    .unwrap()
+                    .nodes
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

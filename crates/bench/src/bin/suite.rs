@@ -5,15 +5,17 @@
 //!
 //! ```text
 //! suite [--category isaplanner|mutual|figure] [--quick] [--jobs N]
-//!       [--hints] [--csv] [--timeout-ms N]
+//!       [--hints] [--csv] [--timeout-ms N] [--emit-certs DIR]
 //! ```
 //!
 //! `--jobs N` fans problems out across N worker threads (0 = one per
 //! hardware thread); output order stays declaration order. `--quick`
 //! restricts the run to the fast figure + mutual-induction problems — the
 //! combination `--quick --jobs 2` is the CI smoke test for the parallel
-//! scheduler. Exits non-zero when any problem is refuted or errors (a
-//! mis-encoded property), so CI catches those too.
+//! scheduler. `--emit-certs DIR` writes a `<id>.cqc` certificate for every
+//! proved problem, producing the corpus that `cycleq check` re-validates in
+//! CI. Exits non-zero when any problem is refuted or errors (a mis-encoded
+//! property), so CI catches those too.
 
 use std::time::Duration;
 
@@ -30,6 +32,7 @@ fn main() {
     let mut quick = false;
     let mut jobs: usize = 1;
     let mut timeout_ms: u64 = 2000;
+    let mut emit_certs: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,6 +65,13 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--emit-certs" => {
+                i += 1;
+                emit_certs = args.get(i).map(std::path::PathBuf::from).or_else(|| {
+                    eprintln!("--emit-certs needs a directory");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -83,7 +93,14 @@ fn main() {
         with_hints,
         recheck: true,
         jobs,
+        emit_certs: emit_certs.clone(),
     };
+    if let Some(dir) = &emit_certs {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create certificate directory {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+    }
     let outcomes = run_suite(&problems, &config);
     if as_csv {
         print!("{}", csv(&outcomes));

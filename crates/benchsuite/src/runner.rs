@@ -27,6 +27,11 @@ pub struct RunConfig {
     /// machine can flip a borderline problem to `Timeout` — benchmark
     /// timings (Figure 7 regeneration) should use `jobs: 1`.
     pub jobs: usize,
+    /// Export a `<problem.id>.cqc` certificate into this directory for
+    /// every proved problem (the corpus `cycleq check` re-validates). The
+    /// directory must already exist; export failures surface as
+    /// [`RunStatus::Error`] so CI cannot silently produce a partial corpus.
+    pub emit_certs: Option<std::path::PathBuf>,
 }
 
 impl Default for RunConfig {
@@ -39,6 +44,7 @@ impl Default for RunConfig {
             with_hints: false,
             recheck: true,
             jobs: 1,
+            emit_certs: None,
         }
     }
 }
@@ -129,7 +135,7 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
             }
         }
     };
-    let status = match verdict.result.outcome {
+    let mut status = match verdict.result.outcome {
         Outcome::Proved { .. } => RunStatus::Proved,
         Outcome::Refuted => RunStatus::Refuted,
         Outcome::Exhausted => RunStatus::Exhausted,
@@ -138,12 +144,40 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
         Outcome::Cancelled => RunStatus::Cancelled,
         Outcome::HintFailed { .. } => RunStatus::HintFailed,
     };
+    if status.is_proved() {
+        if let Some(dir) = &config.emit_certs {
+            if let Err(e) = emit_certificate(dir, problem.id, &session, &verdict) {
+                status = RunStatus::Error(e);
+            }
+        }
+    }
     RunOutcome {
         problem,
         status,
         time: verdict.result.stats.elapsed,
         stats: Some(verdict.result.stats),
     }
+}
+
+/// Writes the proved problem's certificate as `<dir>/<id>.cqc`, with the
+/// id sanitized the same way the CLI sanitizes goal names (anything but
+/// alphanumerics becomes `_`) so awkward ids cannot escape the directory.
+fn emit_certificate(
+    dir: &std::path::Path,
+    id: &str,
+    session: &cycleq::Session,
+    verdict: &cycleq::Verdict,
+) -> Result<(), String> {
+    let text = session
+        .export_certificate(verdict)
+        .map_err(|e| format!("certificate export failed: {e}"))?;
+    let safe: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("{safe}.cqc"));
+    std::fs::write(&path, text)
+        .map_err(|e| format!("cannot write certificate {}: {e}", path.display()))
 }
 
 /// Runs a set of problems, fanning them out across [`RunConfig::jobs`]
@@ -462,6 +496,26 @@ mod tests {
                 .collect()
         };
         assert_eq!(ids(&text_table(&sequential)), ids(&text_table(&parallel)));
+    }
+
+    #[test]
+    fn emit_certs_writes_a_validating_corpus() {
+        let dir = std::env::temp_dir().join(format!("cycleq_certs_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = &FIGURES[0];
+        let out = run_problem(
+            p,
+            &RunConfig {
+                emit_certs: Some(dir.clone()),
+                ..RunConfig::default()
+            },
+        );
+        assert!(out.status.is_proved(), "{:?}", out.status);
+        let text = std::fs::read_to_string(dir.join(format!("{}.cqc", p.id))).unwrap();
+        let checked = cycleq::check_certificate(&text).expect("exported certificate validates");
+        assert_eq!(checked.goal, p.goal_name());
+        assert!(checked.report.nodes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -16,7 +16,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cycleq::{
-    BatchReport, Engine, Outcome, ProveEvent, SearchConfig, SearchStats, Session, Verdict,
+    available_parallelism, check_certificate, BatchReport, BatchScheduler, Engine, Outcome,
+    ProveEvent, SearchConfig, SearchStats, Session, Verdict,
 };
 
 /// Some goal was not proved, but none was refuted (exhausted / timeout /
@@ -32,11 +33,20 @@ cycleq — cyclic equational prover (CycleQ, PLDI 2022)
 
 USAGE:
     cycleq [OPTIONS] <FILE> [GOAL]...
+    cycleq check [--jobs N] <FILE>...
 
 ARGS:
     <FILE>      Program in the CycleQ input language (data decls,
                 function equations, `goal name: lhs === rhs`)
     [GOAL]...   Goals to prove; defaults to every declared goal
+
+SUBCOMMANDS:
+    check       Re-validate exported proof certificates. Each file is
+                parsed, its embedded program fingerprint-checked and
+                re-elaborated, and the proof re-run through the
+                independent checker; files are validated in parallel
+                with `--jobs`. Exits 0 when every certificate is valid,
+                3 when any is invalid, 2 on usage or read errors.
 
 OPTIONS:
     --dot               Render proofs as Graphviz DOT instead of text
@@ -55,6 +65,9 @@ OPTIONS:
                         summary object, one per line, on stdout
     --validate          Print standing-assumption warnings (pattern
                         completeness, orthogonality) before proving
+    --emit-certs DIR    Export a self-contained certificate for every
+                        proved goal to DIR/<goal>.cqc, re-validatable
+                        later with `cycleq check`
     --max-nodes N       Cap proof nodes created during search
     --max-depth N       Cap DFS depth (rule applications per branch)
     --timeout-ms N      Wall-clock budget per goal; 0 means unbounded
@@ -84,6 +97,7 @@ struct Options {
     proof: bool,
     stats: bool,
     validate: bool,
+    emit_certs: Option<String>,
     format: Format,
     /// `Some(n)` when `--jobs` was passed: the batch path (with its summary
     /// line and live progress) runs even for `--jobs 1`, exactly as the
@@ -103,6 +117,7 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         proof: true,
         stats: false,
         validate: false,
+        emit_certs: None,
         format: Format::Text,
         jobs: None,
         config: SearchConfig::default(),
@@ -129,6 +144,10 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--no-proof" => opts.proof = false,
             "--stats" => opts.stats = true,
             "--validate" => opts.validate = true,
+            "--emit-certs" => {
+                let dir = it.next().ok_or("--emit-certs requires a value")?;
+                opts.emit_certs = Some(dir.clone());
+            }
             "--hints" => {
                 let list = it.next().ok_or("--hints requires a value")?;
                 opts.hints.extend(list.split(',').map(str::to_string));
@@ -219,13 +238,20 @@ fn json_stats(s: &SearchStats) -> String {
     )
 }
 
-/// One NDJSON object per goal: verdict, stats, elapsed.
+/// One NDJSON object per goal: verdict, stats, recheck counters, elapsed.
+/// The `recheck_*` keys are always present; they are zero when re-checking
+/// did not run (unproved goals, or rechecking disabled).
 fn print_goal_json(verdict: &Verdict, time: Duration) {
+    let recheck = verdict.recheck.unwrap_or_default();
     println!(
-        "{{\"type\":\"goal\",\"goal\":\"{}\",\"verdict\":\"{}\",\"time_ms\":{:.3},\"stats\":{}}}",
+        "{{\"type\":\"goal\",\"goal\":\"{}\",\"verdict\":\"{}\",\"time_ms\":{:.3},\
+         \"recheck_ms\":{:.3},\"recheck_reducts\":{},\"recheck_memo_hits\":{},\"stats\":{}}}",
         json_escape(&verdict.goal),
         verdict_word(&verdict.result.outcome),
         time.as_secs_f64() * 1000.0,
+        recheck.elapsed.as_secs_f64() * 1000.0,
+        recheck.reducts_checked,
+        recheck.memo_hits,
         json_stats(&verdict.result.stats),
     );
 }
@@ -235,7 +261,7 @@ fn print_batch_json(report: &BatchReport) {
     println!(
         "{{\"type\":\"batch\",\"proved\":{},\"total\":{},\"jobs\":{},\
          \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evictions\":{}}},\
-         \"elapsed_ms\":{:.3}}}",
+         \"recheck_ms\":{:.3},\"elapsed_ms\":{:.3}}}",
         report.proved(),
         report.goals.len(),
         report.jobs,
@@ -243,6 +269,7 @@ fn print_batch_json(report: &BatchReport) {
         report.cache.misses,
         report.cache.entries,
         report.cache.evictions,
+        report.recheck.as_secs_f64() * 1000.0,
         report.stats.elapsed.as_secs_f64() * 1000.0,
     );
 }
@@ -301,6 +328,12 @@ fn print_verdict(opts: &Options, verdict: &Verdict) {
             s.interned_nodes,
             s.elapsed,
         ));
+        if let Some(r) = &verdict.recheck {
+            annotate(&format!(
+                "  recheck: nodes={} reducts={} memo_hits={} elapsed={:?}",
+                r.nodes, r.reducts_checked, r.memo_hits, r.elapsed,
+            ));
+        }
     }
 }
 
@@ -365,6 +398,9 @@ fn run(opts: &Options) -> Result<Tally, String> {
         return Err(format!("`{}` declares no goals", opts.file));
     }
     let hints: Vec<&str> = opts.hints.iter().map(String::as_str).collect();
+    if let Some(dir) = &opts.emit_certs {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    }
     // JSON output always goes through the batch path: one object per goal
     // plus the summary object, whatever the worker count.
     if opts.jobs.is_some() || opts.format == Format::Json {
@@ -382,8 +418,29 @@ fn run(opts: &Options) -> Result<Tally, String> {
             tally.gave_up = true;
         }
         print_verdict(opts, &verdict);
+        if let Some(dir) = &opts.emit_certs {
+            emit_certificate(dir, &session, &verdict)?;
+        }
     }
     Ok(tally)
+}
+
+/// Writes the verdict's certificate to `<dir>/<goal>.cqc`; unproved goals
+/// have no certificate and are skipped.
+fn emit_certificate(dir: &str, session: &Session, verdict: &Verdict) -> Result<(), String> {
+    if !verdict.is_proved() {
+        return Ok(());
+    }
+    let text = session
+        .export_certificate(verdict)
+        .map_err(|e| e.to_string())?;
+    let safe: String = verdict
+        .goal
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = std::path::Path::new(dir).join(format!("{safe}.cqc"));
+    std::fs::write(&path, text).map_err(|e| format!("cannot write `{}`: {e}", path.display()))
 }
 
 /// Batch path: proves the goals across the session's workers, printing
@@ -412,6 +469,9 @@ fn run_batch(
                     Format::Json => print_goal_json(verdict, g.time),
                     Format::Text => print_verdict(opts, verdict),
                 }
+                if let Some(dir) = &opts.emit_certs {
+                    emit_certificate(dir, session, verdict)?;
+                }
             }
             Err(e) => return Err(format!("goal `{}`: {e}", g.goal)),
         }
@@ -420,7 +480,8 @@ fn run_batch(
         Format::Json => print_batch_json(&report),
         Format::Text => {
             let summary = format!(
-                "batch: proved {}/{} | jobs={} | cache hits={} misses={} entries={} | elapsed={:?}",
+                "batch: proved {}/{} | jobs={} | cache hits={} misses={} entries={} | \
+                 elapsed={:?} | recheck={:?}",
                 report.proved(),
                 report.goals.len(),
                 report.jobs,
@@ -428,6 +489,7 @@ fn run_batch(
                 report.cache.misses,
                 report.cache.entries,
                 report.stats.elapsed,
+                report.recheck,
             );
             if opts.dot {
                 eprintln!("{summary}");
@@ -439,8 +501,89 @@ fn run_batch(
     Ok(tally)
 }
 
+/// `cycleq check <FILES>... [--jobs N]`: re-validates certificate files in
+/// parallel. Prints one line per file plus a greppable `check:` summary.
+fn run_check(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--jobs" => {
+                let n = it.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = n else {
+                    eprintln!("error: --jobs requires an integer value\n\n{USAGE}");
+                    return ExitCode::from(EXIT_USAGE);
+                };
+                jobs = if n == 0 { available_parallelism() } else { n };
+            }
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                eprintln!("error: unknown option `{flag}`\n\n{USAGE}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+            _ => files.push(arg.clone()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: cycleq check requires at least one certificate file\n\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let mut texts = Vec::with_capacity(files.len());
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(text) => texts.push(text),
+            Err(e) => {
+                eprintln!("error: cannot read `{f}`: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    let start = std::time::Instant::now();
+    let tasks: Vec<_> = texts
+        .iter()
+        .map(|text| move |_worker: usize| check_certificate(text))
+        .collect();
+    let results = BatchScheduler::new(jobs).run(tasks);
+    let mut valid = 0usize;
+    for (file, result) in files.iter().zip(&results) {
+        match result {
+            Ok(checked) => {
+                valid += 1;
+                println!(
+                    "cert {file}: valid goal {} ({} nodes, {} reducts, {} memo hits, {:?})",
+                    checked.goal,
+                    checked.report.nodes,
+                    checked.report.reducts_checked,
+                    checked.report.memo_hits,
+                    checked.report.elapsed,
+                );
+            }
+            Err(e) => println!("cert {file}: INVALID ({e})"),
+        }
+    }
+    println!(
+        "check: valid {}/{} | jobs={} | elapsed={:?}",
+        valid,
+        files.len(),
+        jobs,
+        start.elapsed(),
+    );
+    if valid == files.len() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(EXIT_REFUTED)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check") {
+        return run_check(&args[1..]);
+    }
     let opts = match parse_args(&args) {
         Ok(Some(opts)) => opts,
         Ok(None) => return ExitCode::SUCCESS,

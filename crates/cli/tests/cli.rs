@@ -331,6 +331,140 @@ fn json_format_rejects_dot() {
 }
 
 #[test]
+fn stats_include_a_recheck_line_for_proved_goals() {
+    let file = quickstart();
+    let out = run(&["--no-proof", "--stats", file.to_str().unwrap(), "addComm"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("recheck: nodes="),
+        "no recheck line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("reducts=") && stdout.contains("memo_hits="),
+        "recheck counters missing:\n{stdout}"
+    );
+}
+
+#[test]
+fn json_goal_objects_carry_recheck_keys() {
+    let file = quickstart();
+    let out = run(&["--format", "json", file.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    for line in &lines[..lines.len() - 1] {
+        let ms: f64 = json_value(line, "recheck_ms").unwrap().parse().unwrap();
+        assert!(ms >= 0.0, "in {line}");
+        let reducts: u64 = json_value(line, "recheck_reducts")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(reducts > 0, "proved goals derive reducts, in {line}");
+        let _: u64 = json_value(line, "recheck_memo_hits")
+            .unwrap()
+            .parse()
+            .unwrap();
+    }
+    let batch = lines[lines.len() - 1];
+    let ms: f64 = json_value(batch, "recheck_ms").unwrap().parse().unwrap();
+    assert!(ms >= 0.0);
+}
+
+#[test]
+fn batch_summary_includes_recheck_time() {
+    let file = quickstart();
+    let out = run(&["--no-proof", "--jobs", "2", file.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("| recheck="),
+        "no recheck in summary:\n{stdout}"
+    );
+}
+
+/// A fresh directory for emitted certificates, cleaned up from any
+/// previous run of the same test.
+fn cert_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("cycleq-cli-test-certs")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn emitted_certificates_validate_with_cycleq_check() {
+    let file = quickstart();
+    let dir = cert_dir("roundtrip");
+    let out = run(&[
+        "--no-proof",
+        "--emit-certs",
+        dir.to_str().unwrap(),
+        file.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mut certs: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path().to_str().unwrap().to_string())
+        .collect();
+    certs.sort();
+    assert_eq!(certs.len(), 3, "one certificate per proved goal");
+    let mut args = vec!["check", "--jobs", "2"];
+    args.extend(certs.iter().map(String::as_str));
+    let out = run(&args);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("check: valid 3/3 | jobs=2"),
+        "missing summary:\n{stdout}"
+    );
+    assert!(stdout.contains("valid goal addComm"), "{stdout}");
+}
+
+#[test]
+fn tampered_certificate_fails_check_with_exit_code_three() {
+    let file = quickstart();
+    let dir = cert_dir("tampered");
+    let out = run(&[
+        "--no-proof",
+        "--emit-certs",
+        dir.to_str().unwrap(),
+        file.to_str().unwrap(),
+        "addZeroRight",
+    ]);
+    assert!(out.status.success());
+    let cert = dir.join("addZeroRight.cqc");
+    let text = std::fs::read_to_string(&cert).unwrap();
+    // Tamper with the embedded program source: fingerprint mismatch.
+    std::fs::write(&cert, text.replace("add Z y = y", "add Z y = Z")).unwrap();
+    let out = run(&["check", cert.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("INVALID"), "{stdout}");
+    assert!(stdout.contains("fingerprint mismatch"), "{stdout}");
+    assert!(stdout.contains("check: valid 0/1"), "{stdout}");
+}
+
+#[test]
+fn check_without_files_is_a_usage_error() {
+    let out = run(&["check"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["check", "/nonexistent/nope.cqc"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
 fn batch_mode_streams_progress_lines_to_stderr() {
     let file = quickstart();
     let out = run(&["--no-proof", "--jobs", "2", file.to_str().unwrap()]);

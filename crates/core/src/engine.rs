@@ -360,7 +360,12 @@ impl Engine {
                 Some(cap) => SharedNormalFormCache::with_capacity(cap),
                 None => SharedNormalFormCache::new(),
             });
-        Ok(Session::assemble(self.settings.clone(), module, cache))
+        Ok(Session::assemble(
+            self.settings.clone(),
+            module,
+            Arc::from(src),
+            cache,
+        ))
     }
 
     /// The search configuration sessions will use.

@@ -102,8 +102,10 @@ pub use engine::{Engine, EngineBuilder, EventSink, GoalStatus, ProveEvent};
 pub use cycleq_batch::{available_parallelism, BatchScheduler};
 pub use cycleq_lang::{GoalDef, LangError, Module};
 pub use cycleq_proof::{
-    check, check_global, check_global_incremental, cycle_witnesses, global_edges, render_dot,
-    render_text, CheckReport, GlobalCheck, NodeId, Preproof, RuleApp,
+    check, check_global, check_global_incremental, check_global_scc, check_interned,
+    check_interned_with, cycle_witnesses, export_certificate, global_edges, program_fingerprint,
+    render_dot, render_text, Certificate, CertificateError, CheckError, CheckReport, GlobalCheck,
+    NodeId, Preproof, RuleApp,
 };
 pub use cycleq_rewrite::{CacheStats, CancelToken, Program, SharedNormalFormCache};
 pub use cycleq_search::{
@@ -124,6 +126,9 @@ pub enum Error {
     Check(cycleq_proof::CheckError),
     /// The verdict does not carry a proof (e.g. refuted or exhausted).
     NoProof,
+    /// A certificate was rejected (bad format, tampering, or a failing
+    /// proof).
+    Certificate(CertificateError),
 }
 
 impl fmt::Display for Error {
@@ -133,6 +138,7 @@ impl fmt::Display for Error {
             Error::UnknownGoal(g) => write!(f, "unknown goal `{g}`"),
             Error::Check(e) => write!(f, "proof failed re-checking: {e}"),
             Error::NoProof => write!(f, "no proof available for this verdict"),
+            Error::Certificate(e) => write!(f, "{e}"),
         }
     }
 }
@@ -153,6 +159,10 @@ pub struct Verdict {
     pub goal: String,
     /// The raw search result.
     pub result: ProofResult,
+    /// The independent re-check's report, when the session rechecks proofs
+    /// (the default) and the goal was proved. Carries the recheck's
+    /// wall-clock time and reduct/memo counters.
+    pub recheck: Option<CheckReport>,
     /// Signature snapshot for rendering.
     sig: Signature,
 }
@@ -216,6 +226,9 @@ pub struct Session {
     /// deprecated shim mutators copy-on-write these.
     settings: Arc<Settings>,
     module: Module,
+    /// The program source as loaded, embedded into exported certificates so
+    /// they are self-contained (and fingerprinted against tampering).
+    source: Arc<str>,
     /// The program-scoped shared normal-form cache. Every `prove` call
     /// consults and populates it, so reductions are shared across goals,
     /// hints, deepening rounds and worker threads. `None` only with
@@ -242,11 +255,13 @@ impl Session {
     pub(crate) fn assemble(
         settings: Arc<Settings>,
         module: Module,
+        source: Arc<str>,
         cache: Option<SharedNormalFormCache>,
     ) -> Session {
         Session {
             settings,
             module,
+            source,
             cache,
             cost_hints: HashMap::new(),
         }
@@ -413,21 +428,49 @@ impl Session {
             prover = prover.with_round_observer(observer);
         }
         let result = prover.prove_with_budget(g.eq.clone(), vars, &hint_eqs, budget, cancel);
+        let mut recheck = None;
         if self.settings.recheck {
             if let Outcome::Proved { .. } = result.outcome {
-                check(
+                // The interned checker: same verdict as the owned-term
+                // `check` (pinned by the differential property test), but
+                // reducts are derived on a private hash-consed store and
+                // memoized across the proof's nodes.
+                let report = check_interned(
                     &result.proof,
                     &self.module.program,
                     GlobalCheck::VariableTraces,
                 )
                 .map_err(Error::Check)?;
+                recheck = Some(report);
             }
         }
         Ok(Verdict {
             goal: goal.to_string(),
             result,
+            recheck,
             sig: self.module.program.sig.clone(),
         })
+    }
+
+    /// Serializes a proved verdict into a self-contained certificate: the
+    /// program source (fingerprinted), the proof's variables, nodes and
+    /// rule instances, and its size-change edge graphs. The text can be
+    /// written to a file and later re-validated — on any machine, without
+    /// the original session — via [`check_certificate`] or the `cycleq
+    /// check` subcommand.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NoProof`] when the verdict carries no proof.
+    pub fn export_certificate(&self, verdict: &Verdict) -> Result<String, Error> {
+        match verdict.result.outcome {
+            Outcome::Proved { .. } => Ok(cycleq_proof::export_certificate(
+                &verdict.goal,
+                &self.source,
+                &verdict.result.proof,
+            )),
+            _ => Err(Error::NoProof),
+        }
     }
 
     /// Attempts to prove **every declared goal**, fanning the batch out
@@ -579,9 +622,13 @@ impl Session {
             .collect();
         let reports = scheduler.run_with_costs(tasks, &costs);
         let mut stats = SearchStats::default();
+        let mut recheck = Duration::ZERO;
         for r in &reports {
             if let Ok(v) = &r.outcome {
                 stats.absorb(&v.result.stats);
+                if let Some(c) = &v.recheck {
+                    recheck += c.elapsed;
+                }
             }
         }
         // Wall clock of the whole batch, not the sum of per-goal times:
@@ -592,6 +639,7 @@ impl Session {
             stats,
             jobs: scheduler.jobs(),
             cache: self.shared_cache_stats(),
+            recheck,
         };
         if let Some(sink) = &sink {
             sink.event(&ProveEvent::BatchFinished {
@@ -656,6 +704,40 @@ impl GoalReport {
     pub fn is_refuted(&self) -> bool {
         self.verdict().is_some_and(Verdict::is_refuted)
     }
+
+    /// The independent re-check's report, when one ran for this goal.
+    pub fn recheck(&self) -> Option<&CheckReport> {
+        self.verdict().and_then(|v| v.recheck.as_ref())
+    }
+}
+
+/// The outcome of validating one certificate ([`check_certificate`]).
+#[derive(Clone, Debug)]
+pub struct CertificateCheck {
+    /// The goal name the certificate proves.
+    pub goal: String,
+    /// The checker's report for the embedded proof.
+    pub report: CheckReport,
+}
+
+/// Validates certificate text end to end: parse (version, structure,
+/// program fingerprint), re-elaborate the embedded program source, compare
+/// the serialized size-change edge graphs against recomputed ones, and run
+/// the embedded proof through the independent interned checker. Nothing
+/// from the proving session is trusted — only the bytes of the certificate.
+///
+/// # Errors
+///
+/// [`Error::Certificate`] for parse/tamper/check failures and
+/// [`Error::Lang`] when the embedded program no longer elaborates.
+pub fn check_certificate(text: &str) -> Result<CertificateCheck, Error> {
+    let cert = Certificate::parse(text).map_err(Error::Certificate)?;
+    let module = cycleq_lang::parse_module(cert.program_src())?;
+    let report = cert.verify(&module.program).map_err(Error::Certificate)?;
+    Ok(CertificateCheck {
+        goal: cert.goal().to_string(),
+        report,
+    })
 }
 
 /// The outcome of [`Session::prove_all`]/[`Session::prove_many`]:
@@ -674,6 +756,10 @@ pub struct BatchReport {
     /// Shared normal-form cache counters at the end of the batch
     /// (session-lifetime totals, so earlier `prove` calls count too).
     pub cache: CacheStats,
+    /// Total time spent in the independent re-checker, summed across the
+    /// proved goals (zero when re-checking is disabled). Summed CPU time,
+    /// not wall clock: with `jobs > 1` rechecks overlap.
+    pub recheck: Duration,
 }
 
 impl BatchReport {
@@ -729,6 +815,71 @@ goal wrong: add x Z === Z
         let v = s.prove("wrong").unwrap();
         assert!(v.is_refuted());
         assert!(v.render_proof().is_err());
+    }
+
+    #[test]
+    fn proved_verdicts_carry_a_recheck_report() {
+        let s = Session::from_source(SRC).unwrap();
+        let v = s.prove("comm").unwrap();
+        let recheck = v.recheck.expect("recheck is on by default");
+        assert!(recheck.global_verified);
+        assert!(recheck.nodes > 0);
+        let refuted = s.prove("wrong").unwrap();
+        assert!(refuted.recheck.is_none());
+    }
+
+    #[test]
+    fn certificate_round_trips_through_check_certificate() {
+        let s = Session::from_source(SRC).unwrap();
+        let v = s.prove("comm").unwrap();
+        let text = s.export_certificate(&v).unwrap();
+        let checked = check_certificate(&text).unwrap();
+        assert_eq!(checked.goal, "comm");
+        assert!(checked.report.global_verified);
+        assert_eq!(checked.report.nodes, v.result.proof.len());
+    }
+
+    #[test]
+    fn export_certificate_requires_a_proof() {
+        let s = Session::from_source(SRC).unwrap();
+        let v = s.prove("wrong").unwrap();
+        assert!(matches!(s.export_certificate(&v), Err(Error::NoProof)));
+    }
+
+    #[test]
+    fn tampered_certificates_are_rejected() {
+        let s = Session::from_source(SRC).unwrap();
+        let v = s.prove("comm").unwrap();
+        let text = s.export_certificate(&v).unwrap();
+        // Tamper with the embedded program: fingerprint mismatch.
+        let tampered = text.replace("add Z y = y", "add Z y = Z");
+        assert!(matches!(
+            check_certificate(&tampered),
+            Err(Error::Certificate(
+                CertificateError::FingerprintMismatch { .. }
+            ))
+        ));
+        // Drop trailing lines: truncated.
+        let lines: Vec<&str> = text.lines().collect();
+        let partial = lines[..lines.len() - 3].join("\n");
+        assert!(matches!(
+            check_certificate(&partial),
+            Err(Error::Certificate(CertificateError::Truncated))
+        ));
+    }
+
+    #[test]
+    fn batch_report_accumulates_recheck_time() {
+        let s = Session::from_source(SRC).unwrap();
+        let report = s.prove_all();
+        // At least `comm` and `zeroRight` are proved and rechecked; the
+        // summed duration is whatever it is, but the reports must be there.
+        assert!(report.goals.iter().any(|g| g.recheck().is_some()));
+        assert!(report
+            .goals
+            .iter()
+            .filter(|g| !g.is_proved())
+            .all(|g| g.recheck().is_none()));
     }
 
     #[test]

@@ -1,0 +1,849 @@
+//! Self-contained proof certificates.
+//!
+//! A certificate packages everything needed to re-validate a proof offline:
+//! a versioned header with a fingerprint of the program source, the program
+//! source itself, the proof's variables (names and types), every node
+//! (equation, rule instance, premises), and the size-change edge graphs
+//! justifying the global condition (Definition 5.3). `cycleq check` parses
+//! certificate files and re-runs the independent interned checker
+//! ([`crate::check_interned`]) against a program re-elaborated from the
+//! embedded source — nothing from the proving session is trusted.
+//!
+//! The format is line-oriented text, versioned by the first line. Terms are
+//! serialized as self-delimiting prefix tokens (`v<idx>/<argc>` for a
+//! variable head, `s<idx>/<argc>` for a symbol head, followed by exactly
+//! `argc` subterm encodings), so no lengths or brackets are needed. Types
+//! reuse [`cycleq_term::Type::encode`]'s flat `u32` words. The embedded
+//! program and goal name are escaped onto one line each (`\\`, `\n`, and in
+//! space-delimited positions `\s`).
+//!
+//! Tampering is caught at distinct layers with distinct errors: a bumped
+//! version is [`CertificateError::UnsupportedVersion`], missing trailing
+//! lines are [`CertificateError::Truncated`], an edited program no longer
+//! matches the header fingerprint ([`CertificateError::FingerprintMismatch`]),
+//! an edited edge graph disagrees with the one recomputed from the proof
+//! ([`CertificateError::EdgeGraphMismatch`]), and a damaged proof fails the
+//! checker itself ([`CertificateError::Check`]).
+
+use std::error::Error;
+use std::fmt;
+
+use cycleq_rewrite::Program;
+use cycleq_sizechange::Label;
+use cycleq_term::{
+    DataId, Equation, Head, Position, Subst, SymId, Term, TyVarId, Type, VarId, VarStore,
+};
+
+use crate::checker::{CheckError, CheckReport, GlobalCheck};
+use crate::edges::edge_graph;
+use crate::interned::check_interned;
+use crate::node::{CaseBranch, NodeId, RuleApp, Side, SubstApp};
+use crate::preproof::Preproof;
+
+/// The only format version this build reads and writes.
+const VERSION_LINE: &str = "cycleq-certificate v1";
+
+/// Why a certificate was rejected before (or during) checking.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CertificateError {
+    /// The version line names a format this build does not understand.
+    UnsupportedVersion(String),
+    /// The input ended before the terminal `end` line.
+    Truncated,
+    /// The embedded program does not hash to the header fingerprint.
+    FingerprintMismatch { expected: u64, got: u64 },
+    /// A structural parse failure (bad token, index out of range, …).
+    Malformed(String),
+    /// A serialized size-change edge graph disagrees with the one recomputed
+    /// from the proof (Definition 5.3).
+    EdgeGraphMismatch { node: usize, premise: usize },
+    /// The proof itself failed the independent checker.
+    Check(CheckError),
+}
+
+impl fmt::Display for CertificateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertificateError::UnsupportedVersion(v) => {
+                write!(f, "unsupported certificate version: {v:?}")
+            }
+            CertificateError::Truncated => write!(f, "certificate is truncated"),
+            CertificateError::FingerprintMismatch { expected, got } => write!(
+                f,
+                "program fingerprint mismatch: header says {expected:016x}, source hashes to {got:016x}"
+            ),
+            CertificateError::Malformed(why) => write!(f, "malformed certificate: {why}"),
+            CertificateError::EdgeGraphMismatch { node, premise } => write!(
+                f,
+                "size-change edge graph for node {node} premise {premise} does not match the proof"
+            ),
+            CertificateError::Check(e) => write!(f, "proof check failed: {e}"),
+        }
+    }
+}
+
+impl Error for CertificateError {}
+
+/// FNV-1a (64-bit) over the program source bytes. Stable across platforms
+/// and builds, cheap, and good enough to catch certificate/program skew —
+/// this is a change detector, not a cryptographic commitment.
+pub fn program_fingerprint(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn escape_line(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn escape_token(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            ' ' => out.push_str("\\s"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, CertificateError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('s') => out.push(' '),
+            other => {
+                return Err(CertificateError::Malformed(format!(
+                    "bad escape: \\{}",
+                    other.map(String::from).unwrap_or_default()
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn write_term(t: &Term, out: &mut String) {
+    match t.head() {
+        Head::Var(v) => out.push_str(&format!(" v{}/{}", v.index(), t.args().len())),
+        Head::Sym(s) => out.push_str(&format!(" s{}/{}", s.index(), t.args().len())),
+    }
+    for a in t.args() {
+        write_term(a, out);
+    }
+}
+
+fn write_type(ty: &Type, out: &mut String) {
+    let mut words = Vec::new();
+    ty.encode(&mut words);
+    out.push_str(&format!(" {}", words.len()));
+    for w in words {
+        out.push_str(&format!(" {w}"));
+    }
+}
+
+fn write_rule(rule: &RuleApp, out: &mut String) {
+    match rule {
+        RuleApp::Open => out.push_str(" open"),
+        RuleApp::Refl => out.push_str(" refl"),
+        RuleApp::Reduce => out.push_str(" reduce"),
+        RuleApp::Cong => out.push_str(" cong"),
+        RuleApp::FunExt { fresh } => out.push_str(&format!(" funext {}", fresh.index())),
+        RuleApp::Case { var, branches } => {
+            out.push_str(&format!(" case {} {}", var.index(), branches.len()));
+            for b in branches {
+                out.push_str(&format!(" {} {}", b.con.index(), b.fresh.len()));
+                for v in &b.fresh {
+                    out.push_str(&format!(" {}", v.index()));
+                }
+            }
+        }
+        RuleApp::Subst(app) => {
+            let side = match app.side {
+                Side::Lhs => "L",
+                Side::Rhs => "R",
+            };
+            out.push_str(&format!(" subst {side} {}", app.pos.indices().len()));
+            for i in app.pos.indices() {
+                out.push_str(&format!(" {i}"));
+            }
+            out.push_str(&format!(
+                " {} {}",
+                if app.lemma_flipped { 1 } else { 0 },
+                app.theta.len()
+            ));
+            for (v, t) in app.theta.iter() {
+                out.push_str(&format!(" {}", v.index()));
+                write_term(t, out);
+            }
+        }
+    }
+}
+
+/// Serializes a proof of `goal` over `program_src` into certificate text.
+///
+/// The proof should be closed; open nodes are serialized as-is and will be
+/// rejected by the checker on the validating side.
+pub fn export_certificate(goal: &str, program_src: &str, proof: &Preproof) -> String {
+    let mut out = String::new();
+    out.push_str(VERSION_LINE);
+    out.push('\n');
+    out.push_str(&format!(
+        "fingerprint {:016x}\n",
+        program_fingerprint(program_src)
+    ));
+    out.push_str(&format!("goal {}\n", escape_line(goal)));
+    out.push_str(&format!("program {}\n", escape_line(program_src)));
+    out.push_str(&format!("vars {}\n", proof.vars().len()));
+    for (_, name, ty) in proof.vars().iter() {
+        let mut line = format!("var {}", escape_token(name));
+        write_type(ty, &mut line);
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str(&format!("nodes {}\n", proof.len()));
+    for (_, node) in proof.nodes() {
+        let mut line = String::from("node");
+        write_term(node.eq.lhs(), &mut line);
+        write_term(node.eq.rhs(), &mut line);
+        line.push_str(&format!(" prem {}", node.premises.len()));
+        for p in &node.premises {
+            line.push_str(&format!(" {}", p.index()));
+        }
+        line.push_str(" rule");
+        write_rule(&node.rule, &mut line);
+        out.push_str(&line);
+        out.push('\n');
+    }
+    let mut edge_lines = Vec::new();
+    for (v, node) in proof.nodes() {
+        if matches!(node.rule, RuleApp::Open) {
+            continue;
+        }
+        for i in 0..node.premises.len() {
+            let g = edge_graph(proof, v, i);
+            let mut line = format!("edge {} {} {}", v.index(), i, g.len());
+            for (x, y, label) in g.edges() {
+                let l = match label {
+                    Label::Strict => "s",
+                    Label::NonStrict => "n",
+                };
+                line.push_str(&format!(" {} {} {}", x.index(), y.index(), l));
+            }
+            edge_lines.push(line);
+        }
+    }
+    out.push_str(&format!("edges {}\n", edge_lines.len()));
+    for line in edge_lines {
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// One declared size-change edge: `(node, premise index, sorted edge
+/// triples)`.
+type CertEdge = (NodeId, usize, Vec<(VarId, VarId, Label)>);
+
+/// A parsed certificate, ready to be [`verified`](Certificate::verify).
+#[derive(Clone, Debug)]
+pub struct Certificate {
+    goal: String,
+    program_src: String,
+    proof: Preproof,
+    /// Declared edges in node order.
+    edges: Vec<CertEdge>,
+}
+
+/// A token cursor over one certificate line.
+struct Cursor<'a> {
+    toks: std::str::SplitAsciiWhitespace<'a>,
+    line_no: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(line: &'a str, line_no: usize) -> Cursor<'a> {
+        Cursor {
+            toks: line.split_ascii_whitespace(),
+            line_no,
+        }
+    }
+
+    fn bad(&self, why: &str) -> CertificateError {
+        CertificateError::Malformed(format!("line {}: {}", self.line_no, why))
+    }
+
+    fn next(&mut self) -> Result<&'a str, CertificateError> {
+        self.toks.next().ok_or_else(|| self.bad("missing token"))
+    }
+
+    fn usize(&mut self) -> Result<usize, CertificateError> {
+        let t = self.next()?;
+        t.parse()
+            .map_err(|_| self.bad(&format!("expected a number, got {t:?}")))
+    }
+
+    fn expect(&mut self, word: &str) -> Result<(), CertificateError> {
+        let t = self.next()?;
+        if t == word {
+            Ok(())
+        } else {
+            Err(self.bad(&format!("expected {word:?}, got {t:?}")))
+        }
+    }
+
+    fn finish(mut self) -> Result<(), CertificateError> {
+        match self.toks.next() {
+            None => Ok(()),
+            Some(t) => Err(self.bad(&format!("trailing token {t:?}"))),
+        }
+    }
+
+    /// One self-delimiting term encoding.
+    fn term(&mut self, num_vars: usize) -> Result<Term, CertificateError> {
+        let t = self.next()?;
+        let (head, rest) = t
+            .split_at_checked(1)
+            .ok_or_else(|| self.bad("empty term token"))?;
+        let (idx, argc) = rest
+            .split_once('/')
+            .ok_or_else(|| self.bad(&format!("bad term token {t:?}")))?;
+        let idx: usize = idx
+            .parse()
+            .map_err(|_| self.bad(&format!("bad term token {t:?}")))?;
+        let argc: usize = argc
+            .parse()
+            .map_err(|_| self.bad(&format!("bad term token {t:?}")))?;
+        let head = match head {
+            "v" => {
+                if idx >= num_vars {
+                    return Err(self.bad(&format!("variable index {idx} out of range")));
+                }
+                Head::Var(VarId::from_index(idx))
+            }
+            // Symbol indices are validated against the signature in
+            // `verify`, once the embedded program has been elaborated.
+            "s" => Head::Sym(SymId::from_index(idx)),
+            _ => return Err(self.bad(&format!("bad term token {t:?}"))),
+        };
+        let mut args = Vec::with_capacity(argc);
+        for _ in 0..argc {
+            args.push(self.term(num_vars)?);
+        }
+        Ok(Term::from_parts(head, args))
+    }
+
+    fn var_id(&mut self, num_vars: usize) -> Result<VarId, CertificateError> {
+        let idx = self.usize()?;
+        if idx >= num_vars {
+            return Err(self.bad(&format!("variable index {idx} out of range")));
+        }
+        Ok(VarId::from_index(idx))
+    }
+}
+
+/// Decodes one [`Type::encode`] word sequence.
+fn decode_type(words: &mut std::slice::Iter<'_, u32>) -> Option<Type> {
+    match *words.next()? {
+        0 => Some(Type::Var(TyVarId(*words.next()?))),
+        1 => {
+            let d = DataId::from_index(*words.next()? as usize);
+            let argc = *words.next()? as usize;
+            let mut args = Vec::with_capacity(argc);
+            for _ in 0..argc {
+                args.push(decode_type(words)?);
+            }
+            Some(Type::Data(d, args))
+        }
+        2 => {
+            let a = decode_type(words)?;
+            let b = decode_type(words)?;
+            Some(Type::arrow(a, b))
+        }
+        _ => None,
+    }
+}
+
+impl Certificate {
+    /// Parses certificate text, validating structure and the program
+    /// fingerprint. Symbol/datatype indices are validated later, in
+    /// [`verify`](Certificate::verify), against the elaborated program.
+    ///
+    /// # Errors
+    ///
+    /// [`CertificateError::UnsupportedVersion`], [`CertificateError::Truncated`],
+    /// [`CertificateError::FingerprintMismatch`], or
+    /// [`CertificateError::Malformed`].
+    pub fn parse(text: &str) -> Result<Certificate, CertificateError> {
+        let mut lines = text.lines().enumerate();
+        let mut next_line = move || lines.next().ok_or(CertificateError::Truncated);
+
+        let (_, version) = next_line()?;
+        if version != VERSION_LINE {
+            return Err(CertificateError::UnsupportedVersion(version.to_string()));
+        }
+
+        let (n, line) = next_line()?;
+        let mut c = Cursor::new(line, n + 1);
+        c.expect("fingerprint")?;
+        let fp_tok = c.next()?;
+        let expected = u64::from_str_radix(fp_tok, 16)
+            .map_err(|_| c.bad(&format!("bad fingerprint {fp_tok:?}")))?;
+        c.finish()?;
+
+        let (n, line) = next_line()?;
+        let goal = unescape(line.strip_prefix("goal ").ok_or_else(|| {
+            CertificateError::Malformed(format!("line {}: expected goal", n + 1))
+        })?)?;
+
+        let (n, line) = next_line()?;
+        let program_src = unescape(line.strip_prefix("program ").ok_or_else(|| {
+            CertificateError::Malformed(format!("line {}: expected program", n + 1))
+        })?)?;
+
+        let got = program_fingerprint(&program_src);
+        if got != expected {
+            return Err(CertificateError::FingerprintMismatch { expected, got });
+        }
+
+        let (n, line) = next_line()?;
+        let mut c = Cursor::new(line, n + 1);
+        c.expect("vars")?;
+        let num_vars = c.usize()?;
+        c.finish()?;
+        let mut vars = VarStore::new();
+        for _ in 0..num_vars {
+            let (n, line) = next_line()?;
+            // The name is the second whitespace-delimited token (spaces in
+            // names are `\s`-escaped), followed by the encoded type.
+            let mut c = Cursor::new(line, n + 1);
+            c.expect("var")?;
+            let name = unescape(c.next()?)?;
+            let nwords = c.usize()?;
+            let mut words = Vec::with_capacity(nwords);
+            for _ in 0..nwords {
+                words.push(c.usize()? as u32);
+            }
+            c.finish()?;
+            let ty = decode_type(&mut words.iter())
+                .ok_or_else(|| CertificateError::Malformed(format!("line {}: bad type", n + 1)))?;
+            vars.fresh(&name, ty);
+        }
+
+        let (n, line) = next_line()?;
+        let mut c = Cursor::new(line, n + 1);
+        c.expect("nodes")?;
+        let num_nodes = c.usize()?;
+        c.finish()?;
+        let mut proof = Preproof::with_vars(vars);
+        let mut rules = Vec::with_capacity(num_nodes);
+        for _ in 0..num_nodes {
+            let (n, line) = next_line()?;
+            let mut c = Cursor::new(line, n + 1);
+            c.expect("node")?;
+            let lhs = c.term(num_vars)?;
+            let rhs = c.term(num_vars)?;
+            c.expect("prem")?;
+            let nprem = c.usize()?;
+            let mut premises = Vec::with_capacity(nprem);
+            for _ in 0..nprem {
+                let p = c.usize()?;
+                if p >= num_nodes {
+                    return Err(c.bad(&format!("premise {p} out of range")));
+                }
+                premises.push(NodeId::from_index(p));
+            }
+            c.expect("rule")?;
+            let rule = match c.next()? {
+                "open" => RuleApp::Open,
+                "refl" => RuleApp::Refl,
+                "reduce" => RuleApp::Reduce,
+                "cong" => RuleApp::Cong,
+                "funext" => RuleApp::FunExt {
+                    fresh: c.var_id(num_vars)?,
+                },
+                "case" => {
+                    let var = c.var_id(num_vars)?;
+                    let nbranches = c.usize()?;
+                    let mut branches = Vec::with_capacity(nbranches);
+                    for _ in 0..nbranches {
+                        let con = SymId::from_index(c.usize()?);
+                        let nfresh = c.usize()?;
+                        let mut fresh = Vec::with_capacity(nfresh);
+                        for _ in 0..nfresh {
+                            fresh.push(c.var_id(num_vars)?);
+                        }
+                        branches.push(CaseBranch { con, fresh });
+                    }
+                    RuleApp::Case { var, branches }
+                }
+                "subst" => {
+                    let side = match c.next()? {
+                        "L" => Side::Lhs,
+                        "R" => Side::Rhs,
+                        t => return Err(c.bad(&format!("bad side {t:?}"))),
+                    };
+                    let npos = c.usize()?;
+                    let mut indices = Vec::with_capacity(npos);
+                    for _ in 0..npos {
+                        indices.push(c.usize()? as u32);
+                    }
+                    let lemma_flipped = match c.usize()? {
+                        0 => false,
+                        1 => true,
+                        f => return Err(c.bad(&format!("bad flip flag {f}"))),
+                    };
+                    let nbind = c.usize()?;
+                    let mut theta = Subst::new();
+                    for _ in 0..nbind {
+                        let v = c.var_id(num_vars)?;
+                        let t = c.term(num_vars)?;
+                        theta.insert(v, t);
+                    }
+                    RuleApp::Subst(SubstApp {
+                        side,
+                        pos: Position::from_indices(indices),
+                        theta,
+                        lemma_flipped,
+                    })
+                }
+                t => return Err(c.bad(&format!("unknown rule {t:?}"))),
+            };
+            c.finish()?;
+            proof.push_open(Equation::new(lhs, rhs));
+            rules.push((rule, premises));
+        }
+        for (i, (rule, premises)) in rules.into_iter().enumerate() {
+            if !matches!(rule, RuleApp::Open) {
+                proof.justify(NodeId::from_index(i), rule, premises);
+            }
+        }
+
+        let (n, line) = next_line()?;
+        let mut c = Cursor::new(line, n + 1);
+        c.expect("edges")?;
+        let num_edges = c.usize()?;
+        c.finish()?;
+        let mut edges = Vec::with_capacity(num_edges);
+        for _ in 0..num_edges {
+            let (n, line) = next_line()?;
+            let mut c = Cursor::new(line, n + 1);
+            c.expect("edge")?;
+            let v = c.usize()?;
+            if v >= num_nodes {
+                return Err(c.bad(&format!("edge node {v} out of range")));
+            }
+            let premise = c.usize()?;
+            let ntriples = c.usize()?;
+            let mut triples = Vec::with_capacity(ntriples);
+            for _ in 0..ntriples {
+                let x = c.var_id(num_vars)?;
+                let y = c.var_id(num_vars)?;
+                let label = match c.next()? {
+                    "s" => Label::Strict,
+                    "n" => Label::NonStrict,
+                    t => return Err(c.bad(&format!("bad label {t:?}"))),
+                };
+                triples.push((x, y, label));
+            }
+            c.finish()?;
+            triples.sort();
+            edges.push((NodeId::from_index(v), premise, triples));
+        }
+
+        let (_, line) = next_line()?;
+        if line != "end" {
+            return Err(CertificateError::Malformed(format!(
+                "expected end, got {line:?}"
+            )));
+        }
+
+        Ok(Certificate {
+            goal,
+            program_src,
+            proof,
+            edges,
+        })
+    }
+
+    /// The goal name the certificate claims to prove.
+    pub fn goal(&self) -> &str {
+        &self.goal
+    }
+
+    /// The embedded program source (already fingerprint-checked).
+    pub fn program_src(&self) -> &str {
+        &self.program_src
+    }
+
+    /// The deserialized preproof.
+    pub fn proof(&self) -> &Preproof {
+        &self.proof
+    }
+
+    /// Re-validates the certificate against an elaborated program: symbol
+    /// and datatype indices are bounds-checked, the serialized size-change
+    /// edge graphs are recomputed from the proof and compared, and finally
+    /// the proof is run through the independent interned checker with the
+    /// full global condition.
+    ///
+    /// # Errors
+    ///
+    /// [`CertificateError::Malformed`] for out-of-range indices,
+    /// [`CertificateError::EdgeGraphMismatch`] for tampered edge graphs, and
+    /// [`CertificateError::Check`] when the proof itself does not check.
+    pub fn verify(&self, prog: &Program) -> Result<CheckReport, CertificateError> {
+        let num_syms = prog.sig.num_syms();
+        let bad_sym = |s: SymId| {
+            CertificateError::Malformed(format!("symbol index {} out of range", s.index()))
+        };
+        let check_term = |t: &Term| -> Result<(), CertificateError> {
+            let mut stack = vec![t];
+            while let Some(t) = stack.pop() {
+                if let Head::Sym(s) = t.head() {
+                    if s.index() >= num_syms {
+                        return Err(bad_sym(s));
+                    }
+                }
+                stack.extend(t.args());
+            }
+            Ok(())
+        };
+        for (_, node) in self.proof.nodes() {
+            check_term(node.eq.lhs())?;
+            check_term(node.eq.rhs())?;
+            match &node.rule {
+                RuleApp::Case { branches, .. } => {
+                    for b in branches {
+                        if b.con.index() >= num_syms {
+                            return Err(bad_sym(b.con));
+                        }
+                    }
+                }
+                RuleApp::Subst(app) => {
+                    for (_, t) in app.theta.iter() {
+                        check_term(t)?;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let num_datas = prog.sig.num_datas();
+        for (_, _, ty) in self.proof.vars().iter() {
+            let mut stack = vec![ty];
+            while let Some(ty) = stack.pop() {
+                match ty {
+                    Type::Var(_) => {}
+                    Type::Data(d, args) => {
+                        if d.index() >= num_datas {
+                            return Err(CertificateError::Malformed(format!(
+                                "datatype index {} out of range",
+                                d.index()
+                            )));
+                        }
+                        stack.extend(args);
+                    }
+                    Type::Arrow(a, b) => {
+                        stack.push(a);
+                        stack.push(b);
+                    }
+                }
+            }
+        }
+
+        // The serialized edge graphs must enumerate exactly the proof's
+        // (node, premise) edges in canonical order, with exactly the triples
+        // Definition 5.3 assigns them.
+        let mut want = Vec::new();
+        for (v, node) in self.proof.nodes() {
+            if matches!(node.rule, RuleApp::Open) {
+                continue;
+            }
+            for i in 0..node.premises.len() {
+                want.push((v, i));
+            }
+        }
+        if self.edges.len() != want.len() {
+            return Err(CertificateError::Malformed(format!(
+                "expected {} edge graphs, got {}",
+                want.len(),
+                self.edges.len()
+            )));
+        }
+        for ((v, i), (cv, ci, triples)) in want.into_iter().zip(&self.edges) {
+            if v != *cv || i != *ci {
+                return Err(CertificateError::Malformed(
+                    "edge graph list out of order".into(),
+                ));
+            }
+            let mut computed: Vec<(VarId, VarId, Label)> =
+                edge_graph(&self.proof, v, i).edges().collect();
+            computed.sort();
+            if computed != *triples {
+                return Err(CertificateError::EdgeGraphMismatch {
+                    node: v.index(),
+                    premise: i,
+                });
+            }
+        }
+
+        check_interned(&self.proof, prog, GlobalCheck::VariableTraces)
+            .map_err(CertificateError::Check)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycleq_rewrite::fixtures::nat_list_program;
+
+    fn tiny_proof() -> (cycleq_rewrite::fixtures::ProgramFixture, Preproof) {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let conc = proof.push_open(Equation::new(
+            Term::apps(p.f.add, vec![p.f.num(1), p.f.num(1)]),
+            p.f.num(2),
+        ));
+        let prem = proof.push_open(Equation::new(p.f.num(2), p.f.num(2)));
+        proof.justify(prem, RuleApp::Refl, vec![]);
+        proof.justify(conc, RuleApp::Reduce, vec![prem]);
+        (p, proof)
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        assert_eq!(program_fingerprint(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(program_fingerprint("a"), program_fingerprint("b"));
+    }
+
+    #[test]
+    fn round_trip_preserves_proof_and_verifies() {
+        let (p, proof) = tiny_proof();
+        let text = export_certificate("demo", "-- not the real source", &proof);
+        let cert = Certificate::parse(&text).unwrap();
+        assert_eq!(cert.goal(), "demo");
+        assert_eq!(cert.program_src(), "-- not the real source");
+        assert_eq!(cert.proof().len(), proof.len());
+        let report = cert.verify(&p.prog).unwrap();
+        assert_eq!(report.nodes, 2);
+    }
+
+    #[test]
+    fn escaping_round_trips_newlines_and_spaces() {
+        let src = "data Nat = Z | S Nat\nadd Z y = y";
+        assert_eq!(unescape(&escape_line(src)).unwrap(), src);
+        assert_eq!(unescape(&escape_token("a b\\c")).unwrap(), "a b\\c");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (_, proof) = tiny_proof();
+        let text = export_certificate("g", "p", &proof).replace("v1", "v9");
+        assert!(matches!(
+            Certificate::parse(&text),
+            Err(CertificateError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let (_, proof) = tiny_proof();
+        let text = export_certificate("g", "p", &proof);
+        let cut = &text[..text.len() - 5];
+        assert!(matches!(
+            Certificate::parse(cut),
+            Err(CertificateError::Truncated) | Err(CertificateError::Malformed(_))
+        ));
+        // Cutting whole trailing lines is always Truncated.
+        let lines: Vec<&str> = text.lines().collect();
+        let partial = lines[..lines.len() - 2].join("\n");
+        assert_eq!(
+            Certificate::parse(&partial).unwrap_err(),
+            CertificateError::Truncated
+        );
+    }
+
+    #[test]
+    fn tampered_program_is_a_fingerprint_mismatch() {
+        let (_, proof) = tiny_proof();
+        let text = export_certificate("g", "original program", &proof);
+        let tampered = text.replace("original program", "patched program");
+        assert!(matches!(
+            Certificate::parse(&tampered),
+            Err(CertificateError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn tampered_edge_graph_is_detected() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+        let conc = proof.push_open(Equation::new(p.f.s(Term::var(x)), p.f.s(Term::var(x))));
+        let prem = proof.push_open(Equation::new(Term::var(x), Term::var(x)));
+        proof.justify(prem, RuleApp::Refl, vec![]);
+        proof.justify(conc, RuleApp::Cong, vec![prem]);
+        let text = export_certificate("g", "p", &proof);
+        // The Cong edge carries the identity graph on x: `0 0 n`. Claim a
+        // strict decrease instead.
+        assert!(text.contains(" 0 0 n"));
+        let tampered = text.replace(" 0 0 n", " 0 0 s");
+        let cert = Certificate::parse(&tampered).unwrap();
+        assert!(matches!(
+            cert.verify(&p.prog),
+            Err(CertificateError::EdgeGraphMismatch {
+                node: 0,
+                premise: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn corrupt_proof_fails_the_checker() {
+        let (p, proof) = tiny_proof();
+        // Rewrite the Reduce justification into Refl: the premise count no
+        // longer matches, so the checker must reject the proof.
+        let text = export_certificate("g", "p", &proof).replacen(" rule reduce", " rule refl", 1);
+        let cert = Certificate::parse(&text).unwrap();
+        assert!(matches!(
+            cert.verify(&p.prog),
+            Err(CertificateError::Check(_))
+        ));
+    }
+
+    #[test]
+    fn out_of_range_symbol_is_malformed() {
+        let (p, proof) = tiny_proof();
+        let text = export_certificate("g", "p", &proof);
+        // Inflate the first symbol index (the conclusion's head, `add`) far
+        // past the signature, keeping the token well-formed.
+        let tampered = text.replacen("node s", "node s99", 1);
+        let cert = Certificate::parse(&tampered).unwrap();
+        assert!(matches!(
+            cert.verify(&p.prog),
+            Err(CertificateError::Malformed(_))
+        ));
+    }
+}

@@ -7,6 +7,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use cycleq_rewrite::{Program, Rewriter};
 use cycleq_sizechange::Soundness;
@@ -89,6 +90,16 @@ pub struct CheckReport {
     pub back_edges: usize,
     /// Whether the global condition was verified (vs. trusted).
     pub global_verified: bool,
+    /// Number of reducts derived while validating `(Reduce)` nodes (four
+    /// normal forms per node: both conclusion and both premise sides).
+    pub reducts_checked: u64,
+    /// Normal forms answered from the checker's memo table. Always zero
+    /// for the owned-term [`check`]; the interned checker
+    /// ([`crate::check_interned`]) shares reducts across the nodes of one
+    /// proof and reports its hits here.
+    pub memo_hits: u64,
+    /// Wall-clock time of the whole check.
+    pub elapsed: Duration,
 }
 
 fn err(node: NodeId, kind: CheckErrorKind) -> CheckError {
@@ -113,8 +124,10 @@ pub fn check(
     prog: &Program,
     mode: GlobalCheck,
 ) -> Result<CheckReport, CheckError> {
+    let start = Instant::now();
     let rw = Rewriter::new(&prog.sig, &prog.trs);
     let mut back_edges = 0;
+    let mut reducts_checked = 0u64;
     for (id, node) in proof.nodes() {
         for p in &node.premises {
             if p.index() >= proof.len() {
@@ -176,6 +189,7 @@ pub fn check(
                 let nf = |t: &Term| rw.normalize(t).term;
                 let (cl, cr) = (nf(node.eq.lhs()), nf(node.eq.rhs()));
                 let (pl, pr) = (nf(p.lhs()), nf(p.rhs()));
+                reducts_checked += 4;
                 let straight = cl == pl && cr == pr;
                 let flipped = cl == pr && cr == pl;
                 if !straight && !flipped {
@@ -364,6 +378,9 @@ pub fn check(
         nodes: proof.len(),
         back_edges,
         global_verified,
+        reducts_checked,
+        memo_hits: 0,
+        elapsed: start.elapsed(),
     })
 }
 

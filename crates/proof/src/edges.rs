@@ -110,6 +110,117 @@ pub fn check_global(proof: &Preproof) -> Soundness {
     Closure::from_edges(global_edges(proof)).check()
 }
 
+/// SCC-restricted global-correctness check: same verdict as
+/// [`check_global`], usually much cheaper.
+///
+/// The closure condition of Theorem 5.2 only inspects *self-loops*
+/// `g ∈ closure(v, v)`, and every composition path from `v` back to `v`
+/// stays, by definition, inside `v`'s strongly connected component. Edges
+/// that cross between components can therefore never contribute to a
+/// self-loop, so the closure may be computed per-SCC over each component's
+/// internal edges only. On typical proofs the cyclic core is a small
+/// fraction of the node count — the tree-shaped remainder (where the
+/// closure's composition blow-up would otherwise spend its time) is
+/// skipped entirely.
+pub fn check_global_scc(proof: &Preproof) -> Soundness {
+    let sccs = tarjan_sccs(proof);
+    // Component id per node, to recognise internal edges.
+    let mut comp = vec![usize::MAX; proof.len()];
+    for (c, members) in sccs.iter().enumerate() {
+        for &v in members {
+            comp[v.index()] = c;
+        }
+    }
+    // One closure per SCC (not one shared closure): the incremental
+    // engine's saturation scans its retained pairs for composition
+    // partners, so keeping each component's closure private keeps that
+    // scan proportional to the component, not the proof. Saturation is
+    // incremental with subsumption pruning — inside a cyclic core the same
+    // composite graphs recur constantly, and dropping dominated graphs
+    // keeps the per-pair sets small.
+    for (c, members) in sccs.iter().enumerate() {
+        // A single node with no self-edge has no self-loops to check.
+        if members.len() == 1 {
+            let v = members[0];
+            if !proof.node(v).premises.contains(&v) {
+                continue;
+            }
+        }
+        let mut closure = IncrementalClosure::new();
+        for &v in members {
+            for (i, &p) in proof.node(v).premises.iter().enumerate() {
+                if comp[p.index()] == c {
+                    let g = edge_graph_id(proof, v, i, closure.store_mut());
+                    if closure.add_edge_id(v, p, g) == Soundness::Unsound {
+                        return Soundness::Unsound;
+                    }
+                }
+            }
+        }
+    }
+    Soundness::Sound
+}
+
+/// Iterative Tarjan over the premise graph. Returns the strongly connected
+/// components (each a list of node ids); order is irrelevant to the caller.
+fn tarjan_sccs(proof: &Preproof) -> Vec<Vec<NodeId>> {
+    const UNSEEN: u32 = u32::MAX;
+    let n = proof.len();
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next = 0u32;
+    let mut sccs = Vec::new();
+    // Explicit DFS frames: (node, next-premise-to-visit).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNSEEN {
+            continue;
+        }
+        frames.push((root as u32, 0));
+        while let Some(&mut (v, ref mut i)) = frames.last_mut() {
+            let vu = v as usize;
+            if *i == 0 {
+                index[vu] = next;
+                low[vu] = next;
+                next += 1;
+                stack.push(v);
+                on_stack[vu] = true;
+            }
+            let premises = &proof.node(NodeId::from_index(vu)).premises;
+            if let Some(&p) = premises.get(*i) {
+                *i += 1;
+                let pu = p.index();
+                if index[pu] == UNSEEN {
+                    frames.push((pu as u32, 0));
+                } else if on_stack[pu] {
+                    low[vu] = low[vu].min(index[pu]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    let pu = parent as usize;
+                    low[pu] = low[pu].min(low[vu]);
+                }
+                if low[vu] == index[vu] {
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        members.push(NodeId::from_index(w as usize));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(members);
+                }
+            }
+        }
+    }
+    sccs
+}
+
 /// Replays the proof's edges through an [`IncrementalClosure`], returning
 /// the verdict. Exists so that tests and benches can compare the
 /// incremental engine against [`check_global`] on identical inputs.
@@ -253,6 +364,52 @@ mod tests {
         let g1 = edge_graph(&proof, root, 1);
         assert_eq!(g1.label(x, xp), Some(Label::Strict));
         assert_eq!(g1.label(y, y), Some(Label::NonStrict));
+    }
+
+    #[test]
+    fn scc_check_matches_batch_check_on_unsound_proof() {
+        let proof = example_3_2();
+        assert_eq!(check_global_scc(&proof), Soundness::Unsound);
+    }
+
+    #[test]
+    fn scc_check_accepts_acyclic_proofs_without_closure_work() {
+        // A pure tree (no back edges) has only trivial SCCs: sound by
+        // construction, and the per-SCC loop must skip every component.
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let leaf_eq = Equation::new(Term::sym(p.f.nil), Term::sym(p.f.nil));
+        let leaf = proof.push_open(leaf_eq.clone());
+        proof.justify(leaf, RuleApp::Refl, vec![]);
+        let root = proof.push_open(leaf_eq);
+        proof.justify(
+            root,
+            RuleApp::Subst(SubstApp {
+                side: Side::Lhs,
+                pos: Position::root(),
+                theta: Subst::new(),
+                lemma_flipped: false,
+            }),
+            vec![leaf, leaf],
+        );
+        assert_eq!(check_global(&proof), check_global_scc(&proof));
+        assert_eq!(check_global_scc(&proof), Soundness::Sound);
+    }
+
+    #[test]
+    fn tarjan_groups_the_cycle_and_isolates_the_leaf() {
+        let proof = example_3_2();
+        let mut sccs = tarjan_sccs(&proof);
+        for s in &mut sccs {
+            s.sort_by_key(|v| v.index());
+        }
+        sccs.sort_by_key(|s| s[0].index());
+        // Node 0 (root, self-premise) is its own SCC with a self-edge;
+        // node 1 (refl) is a trivial SCC.
+        assert_eq!(
+            sccs,
+            vec![vec![NodeId::from_index(0)], vec![NodeId::from_index(1)]]
+        );
     }
 
     #[test]

@@ -1,0 +1,717 @@
+//! The interned proof checker: the same independent check as
+//! [`crate::check`], run on a private hash-consed [`TermStore`].
+//!
+//! Every equation of the preproof is re-interned into a fresh store owned by
+//! the checker — [`TermId`]s are *never* shared with the search's store, so a
+//! corrupted search-side store cannot leak into certification. Within one
+//! proof, though, reducts are shared: the [`MemoRewriter`]'s id-keyed memo
+//! means a normal form derived while validating one `(Reduce)` node is free
+//! for every later node that reaches the same term, which is what makes
+//! re-checking large proofs cheap (cf. E-Cyclist's focus on validation cost).
+//!
+//! The rule-by-rule logic deliberately mirrors [`crate::check`] — same check
+//! order, same error kinds, same messages — so the two checkers are
+//! verdict-equivalent (pinned by the differential property test in
+//! `tests/differential.rs`). Both sides of the comparison rely on Remark 2.1:
+//! for confluent, weakly normalising systems, comparing normal forms decides
+//! `→R*`-convertibility regardless of strategy, and hash-consing makes the
+//! final comparison O(1) id equality.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use cycleq_rewrite::{MemoRewriter, Program};
+use cycleq_sizechange::Soundness;
+use cycleq_term::{
+    Head, IdSubst, Signature, TermId, TermStore, TyUnifier, TyVarId, Type, TypeError, VarStore,
+};
+
+use crate::checker::{CheckError, CheckErrorKind, CheckReport, GlobalCheck};
+use crate::edges::check_global_scc;
+use crate::node::{NodeId, RuleApp, Side};
+use crate::preproof::Preproof;
+
+fn err(node: NodeId, kind: CheckErrorKind) -> CheckError {
+    CheckError {
+        node: Some(node),
+        kind,
+    }
+}
+
+fn pair_eq_modulo_flip(a: (TermId, TermId), b: (TermId, TermId)) -> bool {
+    (a.0 == b.0 && a.1 == b.1) || (a.0 == b.1 && a.1 == b.0)
+}
+
+/// A cached principal type with its metavariables renumbered `0..nvars` in
+/// first-occurrence order. Re-instantiated with fresh metavariables on
+/// every cache hit, exactly as re-inference would allocate them.
+struct CanonTy {
+    canon: Type,
+    nvars: u32,
+}
+
+/// Outcome of the unifier-free typing attempt ([`ground_ty_of_id`]).
+enum FastTy {
+    /// The subterm's principal type, ground.
+    Ground(Type),
+    /// Not decidable structurally (polymorphic residue, or a variable with
+    /// type variables in its declared type) — fall back to unifier-based
+    /// inference.
+    Bail,
+    /// A definite type mismatch — the node must re-run the owned inference
+    /// to reproduce its exact error.
+    Fail,
+}
+
+/// One-directional matching of a scheme pattern against a ground type,
+/// binding scheme variables (`TyVarId(0..bind.len())`) on first use.
+/// Returns false on any mismatch — which, with `t` ground, is exactly when
+/// unification would fail.
+fn match_ground(pat: &Type, t: &Type, bind: &mut [Option<Type>]) -> bool {
+    match pat {
+        Type::Var(v) => {
+            let i = v.0 as usize;
+            match &bind[i] {
+                Some(b) => b == t,
+                None => {
+                    bind[i] = Some(t.clone());
+                    true
+                }
+            }
+        }
+        Type::Data(d, args) => match t {
+            Type::Data(d2, args2) => {
+                d == d2
+                    && args.len() == args2.len()
+                    && args
+                        .iter()
+                        .zip(args2)
+                        .all(|(a, b)| match_ground(a, b, bind))
+            }
+            _ => false,
+        },
+        Type::Arrow(a, b) => match t {
+            Type::Arrow(a2, b2) => match_ground(a, a2, bind) && match_ground(b, b2, bind),
+            _ => false,
+        },
+    }
+}
+
+/// Unifier-free typing for the common fully-monomorphic case: if every
+/// free variable has a ground declared type and every polymorphic head is
+/// fully determined by its (ground) arguments, the principal type falls
+/// out of structural matching alone — no metavariables, no occurs checks,
+/// no binding maps. Anything undetermined bails to the unifier-based
+/// [`ty_of_id`], and a definite mismatch reports [`FastTy::Fail`] so the
+/// node re-runs owned inference for the exact error text. Ground results
+/// land in the same `cache` the unifier path uses (`nvars == 0`).
+fn ground_ty_of_id(
+    store: &TermStore,
+    sig: &Signature,
+    vars: &VarStore,
+    cache: &mut HashMap<TermId, CanonTy>,
+    id: TermId,
+) -> FastTy {
+    if let Some(c) = cache.get(&id) {
+        return if c.nvars == 0 {
+            FastTy::Ground(c.canon.clone())
+        } else {
+            FastTy::Bail
+        };
+    }
+    let (mut cur, mut bind): (Type, Vec<Option<Type>>) = match store.head(id) {
+        Head::Var(v) => {
+            let t = vars.ty(v).clone();
+            if !t.vars().is_empty() {
+                return FastTy::Bail;
+            }
+            (t, Vec::new())
+        }
+        Head::Sym(s) => {
+            let scheme = sig.sym(s).scheme();
+            (
+                scheme.body().clone(),
+                vec![None; scheme.num_vars() as usize],
+            )
+        }
+    };
+    for i in 0..store.args(id).len() {
+        let arg = store.args(id)[i];
+        let at = match ground_ty_of_id(store, sig, vars, cache, arg) {
+            FastTy::Ground(t) => t,
+            other => return other,
+        };
+        // Resolve a scheme variable in function position through the
+        // bindings collected so far; unbound means the type is not yet
+        // determined structurally.
+        while let Type::Var(v) = cur {
+            match &bind[v.0 as usize] {
+                Some(b) => cur = b.clone(),
+                None => return FastTy::Bail,
+            }
+        }
+        match cur {
+            Type::Arrow(p, r) => {
+                if !match_ground(&p, &at, &mut bind) {
+                    return FastTy::Fail;
+                }
+                cur = *r;
+            }
+            _ => return FastTy::Fail,
+        }
+    }
+    // Apply the bindings to the result; any leftover scheme variable means
+    // the type is polymorphic and the unifier path must take over.
+    let free = cur.vars();
+    if !free.is_empty() {
+        if free.iter().any(|v| bind[v.0 as usize].is_none()) {
+            return FastTy::Bail;
+        }
+        let map: std::collections::BTreeMap<TyVarId, Type> = free
+            .into_iter()
+            .map(|v| (v, bind[v.0 as usize].clone().expect("checked above")))
+            .collect();
+        cur = cur.subst(&map);
+        if !cur.vars().is_empty() {
+            return FastTy::Bail;
+        }
+    }
+    cache.insert(
+        id,
+        CanonTy {
+            canon: cur.clone(),
+            nvars: 0,
+        },
+    );
+    FastTy::Ground(cur)
+}
+
+/// The unifier-based equation type check, mirroring the owned checker's
+/// per-node block on interned ids. Used when [`ground_ty_of_id`] bails.
+fn unifier_ty_check(
+    store: &TermStore,
+    sig: &Signature,
+    vars: &VarStore,
+    cache: &mut HashMap<TermId, CanonTy>,
+    cl: TermId,
+    cr: TermId,
+) -> bool {
+    let mut uni = TyUnifier::new(10_000);
+    ty_of_id(store, sig, vars, &mut uni, cache, cl)
+        .and_then(|(lt, _)| {
+            let (rt, _) = ty_of_id(store, sig, vars, &mut uni, cache, cr)?;
+            uni.unify(&lt, &rt)
+        })
+        .is_ok()
+}
+
+/// The memoized id-level counterpart of `Term::infer_type`: the same
+/// bottom-up inference, except that a subterm may be typed once per check
+/// and afterwards served from `cache` as a canonical scheme. Returns the
+/// type plus a *purity* flag: pure means every free variable of the
+/// subterm has a ground declared type, so its inference touches no
+/// metavariable shared with sibling subterms — its principal type is
+/// context-free up to renaming of its own fresh metavariables, which is
+/// exactly what the canonical scheme captures. Impure subterms (a free
+/// variable with type variables in its declared type) are never cached:
+/// their inference can constrain type variables shared across the
+/// equation, and skipping it could accept what the owned checker rejects.
+fn ty_of_id(
+    store: &TermStore,
+    sig: &Signature,
+    vars: &VarStore,
+    uni: &mut TyUnifier,
+    cache: &mut HashMap<TermId, CanonTy>,
+    id: TermId,
+) -> Result<(Type, bool), TypeError> {
+    if let Some(c) = cache.get(&id) {
+        if c.nvars == 0 {
+            return Ok((c.canon.clone(), true));
+        }
+        let map: std::collections::BTreeMap<TyVarId, Type> = (0..c.nvars)
+            .map(|i| (TyVarId(i), Type::Var(uni.fresh())))
+            .collect();
+        return Ok((c.canon.subst(&map), true));
+    }
+    let (head_ty, mut pure) = match store.head(id) {
+        Head::Var(v) => {
+            let t = vars.ty(v).clone();
+            let ground = t.vars().is_empty();
+            (t, ground)
+        }
+        Head::Sym(s) => (sig.sym(s).scheme().instantiate(&mut || uni.fresh()), true),
+    };
+    let mut cur = head_ty;
+    for i in 0..store.args(id).len() {
+        let arg = store.args(id)[i];
+        let (arg_ty, arg_pure) = ty_of_id(store, sig, vars, uni, cache, arg)?;
+        pure &= arg_pure;
+        let res = Type::Var(uni.fresh());
+        uni.unify(&cur, &Type::arrow(arg_ty, res.clone()))?;
+        cur = res;
+    }
+    let ty = uni.resolve(&cur);
+    if pure {
+        let free = ty.vars();
+        let canon = if free.is_empty() {
+            ty.clone()
+        } else {
+            let map: std::collections::BTreeMap<TyVarId, Type> = free
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, Type::Var(TyVarId(i as u32))))
+                .collect();
+            ty.subst(&map)
+        };
+        cache.insert(
+            id,
+            CanonTy {
+                canon,
+                nvars: free.len() as u32,
+            },
+        );
+    }
+    Ok((ty, pure))
+}
+
+/// Checks the preproof on a freshly interned store.
+///
+/// Equivalent verdict to [`crate::check`], but `(Reduce)` validation runs on
+/// the id level with reducts memoized across nodes. Use
+/// [`check_interned_with`] to reuse one rewriter (and its memo) across many
+/// checks of proofs over the same program.
+///
+/// # Errors
+///
+/// Returns the first [`CheckError`] found, exactly as [`crate::check`] would.
+pub fn check_interned(
+    proof: &Preproof,
+    prog: &Program,
+    mode: GlobalCheck,
+) -> Result<CheckReport, CheckError> {
+    // A fresh store per call: independence from the search store is the
+    // point. No shared normal-form cache is attached for the same reason.
+    let mut rw = MemoRewriter::new(&prog.sig, &prog.trs);
+    check_interned_with(proof, prog, mode, &mut rw)
+}
+
+/// [`check_interned`] with a caller-supplied rewriter.
+///
+/// The rewriter must have been built from the *same program* (its signature
+/// and rules); reusing it across proofs of one program keeps the reduct memo
+/// warm, which is the batch-recheck fast path. It must not share a store (or
+/// a shared cache) with the search that produced the proofs.
+pub fn check_interned_with(
+    proof: &Preproof,
+    prog: &Program,
+    mode: GlobalCheck,
+    rw: &mut MemoRewriter<'_>,
+) -> Result<CheckReport, CheckError> {
+    let start = Instant::now();
+    let hits_before = rw.memo_hits();
+    // Intern every node equation up front. `Preproof::interned` ids (if any)
+    // belong to the search store and are deliberately ignored.
+    let ids: Vec<(TermId, TermId)> = proof
+        .nodes()
+        .map(|(_, node)| (rw.intern(node.eq.lhs()), rw.intern(node.eq.rhs())))
+        .collect();
+    let mut back_edges = 0;
+    let mut reducts_checked = 0u64;
+    // Ground principal types per interned subterm, shared across nodes —
+    // the nodes of a cyclic proof overlap heavily, so inference is mostly
+    // cache hits after the first few nodes.
+    let mut ty_cache: HashMap<TermId, CanonTy> = HashMap::new();
+    for (id, node) in proof.nodes() {
+        for p in &node.premises {
+            if p.index() >= proof.len() {
+                return Err(err(id, CheckErrorKind::DanglingPremise));
+            }
+            if proof.is_back_edge(id, *p) {
+                back_edges += 1;
+            }
+        }
+        // Type check on the id level, memoizing ground subterm types: the
+        // nodes of a cyclic proof share most of their subterms, so after
+        // the first few nodes inference is mostly cache hits. Should the
+        // fast path reject, the node is re-checked with the owned
+        // algorithm so the error text matches [`crate::check`] exactly.
+        let (cl, cr) = ids[id.index()];
+        let fast_ok = {
+            let store = rw.store();
+            let sig = &prog.sig;
+            let vars = proof.vars();
+            match ground_ty_of_id(store, sig, vars, &mut ty_cache, cl) {
+                FastTy::Ground(lt) => match ground_ty_of_id(store, sig, vars, &mut ty_cache, cr) {
+                    FastTy::Ground(rt) => lt == rt,
+                    FastTy::Bail => unifier_ty_check(store, sig, vars, &mut ty_cache, cl, cr),
+                    FastTy::Fail => false,
+                },
+                FastTy::Bail => unifier_ty_check(store, sig, vars, &mut ty_cache, cl, cr),
+                FastTy::Fail => false,
+            }
+        };
+        if !fast_ok {
+            let mut uni = TyUnifier::new(10_000);
+            let lt = node
+                .eq
+                .lhs()
+                .infer_type(&prog.sig, proof.vars(), &mut uni)
+                .map_err(|e| err(id, CheckErrorKind::IllTyped(e.to_string())))?;
+            let rt = node
+                .eq
+                .rhs()
+                .infer_type(&prog.sig, proof.vars(), &mut uni)
+                .map_err(|e| err(id, CheckErrorKind::IllTyped(e.to_string())))?;
+            uni.unify(&lt, &rt)
+                .map_err(|e| err(id, CheckErrorKind::IllTyped(e.to_string())))?;
+        }
+        let premise_ids = |i: usize| ids[node.premises[i].index()];
+        match &node.rule {
+            RuleApp::Open => return Err(err(id, CheckErrorKind::OpenNode)),
+            RuleApp::Refl => {
+                if !node.premises.is_empty() {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::PremiseCount {
+                            expected: 0,
+                            got: node.premises.len(),
+                        },
+                    ));
+                }
+                if cl != cr {
+                    return Err(err(id, CheckErrorKind::NotReflexive));
+                }
+            }
+            RuleApp::Reduce => {
+                if node.premises.len() != 1 {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::PremiseCount {
+                            expected: 1,
+                            got: node.premises.len(),
+                        },
+                    ));
+                }
+                let (pl, pr) = premise_ids(0);
+                let cl_nf = rw.normalize_id(cl).id;
+                let cr_nf = rw.normalize_id(cr).id;
+                let pl_nf = rw.normalize_id(pl).id;
+                let pr_nf = rw.normalize_id(pr).id;
+                reducts_checked += 4;
+                let straight = cl_nf == pl_nf && cr_nf == pr_nf;
+                let flipped = cl_nf == pr_nf && cr_nf == pl_nf;
+                if !straight && !flipped {
+                    return Err(err(id, CheckErrorKind::NotAReduct));
+                }
+            }
+            RuleApp::Cong => {
+                let store = rw.store();
+                let Some((k1, args1)) = store.as_constructor(cl, &prog.sig) else {
+                    return Err(err(id, CheckErrorKind::NotACongruence));
+                };
+                let Some((k2, args2)) = store.as_constructor(cr, &prog.sig) else {
+                    return Err(err(id, CheckErrorKind::NotACongruence));
+                };
+                if k1 != k2 || args1.len() != args2.len() {
+                    return Err(err(id, CheckErrorKind::NotACongruence));
+                }
+                if node.premises.len() != args1.len() {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::PremiseCount {
+                            expected: args1.len(),
+                            got: node.premises.len(),
+                        },
+                    ));
+                }
+                for (i, (&a, &b)) in args1.iter().zip(args2).enumerate() {
+                    if !pair_eq_modulo_flip((a, b), premise_ids(i)) {
+                        return Err(err(id, CheckErrorKind::NotACongruence));
+                    }
+                }
+            }
+            RuleApp::FunExt { fresh } => {
+                if node.premises.len() != 1 {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::PremiseCount {
+                            expected: 1,
+                            got: node.premises.len(),
+                        },
+                    ));
+                }
+                let store = rw.store_mut();
+                if store.contains_var(cl, *fresh) || store.contains_var(cr, *fresh) {
+                    return Err(err(id, CheckErrorKind::BadExtensionality));
+                }
+                let v = store.var(*fresh);
+                let want = (store.apply_args(cl, &[v]), store.apply_args(cr, &[v]));
+                if !pair_eq_modulo_flip(want, premise_ids(0)) {
+                    return Err(err(id, CheckErrorKind::BadExtensionality));
+                }
+            }
+            RuleApp::Case { var, branches } => {
+                let var_ty = proof.vars().ty(*var).clone();
+                let Some((data, ty_args)) = var_ty.as_data() else {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::BadCaseSplit(
+                            "case variable is not of datatype type".into(),
+                        ),
+                    ));
+                };
+                let cons = prog.sig.constructors_of(data);
+                if branches.len() != cons.len() || node.premises.len() != cons.len() {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::BadCaseSplit(format!(
+                            "expected {} branches, got {}",
+                            cons.len(),
+                            branches.len()
+                        )),
+                    ));
+                }
+                for (i, (&k, branch)) in cons.iter().zip(branches).enumerate() {
+                    if branch.con != k {
+                        return Err(err(
+                            id,
+                            CheckErrorKind::BadCaseSplit(
+                                "branch constructor order mismatch".into(),
+                            ),
+                        ));
+                    }
+                    if branch.fresh.len() != prog.sig.constructor_arity(k) {
+                        return Err(err(
+                            id,
+                            CheckErrorKind::BadCaseSplit("fresh variable count mismatch".into()),
+                        ));
+                    }
+                    let inst = prog
+                        .sig
+                        .sym(k)
+                        .scheme()
+                        .instantiate_with(ty_args)
+                        .map_err(|e| err(id, CheckErrorKind::IllTyped(e.to_string())))?;
+                    let (arg_tys, _) = inst.uncurry();
+                    let store = rw.store_mut();
+                    for (v, want_ty) in branch.fresh.iter().zip(arg_tys) {
+                        if store.contains_var(cl, *v) || store.contains_var(cr, *v) {
+                            return Err(err(
+                                id,
+                                CheckErrorKind::BadCaseSplit("case variable not fresh".into()),
+                            ));
+                        }
+                        if proof.vars().ty(*v) != want_ty {
+                            return Err(err(
+                                id,
+                                CheckErrorKind::BadCaseSplit("fresh variable type mismatch".into()),
+                            ));
+                        }
+                    }
+                    let fresh_ids: Vec<TermId> =
+                        branch.fresh.iter().map(|v| store.var(*v)).collect();
+                    let pattern = store.node(Head::Sym(k), fresh_ids);
+                    let theta = IdSubst::singleton(*var, pattern);
+                    let want = (store.subst(cl, &theta), store.subst(cr, &theta));
+                    if !pair_eq_modulo_flip(want, premise_ids(i)) {
+                        return Err(err(
+                            id,
+                            CheckErrorKind::BadCaseSplit(format!("branch {i} equation mismatch")),
+                        ));
+                    }
+                }
+            }
+            RuleApp::Subst(app) => {
+                if node.premises.len() != 2 {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::PremiseCount {
+                            expected: 2,
+                            got: node.premises.len(),
+                        },
+                    ));
+                }
+                let store = rw.store_mut();
+                let (ll, lr) = premise_ids(0);
+                let (from, to) = if app.lemma_flipped {
+                    (lr, ll)
+                } else {
+                    (ll, lr)
+                };
+                let mut theta = IdSubst::new();
+                for (v, t) in app.theta.iter() {
+                    let bound = store.intern(t);
+                    theta.insert(v, bound);
+                }
+                let side_id = match app.side {
+                    Side::Lhs => cl,
+                    Side::Rhs => cr,
+                };
+                let Some(occurrence) = store.at(side_id, &app.pos) else {
+                    return Err(err(id, CheckErrorKind::BadSubst("position invalid".into())));
+                };
+                if occurrence != store.subst(from, &theta) {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::BadSubst("occurrence is not the lemma instance".into()),
+                    ));
+                }
+                let to_inst = store.subst(to, &theta);
+                let rewritten = store
+                    .replace_at(side_id, &app.pos, to_inst)
+                    .expect("position validated above");
+                let untouched = match app.side {
+                    Side::Lhs => cr,
+                    Side::Rhs => cl,
+                };
+                let want = match app.side {
+                    Side::Lhs => (rewritten, untouched),
+                    Side::Rhs => (untouched, rewritten),
+                };
+                if !pair_eq_modulo_flip(want, premise_ids(1)) {
+                    return Err(err(
+                        id,
+                        CheckErrorKind::BadSubst("continuation equation mismatch".into()),
+                    ));
+                }
+            }
+        }
+    }
+    let global_verified = match mode {
+        GlobalCheck::VariableTraces => {
+            // The SCC-restricted check is verdict-equivalent to the owned
+            // checker's `check_global` (self-loops only form within an
+            // SCC) but skips the acyclic bulk of the proof.
+            if check_global_scc(proof) == Soundness::Unsound {
+                return Err(CheckError {
+                    node: None,
+                    kind: CheckErrorKind::GloballyUnsound,
+                });
+            }
+            true
+        }
+        GlobalCheck::TrustConstruction => false,
+    };
+    Ok(CheckReport {
+        nodes: proof.len(),
+        back_edges,
+        global_verified,
+        reducts_checked,
+        memo_hits: rw.memo_hits() - hits_before,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::check;
+    use crate::node::{CaseBranch, SubstApp};
+    use cycleq_rewrite::fixtures::nat_list_program;
+    use cycleq_term::{Equation, Position, Subst, Term};
+
+    #[test]
+    fn matches_owned_checker_on_reduce_proof() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let conc = proof.push_open(Equation::new(
+            Term::apps(p.f.add, vec![p.f.num(1), p.f.num(1)]),
+            p.f.num(2),
+        ));
+        let prem = proof.push_open(Equation::new(p.f.num(2), p.f.num(2)));
+        proof.justify(prem, RuleApp::Refl, vec![]);
+        proof.justify(conc, RuleApp::Reduce, vec![prem]);
+        let owned = check(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        let interned = check_interned(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        assert_eq!(owned.nodes, interned.nodes);
+        assert_eq!(owned.back_edges, interned.back_edges);
+        assert_eq!(owned.reducts_checked, interned.reducts_checked);
+        assert_eq!(interned.reducts_checked, 4);
+    }
+
+    #[test]
+    fn reuse_across_proofs_hits_the_memo() {
+        let p = nat_list_program();
+        let build = |n: usize| {
+            let mut proof = Preproof::new();
+            let conc = proof.push_open(Equation::new(
+                Term::apps(p.f.add, vec![p.f.num(n), p.f.num(n)]),
+                p.f.num(2 * n),
+            ));
+            let prem = proof.push_open(Equation::new(p.f.num(2 * n), p.f.num(2 * n)));
+            proof.justify(prem, RuleApp::Refl, vec![]);
+            proof.justify(conc, RuleApp::Reduce, vec![prem]);
+            proof
+        };
+        let mut rw = MemoRewriter::new(&p.prog.sig, &p.prog.trs);
+        let a = build(3);
+        let b = build(3);
+        let cold = check_interned_with(&a, &p.prog, GlobalCheck::VariableTraces, &mut rw).unwrap();
+        let warm = check_interned_with(&b, &p.prog, GlobalCheck::VariableTraces, &mut rw).unwrap();
+        assert_eq!(cold.reducts_checked, 4);
+        // Every normal form of the second, identical proof is answered from
+        // the memo populated by the first.
+        assert!(warm.memo_hits >= warm.reducts_checked);
+    }
+
+    #[test]
+    fn rejects_example_3_2_globally() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+        let xs = proof.vars_mut().fresh("xs", p.f.list_ty(p.f.nat_ty()));
+        let lhs = p.f.cons_t(Term::var(x), Term::var(xs));
+        let root = proof.push_open(Equation::new(lhs, Term::sym(p.f.nil)));
+        let refl = proof.push_open(Equation::new(Term::sym(p.f.nil), Term::sym(p.f.nil)));
+        proof.justify(refl, RuleApp::Refl, vec![]);
+        let mut theta = Subst::new();
+        theta.insert(x, Term::var(x));
+        theta.insert(xs, Term::var(xs));
+        proof.justify(
+            root,
+            RuleApp::Subst(SubstApp {
+                side: Side::Lhs,
+                pos: Position::root(),
+                theta,
+                lemma_flipped: false,
+            }),
+            vec![root, refl],
+        );
+        assert!(check_interned(&proof, &p.prog, GlobalCheck::TrustConstruction).is_ok());
+        let e = check_interned(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap_err();
+        assert_eq!(e.kind, CheckErrorKind::GloballyUnsound);
+    }
+
+    #[test]
+    fn case_split_checks_at_id_level() {
+        let p = nat_list_program();
+        let mut proof = Preproof::new();
+        let x = proof.vars_mut().fresh("x", p.f.nat_ty());
+        let eq = Equation::new(Term::var(x), Term::var(x));
+        let root = proof.push_open(eq);
+        let zb = proof.push_open(Equation::new(Term::sym(p.f.zero), Term::sym(p.f.zero)));
+        let xp = proof.vars_mut().fresh_from(x, p.f.nat_ty());
+        let sb = proof.push_open(Equation::new(p.f.s(Term::var(xp)), p.f.s(Term::var(xp))));
+        proof.justify(zb, RuleApp::Refl, vec![]);
+        proof.justify(sb, RuleApp::Refl, vec![]);
+        proof.justify(
+            root,
+            RuleApp::Case {
+                var: x,
+                branches: vec![
+                    CaseBranch {
+                        con: p.f.zero,
+                        fresh: vec![],
+                    },
+                    CaseBranch {
+                        con: p.f.succ,
+                        fresh: vec![xp],
+                    },
+                ],
+            },
+            vec![zb, sb],
+        );
+        let report = check_interned(&proof, &p.prog, GlobalCheck::VariableTraces).unwrap();
+        assert_eq!(report.nodes, 3);
+    }
+}

@@ -15,6 +15,15 @@
 //! [`Rewriter`] — see the equivalence property tests — while sharing all
 //! repeated work through the store.
 //!
+//! The search is not the only client: the independent proof checker
+//! (`cycleq_proof::check_interned`) builds its *own* `MemoRewriter` from the
+//! program, so its store never shares `TermId`s — or bugs — with the one the
+//! search used, and a single rewriter can be reused across the proofs of a
+//! batch (`check_interned_with`) to keep the reduct memo warm. Checkers must
+//! not attach a [`SharedNormalFormCache`] that the search populated: the
+//! whole point of the separate code path is that nothing computed during
+//! search is trusted during certification.
+//!
 //! Normalisation is triply bounded: by step fuel (like [`Rewriter`]), by an
 //! optional wall-clock deadline, and by an optional [`CancelToken`] — the
 //! latter two carried in a [`RunLimits`]. The deadline is polled every few

@@ -239,6 +239,18 @@ impl TermStore {
         matches!(self.head_sym(id), Some(s) if sig.is_defined(s))
     }
 
+    /// The fully-applied constructor view: `Some((k, args))` when the head is
+    /// a constructor applied to exactly as many arguments as its arity — the
+    /// id-level counterpart of [`Term::as_constructor`].
+    pub fn as_constructor(&self, id: TermId, sig: &Signature) -> Option<(SymId, &[TermId])> {
+        let s = self.head_sym(id)?;
+        if sig.is_constructor(s) && sig.constructor_arity(s) == self.args(id).len() {
+            Some((s, self.args(id)))
+        } else {
+            None
+        }
+    }
+
     /// The free variables of the term, sorted ascending (cached — computed
     /// once when the node was interned).
     pub fn vars(&self, id: TermId) -> &[VarId] {
