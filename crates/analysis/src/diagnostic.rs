@@ -1,0 +1,178 @@
+//! Structured diagnostics with stable codes.
+//!
+//! Codes are append-only: a code, once published, keeps its meaning so
+//! that scripts matching on `CQ00x` (and the pinned CLI tests) never
+//! silently change behaviour.
+
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// Errors break a soundness precondition of the paper (Remark 2.1) that
+/// the analyzer can establish definitively; warnings flag conditions that
+/// are suspicious or that a sound-but-incomplete analysis could not rule
+/// out.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// Suspicious but not definitively wrong.
+    Warning,
+    /// A definite violation of the standing assumptions.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The stable diagnostic codes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Code {
+    /// `CQ001`: a defined function's clauses do not cover every
+    /// constructor combination (partial function).
+    NonExhaustive,
+    /// `CQ002`: two clauses of the same function have overlapping
+    /// left-hand sides (non-orthogonal, hence possibly non-confluent).
+    Overlap,
+    /// `CQ003`: a clause left-hand side repeats a variable.
+    NonLeftLinear,
+    /// `CQ004`: termination was not established by size-change analysis.
+    SizeChange,
+    /// `CQ005`: equations unreachable from any goal.
+    Unreachable,
+    /// `CQ006`: a declared symbol or constructor is never used.
+    Unused,
+    /// `CQ007`: a pattern variable shadows a defined function.
+    Shadowed,
+    /// `CQ008`: a frontend (parse, resolution or type) failure reported
+    /// through the lint pipeline.
+    Frontend,
+}
+
+impl Code {
+    /// The stable wire form, `CQ001`..`CQ008`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::NonExhaustive => "CQ001",
+            Code::Overlap => "CQ002",
+            Code::NonLeftLinear => "CQ003",
+            Code::SizeChange => "CQ004",
+            Code::Unreachable => "CQ005",
+            Code::Unused => "CQ006",
+            Code::Shadowed => "CQ007",
+            Code::Frontend => "CQ008",
+        }
+    }
+
+    /// The severity this code is reported at.
+    ///
+    /// Orthogonality violations (`CQ002`, `CQ003`) and frontend failures
+    /// are errors: the program definitively breaks Remark 2.1 (or cannot
+    /// be lowered at all). Non-exhaustiveness and the termination
+    /// pre-screen are warnings — the first because partial functions are
+    /// meaningful (if hazardous) inputs, the second because size-change
+    /// analysis is sound but incomplete and must not reject terminating
+    /// programs outright.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::Overlap | Code::NonLeftLinear | Code::Frontend => Severity::Error,
+            Code::NonExhaustive
+            | Code::SizeChange
+            | Code::Unreachable
+            | Code::Unused
+            | Code::Shadowed => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One analysis finding.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The 1-based source line, when the module kept one (modules built
+    /// programmatically have no source map).
+    pub line: Option<u32>,
+    /// The main message.
+    pub message: String,
+    /// Supplementary notes (context, consequences, suggested fixes).
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic at the code's default severity.
+    pub fn new(code: Code, line: Option<u32>, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            line,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a note, builder-style.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Whether this diagnostic is an error.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// Renders `severity[CODE]: message` without location — callers
+    /// prepend `file:line:` from [`Diagnostic::line`] and their own file
+    /// name.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Code::NonExhaustive.as_str(), "CQ001");
+        assert_eq!(Code::Overlap.as_str(), "CQ002");
+        assert_eq!(Code::NonLeftLinear.as_str(), "CQ003");
+        assert_eq!(Code::SizeChange.as_str(), "CQ004");
+        assert_eq!(Code::Unreachable.as_str(), "CQ005");
+        assert_eq!(Code::Unused.as_str(), "CQ006");
+        assert_eq!(Code::Shadowed.as_str(), "CQ007");
+        assert_eq!(Code::Frontend.as_str(), "CQ008");
+    }
+
+    #[test]
+    fn severities_follow_remark_2_1() {
+        assert_eq!(Code::Overlap.severity(), Severity::Error);
+        assert_eq!(Code::NonLeftLinear.severity(), Severity::Error);
+        assert_eq!(Code::NonExhaustive.severity(), Severity::Warning);
+        assert_eq!(Code::SizeChange.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn display_renders_code_and_severity() {
+        let d = Diagnostic::new(Code::Overlap, Some(3), "clauses overlap");
+        assert_eq!(d.to_string(), "error[CQ002]: clauses overlap");
+        assert!(d.is_error());
+    }
+}

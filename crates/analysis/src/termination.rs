@@ -1,0 +1,105 @@
+//! `CQ004`: the size-change termination pre-screen.
+//!
+//! Remark 2.1 assumes weak normalisation. A definition like
+//! `loop x = loop x` silently burns the whole search budget before the
+//! deadline machinery gives up; running the Lee–Jones–Ben-Amram check over
+//! the program's call graph reports it *before* search instead. The graphs
+//! come from [`cycleq_rewrite::program_call_graphs`] and are interned into
+//! the hash-consed [`cycleq_sizechange::GraphStore`] by
+//! [`Closure::from_edges`], so composition is memoized and subsumed graphs
+//! are pruned — the same engine that checks the proofs themselves.
+//!
+//! The analysis is sound but incomplete: a finding means "termination not
+//! established", not "diverges", which is why `CQ004` is a warning.
+
+use cycleq_lang::Module;
+use cycleq_rewrite::{non_terminating_suspects, program_call_graphs};
+use cycleq_sizechange::{Closure, Soundness};
+
+use crate::diagnostic::{Code, Diagnostic};
+use crate::first_rule_line;
+
+pub(crate) fn check(module: &Module) -> Vec<Diagnostic> {
+    let sig = &module.program.sig;
+    let trs = &module.program.trs;
+    let edges = program_call_graphs(sig, trs);
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let closure = Closure::from_edges(edges);
+    if closure.check() == Soundness::Sound {
+        return Vec::new();
+    }
+    let stats = format!(
+        "size-change closure: {} graphs, {} compositions ({} memoized)",
+        closure.num_graphs(),
+        closure.store().compositions(),
+        closure.store().memo_hits(),
+    );
+    non_terminating_suspects(sig, trs)
+        .into_iter()
+        .map(|sym| {
+            let name = sig.sym(sym).name();
+            let line = first_rule_line(module, sym).or_else(|| module.decl_line(name));
+            Diagnostic::new(
+                Code::SizeChange,
+                line,
+                format!("termination of `{name}` is not established by size-change analysis"),
+            )
+            .with_note(
+                "no argument of the recursive call decreases along every cycle; \
+                 search on goals involving this function may spin until the budget \
+                 or deadline runs out",
+            )
+            .with_note(
+                "the analysis is sound but incomplete: a genuinely terminating \
+                 definition may need a measure beyond structural descent",
+            )
+            .with_note(stats.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycleq_lang::parse_module;
+
+    #[test]
+    fn structurally_recursive_programs_are_clean() {
+        let m = parse_module(
+            "data Nat = Z | S Nat\nadd :: Nat -> Nat -> Nat\nadd Z y = y\nadd (S x) y = S (add x y)\n",
+        )
+        .unwrap();
+        assert!(check(&m).is_empty());
+    }
+
+    #[test]
+    fn loop_is_flagged_before_search() {
+        let m =
+            parse_module("data Nat = Z | S Nat\nloop :: Nat -> Nat\nloop x = loop x\n").unwrap();
+        let ds = check(&m);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::SizeChange);
+        assert_eq!(ds[0].line, Some(3));
+        assert!(ds[0].message.contains("`loop`"), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn argument_swap_is_flagged() {
+        let m = parse_module("data Nat = Z | S Nat\nswp :: Nat -> Nat -> Nat\nswp x y = swp y x\n")
+            .unwrap();
+        let ds = check(&m);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::SizeChange);
+    }
+
+    #[test]
+    fn mutual_recursion_through_subterms_is_clean() {
+        let m = parse_module(
+            "data Nat = Z | S Nat\ndata Bool = True | False\neven :: Nat -> Bool\neven Z = True\neven (S x) = odd x\nodd :: Nat -> Bool\nodd Z = False\nodd (S x) = even x\n",
+        )
+        .unwrap();
+        assert!(check(&m).is_empty());
+    }
+}

@@ -6,6 +6,7 @@
 //! ```text
 //! suite [--category isaplanner|mutual|figure] [--quick] [--jobs N]
 //!       [--hints] [--csv] [--timeout-ms N] [--emit-certs DIR]
+//!       [--emit-sources DIR]
 //! ```
 //!
 //! `--jobs N` fans problems out across N worker threads (0 = one per
@@ -14,8 +15,10 @@
 //! combination `--quick --jobs 2` is the CI smoke test for the parallel
 //! scheduler. `--emit-certs DIR` writes a `<id>.cqc` certificate for every
 //! proved problem, producing the corpus that `cycleq check` re-validates in
-//! CI. Exits non-zero when any problem is refuted or errors (a mis-encoded
-//! property), so CI catches those too.
+//! CI. `--emit-sources DIR` skips the run entirely and instead dumps every
+//! selected problem's module source as `<id>.hs` — the corpus that
+//! `cycleq lint` sweeps in CI. Exits non-zero when any problem is refuted
+//! or errors (a mis-encoded property), so CI catches those too.
 
 use std::time::Duration;
 
@@ -33,6 +36,7 @@ fn main() {
     let mut jobs: usize = 1;
     let mut timeout_ms: u64 = 2000;
     let mut emit_certs: Option<std::path::PathBuf> = None;
+    let mut emit_sources: Option<std::path::PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -72,6 +76,13 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--emit-sources" => {
+                i += 1;
+                emit_sources = args.get(i).map(std::path::PathBuf::from).or_else(|| {
+                    eprintln!("--emit-sources needs a directory");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -85,6 +96,24 @@ fn main() {
         .filter(|p| category.is_none_or(|c| p.category == c))
         .filter(|p| !quick || p.category != Category::IsaPlanner)
         .collect();
+    if let Some(dir) = &emit_sources {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create source directory {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        let mut written = 0usize;
+        for p in &problems {
+            let Some(src) = p.source() else { continue };
+            let path = dir.join(format!("{}.hs", p.id));
+            if let Err(e) = std::fs::write(&path, src) {
+                eprintln!("cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            written += 1;
+        }
+        println!("emitted {written} problem sources to {}", dir.display());
+        return;
+    }
     let config = RunConfig {
         search: SearchConfig {
             timeout: Some(Duration::from_millis(timeout_ms)),

@@ -16,8 +16,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cycleq::{
-    available_parallelism, check_certificate, BatchReport, BatchScheduler, Engine, Outcome,
-    ProveEvent, SearchConfig, SearchStats, Session, Verdict,
+    analyze, available_parallelism, check_certificate, lang_error_diagnostic, parse_module,
+    BatchReport, BatchScheduler, Diagnostic, Engine, Outcome, ProveEvent, SearchConfig,
+    SearchStats, Session, Verdict,
 };
 
 /// Some goal was not proved, but none was refuted (exhausted / timeout /
@@ -34,6 +35,7 @@ cycleq — cyclic equational prover (CycleQ, PLDI 2022)
 USAGE:
     cycleq [OPTIONS] <FILE> [GOAL]...
     cycleq check [--jobs N] <FILE>...
+    cycleq lint [--format json] [--deny-warnings] [--jobs N] <FILE>...
 
 ARGS:
     <FILE>      Program in the CycleQ input language (data decls,
@@ -47,6 +49,16 @@ SUBCOMMANDS:
                 independent checker; files are validated in parallel
                 with `--jobs`. Exits 0 when every certificate is valid,
                 3 when any is invalid, 2 on usage or read errors.
+    lint        Statically analyse programs without proving: pattern
+                coverage (CQ001), clause overlaps (CQ002),
+                left-linearity (CQ003), the size-change termination
+                pre-screen (CQ004) and a dead-code sweep (CQ005-CQ007),
+                each diagnostic with a stable code and source line.
+                Files lint in parallel with `--jobs`; `--format json`
+                emits one NDJSON object per diagnostic plus a summary.
+                Exits 0 when clean, 1 when only warnings were found and
+                `--deny-warnings` is set, 3 when any file has errors,
+                2 on usage or read errors.
 
 OPTIONS:
     --dot               Render proofs as Graphviz DOT instead of text
@@ -384,6 +396,16 @@ fn run(opts: &Options) -> Result<Tally, String> {
     let session = engine
         .load(&source)
         .map_err(|e| format!("{}: {e}", opts.file))?;
+    // Static-analysis findings go to stderr before any proving, without
+    // affecting the verdicts or the exit code: an overlapping or
+    // non-terminating program is still *attempted* (matching the paper's
+    // tool), just no longer silently.
+    for d in session.analyze() {
+        match d.line {
+            Some(line) => eprintln!("{}:{line}: {d}", opts.file),
+            None => eprintln!("{}: {d}", opts.file),
+        }
+    }
     if opts.validate {
         for warning in session.validate() {
             eprintln!("warning: {warning}");
@@ -501,6 +523,145 @@ fn run_batch(
     Ok(tally)
 }
 
+/// Lints one program source: frontend failures become a single
+/// structured diagnostic, everything that lowers goes through the full
+/// analysis.
+fn lint_source(src: &str) -> Vec<Diagnostic> {
+    match parse_module(src) {
+        Ok(module) => analyze(&module),
+        Err(e) => vec![lang_error_diagnostic(&e)],
+    }
+}
+
+/// Renders one diagnostic as `FILE:LINE: severity[CODE]: message` plus
+/// indented notes.
+fn print_diagnostic_text(file: &str, d: &Diagnostic) {
+    match d.line {
+        Some(line) => println!("{file}:{line}: {d}"),
+        None => println!("{file}: {d}"),
+    }
+    for note in &d.notes {
+        println!("  note: {note}");
+    }
+}
+
+/// One NDJSON object per diagnostic.
+fn print_diagnostic_json(file: &str, d: &Diagnostic) {
+    let line = d.line.map_or_else(|| "null".to_string(), |l| l.to_string());
+    let notes: Vec<String> = d
+        .notes
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
+    println!(
+        "{{\"type\":\"diagnostic\",\"file\":\"{}\",\"line\":{line},\"code\":\"{}\",\
+         \"severity\":\"{}\",\"message\":\"{}\",\"notes\":[{}]}}",
+        json_escape(file),
+        d.code,
+        d.severity,
+        json_escape(&d.message),
+        notes.join(","),
+    );
+}
+
+/// `cycleq lint [OPTIONS] <FILES>...`: static analysis without proving.
+/// Prints diagnostics per file plus a greppable `lint:` summary.
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut jobs = 1usize;
+    let mut deny_warnings = false;
+    let mut format = Format::Text;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--jobs" => {
+                let n = it.next().and_then(|v| v.parse::<usize>().ok());
+                let Some(n) = n else {
+                    eprintln!("error: --jobs requires an integer value\n\n{USAGE}");
+                    return ExitCode::from(EXIT_USAGE);
+                };
+                jobs = if n == 0 { available_parallelism() } else { n };
+            }
+            "--format" => {
+                format = match it.next().map(String::as_str) {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    other => {
+                        let other = other.unwrap_or("<missing>");
+                        eprintln!("error: unknown format `{other}` (text|json)\n\n{USAGE}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                };
+            }
+            flag if flag.starts_with('-') && flag.len() > 1 => {
+                eprintln!("error: unknown option `{flag}`\n\n{USAGE}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+            _ => files.push(arg.clone()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: cycleq lint requires at least one program file\n\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let mut texts = Vec::with_capacity(files.len());
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(text) => texts.push(text),
+            Err(e) => {
+                eprintln!("error: cannot read `{f}`: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    let start = std::time::Instant::now();
+    let tasks: Vec<_> = texts
+        .iter()
+        .map(|text| move |_worker: usize| lint_source(text))
+        .collect();
+    let results = BatchScheduler::new(jobs).run(tasks);
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (file, diagnostics) in files.iter().zip(&results) {
+        for d in diagnostics {
+            if d.is_error() {
+                errors += 1;
+            } else {
+                warnings += 1;
+            }
+            match format {
+                Format::Text => print_diagnostic_text(file, d),
+                Format::Json => print_diagnostic_json(file, d),
+            }
+        }
+    }
+    match format {
+        Format::Text => println!(
+            "lint: files={} errors={errors} warnings={warnings} | jobs={jobs} | elapsed={:?}",
+            files.len(),
+            start.elapsed(),
+        ),
+        Format::Json => println!(
+            "{{\"type\":\"lint\",\"files\":{},\"errors\":{errors},\"warnings\":{warnings},\
+             \"jobs\":{jobs},\"elapsed_ms\":{:.3}}}",
+            files.len(),
+            start.elapsed().as_secs_f64() * 1000.0,
+        ),
+    }
+    if errors > 0 {
+        ExitCode::from(EXIT_REFUTED)
+    } else if deny_warnings && warnings > 0 {
+        ExitCode::from(EXIT_GAVE_UP)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `cycleq check <FILES>... [--jobs N]`: re-validates certificate files in
 /// parallel. Prints one line per file plus a greppable `check:` summary.
 fn run_check(args: &[String]) -> ExitCode {
@@ -583,6 +744,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("check") {
         return run_check(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("lint") {
+        return run_lint(&args[1..]);
     }
     let opts = match parse_args(&args) {
         Ok(Some(opts)) => opts,

@@ -464,6 +464,228 @@ fn check_without_files_is_a_usage_error() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 }
 
+/// Writes a lint fixture to the temp dir, returning its path.
+fn lint_file(name: &str, src: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("cycleq-cli-test-lint");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join(name);
+    std::fs::write(&file, src).unwrap();
+    file
+}
+
+#[test]
+fn lint_reports_non_exhaustive_function_as_cq001_warning() {
+    let file = lint_file(
+        "partial.hs",
+        "data Nat = Z | S Nat\npred :: Nat -> Nat\npred (S x) = x\ngoal p: pred (S Z) === Z\n",
+    );
+    let out = run(&["lint", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "warnings alone do not fail");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains(":3: warning[CQ001]:"),
+        "missing CQ001 at line 3:\n{stdout}"
+    );
+    assert!(stdout.contains("`pred Z`"), "no witness:\n{stdout}");
+    assert!(
+        stdout.contains("lint: files=1 errors=0 warnings=1"),
+        "bad summary:\n{stdout}"
+    );
+    // The same file under --deny-warnings fails with the gave-up code.
+    let out = run(&["lint", "--deny-warnings", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn lint_reports_overlapping_clauses_as_cq002_error_with_both_lines() {
+    // The paper's fig. 2 `sub` variant: `sub Z y` and `sub x Z` both
+    // match `sub Z Z`.
+    let file = lint_file(
+        "overlap.hs",
+        "data Nat = Z | S Nat\nsub :: Nat -> Nat -> Nat\nsub Z y = Z\nsub x Z = x\nsub (S x) (S y) = sub x y\n",
+    );
+    let out = run(&["lint", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3), "errors exit with 3");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains(":3: error[CQ002]:"),
+        "missing CQ002 at line 3:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("lines 3 and 4"),
+        "offending positions missing:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("sub Z Z"),
+        "critical instance missing:\n{stdout}"
+    );
+    assert!(stdout.contains("lint: files=1 errors=1"), "{stdout}");
+}
+
+#[test]
+fn lint_reports_non_left_linear_clause_as_cq003_error() {
+    let file = lint_file(
+        "nonlinear.hs",
+        "data Nat = Z | S Nat\neqSame :: Nat -> Nat -> Nat\neqSame x x = x\n",
+    );
+    let out = run(&["lint", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains(":3: error[CQ003]:"),
+        "missing CQ003 at line 3:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("`x`"),
+        "repeated variable unnamed:\n{stdout}"
+    );
+}
+
+#[test]
+fn lint_flags_size_change_divergence_as_cq004_before_any_search() {
+    let file = lint_file(
+        "loop.hs",
+        "data Nat = Z | S Nat\nloop :: Nat -> Nat\nloop x = loop x\n",
+    );
+    let out = run(&["lint", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "CQ004 is a warning");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains(":3: warning[CQ004]:"),
+        "missing CQ004 at line 3:\n{stdout}"
+    );
+    assert!(stdout.contains("`loop`"), "{stdout}");
+    let out = run(&["lint", "--deny-warnings", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn lint_quickstart_is_clean_under_deny_warnings() {
+    let file = quickstart();
+    let out = run(&["lint", "--deny-warnings", file.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("lint: files=1 errors=0 warnings=0"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn lint_json_emits_one_object_per_diagnostic_plus_summary() {
+    let file = lint_file(
+        "json.hs",
+        "data Nat = Z | S Nat\nsub :: Nat -> Nat -> Nat\nsub Z y = Z\nsub x Z = x\nsub (S x) (S y) = sub x y\n",
+    );
+    let out = run(&["lint", "--format", "json", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 2, "one diagnostic + summary:\n{stdout}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+    let diag = lines[0];
+    assert_eq!(json_value(diag, "type"), Some("diagnostic"));
+    assert_eq!(json_value(diag, "code"), Some("CQ002"));
+    assert_eq!(json_value(diag, "severity"), Some("error"));
+    assert_eq!(json_value(diag, "line"), Some("3"));
+    assert!(json_value(diag, "message").unwrap().contains("overlap"));
+    assert!(diag.contains("\"notes\":["), "notes array missing: {diag}");
+    let summary = lines[1];
+    assert_eq!(json_value(summary, "type"), Some("lint"));
+    assert_eq!(json_value(summary, "files"), Some("1"));
+    assert_eq!(json_value(summary, "errors"), Some("1"));
+    assert_eq!(json_value(summary, "warnings"), Some("0"));
+}
+
+#[test]
+fn lint_runs_many_files_in_parallel_and_aggregates() {
+    let clean = lint_file(
+        "clean_par.hs",
+        "data Nat = Z | S Nat\nadd :: Nat -> Nat -> Nat\nadd Z y = y\nadd (S x) y = S (add x y)\ngoal zr: add x Z === x\n",
+    );
+    let partial = lint_file(
+        "partial_par.hs",
+        "data Nat = Z | S Nat\npred :: Nat -> Nat\npred (S x) = x\ngoal p: pred (S Z) === Z\n",
+    );
+    let out = run(&[
+        "lint",
+        "--jobs",
+        "2",
+        clean.to_str().unwrap(),
+        partial.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("lint: files=2 errors=0 warnings=1 | jobs=2"),
+        "bad summary:\n{stdout}"
+    );
+    // Diagnostics name the file they came from.
+    assert!(stdout.contains("partial_par.hs:3:"), "{stdout}");
+    assert!(!stdout.contains("clean_par.hs:"), "{stdout}");
+}
+
+#[test]
+fn lint_frontend_failure_is_a_cq008_error() {
+    let file = lint_file("bad_syntax.hs", "data Nat = Z |\n");
+    let out = run(&["lint", file.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error[CQ008]:"), "{stdout}");
+}
+
+#[test]
+fn lint_without_files_or_with_unreadable_file_is_a_usage_error() {
+    let out = run(&["lint"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["lint", "/nonexistent/nope.hs"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn prove_prints_diagnostics_to_stderr_without_failing() {
+    // A goal over a size-change-suspect program still proves; the CQ004
+    // warning surfaces on stderr before the verdict.
+    let file = lint_file(
+        "prove_warn.hs",
+        "data Nat = Z | S Nat\nadd :: Nat -> Nat -> Nat\nadd Z y = y\nadd (S x) y = S (add x y)\nloop :: Nat -> Nat\nloop x = loop x\ngoal zr: add x Z === x\n",
+    );
+    let out = run(&["--no-proof", file.to_str().unwrap(), "zr"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "diagnostics must not affect the verdict; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("warning[CQ004]:") && stderr.contains("`loop`"),
+        "no prove-time diagnostic:\n{stderr}"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("goal zr: Proved"), "{stdout}");
+}
+
+#[test]
+fn prove_on_clean_programs_prints_no_diagnostics() {
+    let file = quickstart();
+    let out = run(&["--no-proof", file.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        !stderr.contains("warning[") && !stderr.contains("error["),
+        "clean program produced diagnostics:\n{stderr}"
+    );
+}
+
 #[test]
 fn batch_mode_streams_progress_lines_to_stderr() {
     let file = quickstart();

@@ -17,6 +17,7 @@
 //! | [`cycleq_proof`] | preproofs, the independent checker, rendering (§3) |
 //! | [`cycleq_search`] | the CycleQ proof search (§5.1, §6) |
 //! | [`cycleq_lang`] | the Haskell-like frontend (§6) |
+//! | [`cycleq_analysis`] | static checks of the Remark 2.1 preconditions |
 //! | [`cycleq_ri`] | rewriting induction and the Thm 4.3 translation (§4) |
 //! | [`cycleq_batch`] | parallel goal batching and the shared normal-form cache |
 //!
@@ -99,8 +100,9 @@ mod engine;
 
 pub use engine::{Engine, EngineBuilder, EventSink, GoalStatus, ProveEvent};
 
+pub use cycleq_analysis::{analyze, lang_error_diagnostic, Code, Diagnostic, Severity};
 pub use cycleq_batch::{available_parallelism, BatchScheduler};
-pub use cycleq_lang::{GoalDef, LangError, Module};
+pub use cycleq_lang::{parse_module, GoalDef, LangError, Module};
 pub use cycleq_proof::{
     check, check_global, check_global_incremental, check_global_scc, check_interned,
     check_interned_with, cycle_witnesses, export_certificate, global_edges, program_fingerprint,
@@ -349,6 +351,16 @@ impl Session {
     /// (pattern completeness, orthogonality; Remark 2.1).
     pub fn validate(&self) -> Vec<String> {
         self.module.validate()
+    }
+
+    /// Runs the full static analysis over the loaded module: the
+    /// soundness preconditions of Remark 2.1 (pattern coverage,
+    /// orthogonality, the size-change termination pre-screen) plus the
+    /// dead-code sweep, as structured [`Diagnostic`]s with stable codes
+    /// and source lines. The structured counterpart of
+    /// [`Session::validate`]; surfaced on the CLI as `cycleq lint`.
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        cycleq_analysis::analyze(&self.module)
     }
 
     /// Goal names in declaration order.
@@ -1123,6 +1135,19 @@ goal comm: add x y === add y x
             second.is_proved(),
             "cache reuse must not change the verdict"
         );
+    }
+
+    #[test]
+    fn analyze_is_clean_on_the_quickstart_and_structured_on_violations() {
+        let s = Session::from_source(SRC).unwrap();
+        assert!(s.analyze().is_empty());
+        let dodgy =
+            Session::from_source("data Nat = Z | S Nat\nloop :: Nat -> Nat\nloop x = loop x\n")
+                .unwrap();
+        let ds = dodgy.analyze();
+        assert!(ds.iter().any(|d| d.code == Code::SizeChange));
+        // Mirrors the legacy string-based validate().
+        assert!(!dodgy.validate().is_empty());
     }
 
     #[test]

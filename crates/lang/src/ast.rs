@@ -17,8 +17,10 @@ pub enum RawType {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum RawTerm {
     /// An identifier: variable, defined function or constructor, resolved
-    /// during lowering.
-    Ident(String),
+    /// during lowering. Carries the 1-based source line of the token so
+    /// later stages (lowering, static analysis) can point diagnostics at
+    /// the precise occurrence.
+    Ident(String, u32),
     /// Application.
     App(Box<RawTerm>, Box<RawTerm>),
 }
@@ -34,6 +36,14 @@ impl RawTerm {
         }
         args.reverse();
         (cur, args)
+    }
+
+    /// The source line of the term's head identifier.
+    pub fn line(&self) -> u32 {
+        match self {
+            RawTerm::Ident(_, line) => *line,
+            RawTerm::App(f, _) => f.line(),
+        }
     }
 }
 
@@ -101,13 +111,14 @@ mod tests {
     fn spine_flattens_nested_apps() {
         let t = RawTerm::App(
             Box::new(RawTerm::App(
-                Box::new(RawTerm::Ident("f".into())),
-                Box::new(RawTerm::Ident("a".into())),
+                Box::new(RawTerm::Ident("f".into(), 1)),
+                Box::new(RawTerm::Ident("a".into(), 1)),
             )),
-            Box::new(RawTerm::Ident("b".into())),
+            Box::new(RawTerm::Ident("b".into(), 1)),
         );
         let (head, args) = t.spine();
-        assert_eq!(head, &RawTerm::Ident("f".into()));
+        assert_eq!(head, &RawTerm::Ident("f".into(), 1));
         assert_eq!(args.len(), 2);
+        assert_eq!(t.line(), 1);
     }
 }

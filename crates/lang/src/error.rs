@@ -52,8 +52,13 @@ impl LangError {
 
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: ", self.line)?;
-        match &self.kind {
+        write!(f, "line {}: {}", self.line, self.kind)
+    }
+}
+
+impl fmt::Display for LangErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
             LangErrorKind::UnexpectedChar(c) => write!(f, "unexpected character `{c}`"),
             LangErrorKind::UnexpectedToken { found, expected } => {
                 write!(f, "unexpected `{found}`, expected {expected}")

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use cycleq_rewrite::{Program, Trs};
+use cycleq_rewrite::{Program, RuleId, Trs};
 use cycleq_term::{
     Equation, Signature, Subst, SymId, Term, TyUnifier, TyVarId, Type, VarId, VarStore,
 };
@@ -47,19 +47,39 @@ impl GoalDef {
     }
 }
 
-/// A lowered module: the program and its goals.
+/// A lowered module: the program and its goals, plus the source map that
+/// survives lowering (clause lines per rule, declaration lines per name)
+/// so downstream diagnostics can point at the offending source line.
 #[derive(Clone, Debug)]
 pub struct Module {
     /// The signature and rewrite rules.
     pub program: Program,
     /// Goals in declaration order.
     pub goals: Vec<GoalDef>,
+    /// Source line of the clause that produced each rule, indexed by
+    /// [`RuleId`] (rules are numbered in declaration order).
+    pub rule_lines: Vec<u32>,
+    /// Declaration line per name: datatypes, constructors (at their `data`
+    /// line) and function signatures.
+    pub decl_lines: HashMap<String, u32>,
 }
 
 impl Module {
     /// Looks up a goal by name.
     pub fn goal(&self, name: &str) -> Option<&GoalDef> {
         self.goals.iter().find(|g| g.name == name)
+    }
+
+    /// The source line of the clause that produced `rule`, when known
+    /// (rules added programmatically, outside the frontend, have none).
+    pub fn rule_line(&self, rule: RuleId) -> Option<u32> {
+        self.rule_lines.get(rule.index()).copied()
+    }
+
+    /// The declaration line of a datatype, constructor or function
+    /// signature.
+    pub fn decl_line(&self, name: &str) -> Option<u32> {
+        self.decl_lines.get(name).copied()
     }
 
     /// Validates the program against the paper's standing assumptions
@@ -182,7 +202,8 @@ fn resolve_type(
 
 /// Builds a term from raw syntax. `env` maps bound variable names;
 /// `make_var` (when set) creates variables for unknown lowercase names
-/// (goal mode).
+/// (goal mode). Resolution errors point at the offending identifier's own
+/// source line.
 fn build_term(
     raw: &RawTerm,
     sig: &Signature,
@@ -190,20 +211,20 @@ fn build_term(
     vars: &mut VarStore,
     uni: &mut TyUnifier,
     implicit_vars: bool,
-    line: u32,
 ) -> Result<Term, LangError> {
     let (head, raw_args) = raw.spine();
     let mut args = Vec::with_capacity(raw_args.len());
     for a in raw_args {
-        args.push(build_term(a, sig, env, vars, uni, implicit_vars, line)?);
+        args.push(build_term(a, sig, env, vars, uni, implicit_vars)?);
     }
-    let RawTerm::Ident(name) = head else {
+    let RawTerm::Ident(name, iline) = head else {
         unreachable!("spine flattens applications")
     };
+    let iline = *iline;
     if name.chars().next().is_some_and(char::is_uppercase) {
         let sym = sig
             .sym_by_name(name)
-            .ok_or_else(|| LangError::new(line, LangErrorKind::Unknown(name.clone())))?;
+            .ok_or_else(|| LangError::new(iline, LangErrorKind::Unknown(name.clone())))?;
         return Ok(Term::apps(sym, args));
     }
     // Lowercase: bound variable shadows defined symbol.
@@ -218,7 +239,7 @@ fn build_term(
         env.insert(name.clone(), v);
         return Ok(Term::from_parts(cycleq_term::Head::Var(v), args));
     }
-    Err(LangError::new(line, LangErrorKind::Unknown(name.clone())))
+    Err(LangError::new(iline, LangErrorKind::Unknown(name.clone())))
 }
 
 /// Builds a clause pattern, allocating meta-typed variables and enforcing
@@ -229,12 +250,12 @@ fn build_pattern(
     env: &mut HashMap<String, VarId>,
     vars: &mut VarStore,
     uni: &mut TyUnifier,
-    line: u32,
 ) -> Result<Term, LangError> {
     let (head, raw_args) = raw.spine();
-    let RawTerm::Ident(name) = head else {
+    let RawTerm::Ident(name, line) = head else {
         unreachable!("spine flattens applications")
     };
+    let line = *line;
     if name.chars().next().is_some_and(char::is_uppercase) {
         let sym = sig
             .sym_by_name(name)
@@ -258,7 +279,7 @@ fn build_pattern(
         }
         let mut args = Vec::with_capacity(raw_args.len());
         for a in raw_args {
-            args.push(build_pattern(a, sig, env, vars, uni, line)?);
+            args.push(build_pattern(a, sig, env, vars, uni)?);
         }
         Ok(Term::apps(sym, args))
     } else {
@@ -301,6 +322,7 @@ fn generalize(ty: &Type, canon: &mut HashMap<TyVarId, TyVarId>) -> Type {
 /// Returns the first resolution or type error.
 pub fn lower(decls: &[Decl]) -> Result<Module, LangError> {
     let mut sig = Signature::new();
+    let mut decl_lines: HashMap<String, u32> = HashMap::new();
     // Pass 1a: datatypes (names only, so mutually recursive datatypes work).
     for d in decls {
         if let Decl::Data {
@@ -309,6 +331,7 @@ pub fn lower(decls: &[Decl]) -> Result<Module, LangError> {
         {
             sig.add_datatype(name, params.len() as u32)
                 .map_err(|_| LangError::new(*line, LangErrorKind::Duplicate(name.clone())))?;
+            decl_lines.insert(name.clone(), *line);
         }
     }
     // Pass 1b: constructors.
@@ -333,6 +356,7 @@ pub fn lower(decls: &[Decl]) -> Result<Module, LangError> {
                 }
                 sig.add_constructor(&con.name, data, args)
                     .map_err(|e| LangError::new(*line, LangErrorKind::Type(e.to_string())))?;
+                decl_lines.insert(con.name.clone(), *line);
             }
         }
     }
@@ -344,10 +368,12 @@ pub fn lower(decls: &[Decl]) -> Result<Module, LangError> {
             let scheme = cycleq_term::TypeScheme::poly(tyvars.len() as u32, body);
             sig.add_defined(name, scheme)
                 .map_err(|_| LangError::new(*line, LangErrorKind::Duplicate(name.clone())))?;
+            decl_lines.insert(name.clone(), *line);
         }
     }
     // Pass 3: clauses.
     let mut trs = Trs::new();
+    let mut rule_lines = Vec::new();
     for d in decls {
         if let Decl::Clause {
             name,
@@ -362,7 +388,9 @@ pub fn lower(decls: &[Decl]) -> Result<Module, LangError> {
                 .ok_or_else(|| {
                     LangError::new(*line, LangErrorKind::MissingSignature(name.clone()))
                 })?;
-            lower_clause(&mut trs, &sig, sym, params, rhs, *line)?;
+            let rule = lower_clause(&mut trs, &sig, sym, params, rhs, *line)?;
+            debug_assert_eq!(rule.index(), rule_lines.len());
+            rule_lines.push(*line);
         }
     }
     // Pass 4: goals.
@@ -387,6 +415,8 @@ pub fn lower(decls: &[Decl]) -> Result<Module, LangError> {
     Ok(Module {
         program: Program::new(sig, trs),
         goals,
+        rule_lines,
+        decl_lines,
     })
 }
 
@@ -397,7 +427,7 @@ fn lower_clause(
     params: &[RawTerm],
     rhs: &RawTerm,
     line: u32,
-) -> Result<(), LangError> {
+) -> Result<RuleId, LangError> {
     let scheme = sig.sym(sym).scheme().clone();
     let (arg_tys, ret_ty) = scheme.body().uncurry();
     if params.len() > arg_tys.len() {
@@ -418,7 +448,7 @@ fn lower_clause(
     {
         let vars = trs.vars_mut();
         for raw in params {
-            pattern_terms.push(build_pattern(raw, sig, &mut env, vars, &mut uni, line)?);
+            pattern_terms.push(build_pattern(raw, sig, &mut env, vars, &mut uni)?);
         }
     }
     // Type the patterns against the signature's rigid argument types.
@@ -441,7 +471,7 @@ fn lower_clause(
     let rhs_term = {
         let mut scratch_env = env.clone();
         let vars = trs.vars_mut();
-        build_term(rhs, sig, &mut scratch_env, vars, &mut uni, false, line)?
+        build_term(rhs, sig, &mut scratch_env, vars, &mut uni, false)?
     };
     let rhs_ty = rhs_term
         .infer_type(sig, trs.vars(), &mut uni)
@@ -475,8 +505,7 @@ fn lower_clause(
         trs.vars_mut().set_ty(v, ty);
     }
     trs.add_rule(sig, sym, pattern_terms, rhs_term)
-        .map_err(|e| LangError::new(line, LangErrorKind::Rule(e.to_string())))?;
-    Ok(())
+        .map_err(|e| LangError::new(line, LangErrorKind::Rule(e.to_string())))
 }
 
 fn lower_goal(
@@ -489,8 +518,8 @@ fn lower_goal(
     let mut uni = TyUnifier::new(META_FLOOR);
     let mut env = HashMap::new();
     let mut vars = VarStore::new();
-    let lhs_term = build_term(lhs, sig, &mut env, &mut vars, &mut uni, true, line)?;
-    let rhs_term = build_term(rhs, sig, &mut env, &mut vars, &mut uni, true, line)?;
+    let lhs_term = build_term(lhs, sig, &mut env, &mut vars, &mut uni, true)?;
+    let rhs_term = build_term(rhs, sig, &mut env, &mut vars, &mut uni, true)?;
     let lt = lhs_term
         .infer_type(sig, &vars, &mut uni)
         .map_err(|e| LangError::new(line, LangErrorKind::Type(e.to_string())))?;

@@ -16,10 +16,12 @@ impl Parser {
     }
 
     fn line(&self) -> u32 {
+        // Clamp to the last token so end-of-input errors still carry the
+        // line where input ran out (1 for empty input, never a bogus 0).
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
             .map(|s| s.line)
-            .unwrap_or(0)
+            .unwrap_or(1)
     }
 
     fn next(&mut self) -> Option<Spanned> {
@@ -116,11 +118,11 @@ impl Parser {
     fn parse_aterm(&mut self) -> Result<RawTerm, LangError> {
         match self.peek() {
             Some(Token::Upper(_)) | Some(Token::Lower(_)) => {
-                let Some(Spanned { token, .. }) = self.next() else {
+                let Some(Spanned { token, line }) = self.next() else {
                     unreachable!()
                 };
                 match token {
-                    Token::Upper(n) | Token::Lower(n) => Ok(RawTerm::Ident(n)),
+                    Token::Upper(n) | Token::Lower(n) => Ok(RawTerm::Ident(n, line)),
                     _ => unreachable!(),
                 }
             }
@@ -139,11 +141,11 @@ impl Parser {
     fn parse_pattern_atom(&mut self) -> Result<RawTerm, LangError> {
         match self.peek() {
             Some(Token::Lower(_)) | Some(Token::Upper(_)) => {
-                let Some(Spanned { token, .. }) = self.next() else {
+                let Some(Spanned { token, line }) = self.next() else {
                     unreachable!()
                 };
                 match token {
-                    Token::Upper(n) | Token::Lower(n) => Ok(RawTerm::Ident(n)),
+                    Token::Upper(n) | Token::Lower(n) => Ok(RawTerm::Ident(n, line)),
                     _ => unreachable!(),
                 }
             }
@@ -322,7 +324,7 @@ mod tests {
                 assert_eq!(name, "add");
                 assert_eq!(params.len(), 2);
                 let (head, args) = params[0].spine();
-                assert_eq!(head, &RawTerm::Ident("S".into()));
+                assert_eq!(head, &RawTerm::Ident("S".into(), 1));
                 assert_eq!(args.len(), 1);
             }
             other => panic!("expected clause, got {other:?}"),

@@ -86,15 +86,62 @@ take (S n) Nil = Nil
 take (S n) (Cons x xs) = Cons x (take n xs)
 goal prop50: butLast xs === take (sub (len xs) (S Z)) xs
 ";
-    // Note: `sub` written with overlapping-but-agreeing clauses would not be
-    // orthogonal; the version above overlaps on (Z, Z) deliberately avoided
-    // by ordering. We check validation manually because `sub x Z = x`
-    // overlaps `sub Z y = Z` at (Z, Z) where both give Z (weak overlap).
+    // `sub x Z = x` overlaps `sub Z y = Z` at (Z, Z): a weak overlap where
+    // both clauses agree, so the prover is still sound on it — but the
+    // program is not orthogonal, and `fig2_sub_overlap_is_flagged` below
+    // pins that the analyzer reports it.
     let module = parse_module(src).expect("valid program");
     let g = module.goal("prop50").expect("goal exists").clone();
     let res = Prover::new(&module.program).prove(g.eq, g.vars);
     assert!(res.outcome.is_proved(), "{:?}", res.outcome);
     check(&res.proof, &module.program, GlobalCheck::VariableTraces).unwrap();
+}
+
+/// Regression for the note on `fig2_butlast_take`: the paper's `sub` has a
+/// weak overlap at `sub Z Z` (clauses 1 and 2 both match and agree), which
+/// the static analyzer must flag as `CQ002` — and must not flag on the
+/// orthogonal reformulation that splits the second clause on `S x`.
+#[test]
+fn fig2_sub_overlap_is_flagged() {
+    let overlapping = "
+data Nat = Z | S Nat
+sub :: Nat -> Nat -> Nat
+sub Z y = Z
+sub x Z = x
+sub (S x) (S y) = sub x y
+goal triv: sub x x === Z
+";
+    let module = parse_module(overlapping).expect("valid program");
+    let diags = cycleq_analysis::analyze(&module);
+    let overlaps: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == cycleq_analysis::Code::Overlap)
+        .collect();
+    assert_eq!(overlaps.len(), 1, "{diags:?}");
+    assert!(overlaps[0].is_error());
+    assert!(
+        overlaps[0].message.contains("lines 4 and 5"),
+        "{}",
+        overlaps[0].message
+    );
+    assert!(
+        overlaps[0].notes.iter().any(|n| n.contains("sub Z Z")),
+        "{:?}",
+        overlaps[0].notes
+    );
+
+    // The orthogonal variant computes the same function and is clean.
+    let orthogonal = "
+data Nat = Z | S Nat
+sub :: Nat -> Nat -> Nat
+sub Z y = Z
+sub (S x) Z = S x
+sub (S x) (S y) = sub x y
+goal triv: sub x x === Z
+";
+    let module = parse_module(orthogonal).expect("valid program");
+    let diags = cycleq_analysis::analyze(&module);
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 /// Figure 4: commutativity of addition through the frontend.

@@ -5,6 +5,10 @@
 //! generated from a fixed seed (deterministic across runs); failing inputs
 //! are not shrunk — assertions panic with the generated values instead.
 
+// Strategy combinators hold closures and `Rc<dyn Strategy>`, which cannot
+// derive `Debug`; the real crate doesn't expose `Debug` on them either.
+#![allow(missing_debug_implementations)]
+
 pub mod test_runner {
     /// Per-test configuration; only `cases` is interpreted.
     #[derive(Clone, Debug)]
