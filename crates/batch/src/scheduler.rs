@@ -18,8 +18,39 @@
 //! own input. Proof search satisfies this: goals are independent.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::thread;
+
+use cycleq_trace::{metrics, Counter, Gauge};
+
+/// Process-wide registry handles for scheduler activity.
+#[derive(Debug, Clone)]
+struct SchedulerMetrics {
+    /// Tasks a worker popped from a peer's deque instead of its own.
+    steals: Counter,
+    /// Tasks executed (own pops + steals).
+    tasks: Counter,
+    /// Tasks currently queued across all live batch runs.
+    queue_depth: Gauge,
+}
+
+fn scheduler_metrics() -> &'static SchedulerMetrics {
+    static METRICS: OnceLock<SchedulerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SchedulerMetrics {
+        steals: metrics().counter(
+            "cycleq_batch_steals_total",
+            "Batch tasks executed by a worker that stole them from a peer's queue.",
+        ),
+        tasks: metrics().counter(
+            "cycleq_batch_tasks_total",
+            "Batch tasks executed by the work-stealing scheduler (including inline runs).",
+        ),
+        queue_depth: metrics().gauge(
+            "cycleq_batch_queue_depth",
+            "Batch tasks currently queued and not yet started, across live runs.",
+        ),
+    })
+}
 
 /// Stack size for worker threads. Reduction and proof search recurse on
 /// term structure, which for deep numeral towers can nest thousands of
@@ -109,8 +140,17 @@ impl BatchScheduler {
         );
         let n = tasks.len();
         let workers = self.jobs.min(n).max(1);
+        let sched_metrics = scheduler_metrics();
         if workers == 1 {
-            return tasks.into_iter().map(|t| t(0)).collect();
+            sched_metrics.queue_depth.add(n as u64);
+            return tasks
+                .into_iter()
+                .map(|t| {
+                    sched_metrics.queue_depth.sub(1);
+                    sched_metrics.tasks.inc();
+                    t(0)
+                })
+                .collect();
         }
         // LPT seeding: heaviest task first, each to the least-loaded queue
         // (ties broken by queue index, so uniform costs reproduce the
@@ -132,6 +172,7 @@ impl BatchScheduler {
                 .push_back((i, slots_of[i].take().expect("each task seeded once")));
         }
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        sched_metrics.queue_depth.add(n as u64);
         thread::scope(|scope| {
             for w in 0..workers {
                 let queues = &queues;
@@ -139,26 +180,38 @@ impl BatchScheduler {
                 thread::Builder::new()
                     .name(format!("cycleq-batch-{w}"))
                     .stack_size(WORKER_STACK_BYTES)
-                    .spawn_scoped(scope, move || loop {
-                        let job = {
-                            let own = queues[w].lock().expect("queue poisoned").pop_front();
-                            own.or_else(|| {
-                                (1..workers).find_map(|off| {
-                                    queues[(w + off) % workers]
-                                        .lock()
-                                        .expect("queue poisoned")
-                                        .pop_back()
-                                })
-                            })
-                        };
-                        match job {
-                            Some((i, task)) => {
-                                let out = task(w);
-                                *slots[i].lock().expect("slot poisoned") = Some(out);
+                    .spawn_scoped(scope, move || {
+                        cycleq_trace::set_thread_label(&format!("worker-{w}"));
+                        loop {
+                            let (job, stolen) = {
+                                let own = queues[w].lock().expect("queue poisoned").pop_front();
+                                match own {
+                                    Some(job) => (Some(job), false),
+                                    None => (
+                                        (1..workers).find_map(|off| {
+                                            queues[(w + off) % workers]
+                                                .lock()
+                                                .expect("queue poisoned")
+                                                .pop_back()
+                                        }),
+                                        true,
+                                    ),
+                                }
+                            };
+                            match job {
+                                Some((i, task)) => {
+                                    sched_metrics.queue_depth.sub(1);
+                                    sched_metrics.tasks.inc();
+                                    if stolen {
+                                        sched_metrics.steals.inc();
+                                    }
+                                    let out = task(w);
+                                    *slots[i].lock().expect("slot poisoned") = Some(out);
+                                }
+                                // Every deque empty and tasks never spawn
+                                // tasks: nothing left to do.
+                                None => break,
                             }
-                            // Every deque empty and tasks never spawn
-                            // tasks: nothing left to do.
-                            None => break,
                         }
                     })
                     .expect("spawn batch worker");

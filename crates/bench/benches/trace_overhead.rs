@@ -1,0 +1,107 @@
+//! Overhead of the `cycleq_trace` span machinery.
+//!
+//! The span sites sit on the prover's hottest paths (every normalisation,
+//! every expansion), so the disabled case must stay near-free: a relaxed
+//! atomic load and nothing else. This bench pins that claim — compare
+//! `span_disabled` against the `baseline_loop` floor — and measures the
+//! enabled (histogram-feeding) and collecting (record-buffering) cases plus
+//! the end-to-end effect on a headline goal.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cycleq::{Engine, SearchConfig};
+
+const QUICKSTART: &str = "data Nat = Z | S Nat
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+goal addComm: add x y === add y x
+";
+
+fn bench_span_sites(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    // The floor: the same loop body without a span site.
+    g.bench_function("baseline_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        })
+    });
+    // Disabled (the default): one relaxed atomic load per span.
+    cycleq::trace::set_enabled(false);
+    g.bench_function("span_disabled", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                let _span = cycleq::trace::span!("bench");
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        })
+    });
+    // Enabled without collection: each span end feeds a phase histogram.
+    cycleq::trace::set_enabled(true);
+    g.bench_function("span_enabled", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                let _span = cycleq::trace::span!("bench");
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        })
+    });
+    // Collecting: spans additionally buffer records for the trace file.
+    cycleq::trace::start_collect();
+    g.bench_function("span_collecting", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                let _span = cycleq::trace::span!("bench");
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        })
+    });
+    let _ = cycleq::trace::finish_collect();
+    cycleq::trace::set_enabled(false);
+    g.finish();
+}
+
+fn bench_headline_goal(c: &mut Criterion) {
+    let engine = Engine::builder()
+        .config(SearchConfig {
+            timeout: Some(Duration::from_secs(10)),
+            ..SearchConfig::default()
+        })
+        .build();
+    let session = engine.load(QUICKSTART).expect("quickstart loads");
+    let mut g = c.benchmark_group("trace_overhead");
+    // End to end with tracing disabled — the configuration every user who
+    // never passes --trace-out/--metrics-out runs in.
+    cycleq::trace::set_enabled(false);
+    g.bench_function("prove_add_comm_tracing_off", |b| {
+        b.iter(|| {
+            let v = session.prove("addComm").expect("proves");
+            assert!(v.is_proved());
+            v.result.stats.nodes_created
+        })
+    });
+    cycleq::trace::set_enabled(true);
+    g.bench_function("prove_add_comm_tracing_on", |b| {
+        b.iter(|| {
+            let v = session.prove("addComm").expect("proves");
+            assert!(v.is_proved());
+            v.result.stats.nodes_created
+        })
+    });
+    cycleq::trace::set_enabled(false);
+    g.finish();
+}
+
+criterion_group!(benches, bench_span_sites, bench_headline_goal);
+criterion_main!(benches);

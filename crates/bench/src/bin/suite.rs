@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! suite [--category isaplanner|mutual|figure] [--quick] [--jobs N]
-//!       [--hints] [--csv] [--timeout-ms N] [--emit-certs DIR]
+//!       [--hints] [--csv] [--profile] [--timeout-ms N] [--emit-certs DIR]
 //!       [--emit-sources DIR]
 //! ```
 //!
@@ -17,14 +17,19 @@
 //! proved problem, producing the corpus that `cycleq check` re-validates in
 //! CI. `--emit-sources DIR` skips the run entirely and instead dumps every
 //! selected problem's module source as `<id>.hs` — the corpus that
-//! `cycleq lint` sweeps in CI. Exits non-zero when any problem is refuted
-//! or errors (a mis-encoded property), so CI catches those too.
+//! `cycleq lint` sweeps in CI. `--profile` appends a per-problem
+//! phase-time table (prove_goal / round / expand / normalize /
+//! closure_update / check) read back from the `cycleq_trace` registry —
+//! combine with `--jobs 1` (the default) for exact per-problem
+//! attribution. Exits non-zero when any problem is refuted or errors (a
+//! mis-encoded property), so CI catches those too.
 
 use std::time::Duration;
 
 use cycleq::SearchConfig;
 use cycleq_benchsuite::{
-    all_problems, csv, run_suite, summarize, text_table, Category, RunConfig, RunStatus,
+    all_problems, csv, profile_table, run_suite, summarize, text_table, Category, RunConfig,
+    RunStatus,
 };
 
 fn main() {
@@ -33,6 +38,7 @@ fn main() {
     let mut with_hints = false;
     let mut as_csv = false;
     let mut quick = false;
+    let mut profile = false;
     let mut jobs: usize = 1;
     let mut timeout_ms: u64 = 2000;
     let mut emit_certs: Option<std::path::PathBuf> = None;
@@ -55,6 +61,7 @@ fn main() {
             "--hints" => with_hints = true,
             "--csv" => as_csv = true,
             "--quick" => quick = true,
+            "--profile" => profile = true,
             "--jobs" => {
                 i += 1;
                 jobs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -123,6 +130,7 @@ fn main() {
         recheck: true,
         jobs,
         emit_certs: emit_certs.clone(),
+        profile,
     };
     if let Some(dir) = &emit_certs {
         if let Err(e) = std::fs::create_dir_all(dir) {
@@ -147,6 +155,10 @@ fn main() {
             s.max_proved_ms,
             config.jobs,
         );
+        if profile {
+            println!();
+            print!("{}", profile_table(&outcomes));
+        }
     }
     let broken = outcomes
         .iter()

@@ -21,6 +21,6 @@ mod runner;
 pub use prelude::{MUTUAL_PRELUDE, PRELUDE};
 pub use problems::{all_problems, Category, Expectation, Problem, FIGURES, ISAPLANNER, MUTUAL};
 pub use runner::{
-    by_expectation, cactus_series, csv, run_problem, run_suite, summarize, text_table, RunConfig,
-    RunOutcome, RunStatus, Summary,
+    by_expectation, cactus_series, csv, profile_table, run_problem, run_suite, summarize,
+    text_table, RunConfig, RunOutcome, RunStatus, Summary,
 };

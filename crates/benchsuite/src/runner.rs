@@ -32,6 +32,12 @@ pub struct RunConfig {
     /// directory must already exist; export failures surface as
     /// [`RunStatus::Error`] so CI cannot silently produce a partial corpus.
     pub emit_certs: Option<std::path::PathBuf>,
+    /// Capture a per-problem phase-time breakdown ([`RunOutcome::profile`],
+    /// rendered by [`profile_table`]) by enabling the `cycleq_trace` span
+    /// machinery. The underlying metrics registry is process-global, so
+    /// with `jobs > 1` concurrent problems attribute phase time to each
+    /// other — profile with `jobs: 1` for exact per-problem numbers.
+    pub profile: bool,
 }
 
 impl Default for RunConfig {
@@ -45,6 +51,7 @@ impl Default for RunConfig {
             recheck: true,
             jobs: 1,
             emit_certs: None,
+            profile: false,
         }
     }
 }
@@ -91,16 +98,23 @@ pub struct RunOutcome {
     pub time: Duration,
     /// Search statistics, when a search ran.
     pub stats: Option<SearchStats>,
+    /// Phase-time breakdown of the search, when [`RunConfig::profile`]
+    /// was set and a search ran.
+    pub profile: Option<cycleq::Profile>,
 }
 
 /// Runs a single problem.
 pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome {
+    if config.profile {
+        cycleq::trace::set_enabled(true);
+    }
     let Some(src) = problem.source() else {
         return RunOutcome {
             problem,
             status: RunStatus::OutOfScope,
             time: Duration::ZERO,
             stats: None,
+            profile: None,
         };
     };
     let engine = Engine::builder()
@@ -115,6 +129,7 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
                 status: RunStatus::Error(e.to_string()),
                 time: Duration::ZERO,
                 stats: None,
+                profile: None,
             }
         }
     };
@@ -132,6 +147,7 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
                 status: RunStatus::Error(e.to_string()),
                 time: Duration::ZERO,
                 stats: None,
+                profile: None,
             }
         }
     };
@@ -156,6 +172,7 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
         status,
         time: verdict.result.stats.elapsed,
         stats: Some(verdict.result.stats),
+        profile: config.profile.then(|| session.profile()).flatten(),
     }
 }
 
@@ -301,6 +318,47 @@ pub fn text_table(outcomes: &[RunOutcome]) -> String {
     out
 }
 
+/// Renders the per-problem phase-time breakdown captured with
+/// [`RunConfig::profile`] as an aligned text table: one row per profiled
+/// problem, one column per span phase (total milliseconds across that
+/// problem's spans). Totals are inclusive of child spans — `prove_goal`
+/// covers the whole search, `round` the deepening rounds inside it, and so
+/// on down the taxonomy — so columns overlap rather than sum to the time.
+pub fn profile_table(outcomes: &[RunOutcome]) -> String {
+    const PHASES: [&str; 6] = [
+        "prove_goal",
+        "round",
+        "expand",
+        "normalize",
+        "closure_update",
+        "check",
+    ];
+    let mut out = String::new();
+    let _ = write!(out, "{:<6} {:>10}", "id", "time");
+    for phase in PHASES {
+        let _ = write!(out, " {:>14}", phase);
+    }
+    let _ = writeln!(out);
+    for o in outcomes {
+        let Some(profile) = &o.profile else { continue };
+        let _ = write!(
+            out,
+            "{:<6} {:>8.2}ms",
+            o.problem.id,
+            o.time.as_secs_f64() * 1000.0
+        );
+        for name in PHASES {
+            let ms = profile
+                .phase(name)
+                .map(|p| p.total_seconds * 1000.0)
+                .unwrap_or(0.0);
+            let _ = write!(out, " {:>12.2}ms", ms);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
 /// Quotes a CSV field when it contains a comma, quote or newline (RFC
 /// 4180: wrap in double quotes, double any embedded quotes). Problem ids
 /// and error messages are the fields that can need this; plain fields pass
@@ -428,12 +486,14 @@ mod tests {
                 status: RunStatus::Proved,
                 time: Duration::from_millis(1),
                 stats: None,
+                profile: None,
             },
             RunOutcome {
                 problem: &AWKWARD,
                 status: RunStatus::Error("load failed: expected `,`, got `=`".to_string()),
                 time: Duration::ZERO,
                 stats: None,
+                profile: None,
             },
         ];
         let rendered = csv(&outcomes);

@@ -33,7 +33,7 @@ const USAGE: &str = "\
 cycleq — cyclic equational prover (CycleQ, PLDI 2022)
 
 USAGE:
-    cycleq [OPTIONS] <FILE> [GOAL]...
+    cycleq [prove] [OPTIONS] <FILE> [GOAL]...
     cycleq check [--jobs N] <FILE>...
     cycleq lint [--format json] [--deny-warnings] [--jobs N] <FILE>...
 
@@ -43,6 +43,8 @@ ARGS:
     [GOAL]...   Goals to prove; defaults to every declared goal
 
 SUBCOMMANDS:
+    prove       Explicit alias for the default mode: `cycleq prove FILE`
+                and `cycleq FILE` are equivalent
     check       Re-validate exported proof certificates. Each file is
                 parsed, its embedded program fingerprint-checked and
                 re-elaborated, and the proof re-run through the
@@ -83,6 +85,14 @@ OPTIONS:
     --max-nodes N       Cap proof nodes created during search
     --max-depth N       Cap DFS depth (rule applications per branch)
     --timeout-ms N      Wall-clock budget per goal; 0 means unbounded
+    --trace-out FILE    Record hierarchical spans (prove_goal > round >
+                        expand / normalize / closure_update / check) and
+                        write them as Chrome trace-event JSON — loadable
+                        in Perfetto or chrome://tracing, one track per
+                        worker thread
+    --metrics-out FILE  Write the process-wide metrics registry (goal,
+                        search, cache, size-change, batch and phase-time
+                        families) in Prometheus text exposition format
     -h, --help          Print this help
     -V, --version       Print version
 
@@ -110,6 +120,8 @@ struct Options {
     stats: bool,
     validate: bool,
     emit_certs: Option<String>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
     format: Format,
     /// `Some(n)` when `--jobs` was passed: the batch path (with its summary
     /// line and live progress) runs even for `--jobs 1`, exactly as the
@@ -130,6 +142,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         stats: false,
         validate: false,
         emit_certs: None,
+        trace_out: None,
+        metrics_out: None,
         format: Format::Text,
         jobs: None,
         config: SearchConfig::default(),
@@ -159,6 +173,14 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
             "--emit-certs" => {
                 let dir = it.next().ok_or("--emit-certs requires a value")?;
                 opts.emit_certs = Some(dir.clone());
+            }
+            "--trace-out" => {
+                let path = it.next().ok_or("--trace-out requires a value")?;
+                opts.trace_out = Some(path.clone());
+            }
+            "--metrics-out" => {
+                let path = it.next().ok_or("--metrics-out requires a value")?;
+                opts.metrics_out = Some(path.clone());
             }
             "--hints" => {
                 let list = it.next().ok_or("--hints requires a value")?;
@@ -224,30 +246,17 @@ fn verdict_word(outcome: &Outcome) -> &'static str {
     }
 }
 
+/// The NDJSON `stats` object, generated from [`SearchStats::entries`] — the
+/// same single source that feeds the `--stats` line and the metrics
+/// registry, so the three surfaces cannot drift (schema pinned by
+/// `tests/stats_schema.rs`).
 fn json_stats(s: &SearchStats) -> String {
-    format!(
-        "{{\"nodes\":{},\"case_splits\":{},\"subst_attempts\":{},\
-         \"unsound_cycles_pruned\":{},\"depth_limit_hits\":{},\
-         \"closure_graphs\":{},\"closure_compositions\":{},\
-         \"composition_memo_hits\":{},\"graphs_subsumed\":{},\
-         \"interned_graphs\":{},\"reduce_memo_hits\":{},\
-         \"shared_cache_hits\":{},\"shared_cache_misses\":{},\
-         \"interned_nodes\":{}}}",
-        s.nodes_created,
-        s.case_splits,
-        s.subst_attempts,
-        s.unsound_cycles_pruned,
-        s.depth_limit_hits,
-        s.closure_graphs,
-        s.closure_compositions,
-        s.composition_memo_hits,
-        s.graphs_subsumed,
-        s.interned_graphs,
-        s.reduce_memo_hits,
-        s.shared_cache_hits,
-        s.shared_cache_misses,
-        s.interned_nodes,
-    )
+    let fields: Vec<String> = s
+        .entries()
+        .into_iter()
+        .map(|(key, value)| format!("\"{key}\":{value}"))
+        .collect();
+    format!("{{{}}}", fields.join(","))
 }
 
 /// One NDJSON object per goal: verdict, stats, recheck counters, elapsed.
@@ -316,29 +325,18 @@ fn print_verdict(opts: &Options, verdict: &Verdict) {
         }
     }
     if opts.stats {
+        // Generated from the same `entries()` list as the NDJSON stats
+        // object and the metrics registry (see `json_stats`).
         let s = &verdict.result.stats;
+        let fields: Vec<String> = s
+            .entries()
+            .into_iter()
+            .map(|(key, value)| format!("{key}={value}"))
+            .collect();
         annotate(&format!(
-            "  stats: nodes={} case_splits={} subst_attempts={} \
-             unsound_cycles_pruned={} depth_limit_hits={} closure_graphs={} \
-             closure_compositions={} composition_memo_hits={} \
-             graphs_subsumed={} interned_graphs={} \
-             reduce_memo_hits={} shared_cache_hits={} shared_cache_misses={} \
-             interned_nodes={} elapsed={:?}",
-            s.nodes_created,
-            s.case_splits,
-            s.subst_attempts,
-            s.unsound_cycles_pruned,
-            s.depth_limit_hits,
-            s.closure_graphs,
-            s.closure_compositions,
-            s.composition_memo_hits,
-            s.graphs_subsumed,
-            s.interned_graphs,
-            s.reduce_memo_hits,
-            s.shared_cache_hits,
-            s.shared_cache_misses,
-            s.interned_nodes,
-            s.elapsed,
+            "  stats: {} elapsed={:?}",
+            fields.join(" "),
+            s.elapsed
         ));
         if let Some(r) = &verdict.recheck {
             annotate(&format!(
@@ -423,28 +421,54 @@ fn run(opts: &Options) -> Result<Tally, String> {
     if let Some(dir) = &opts.emit_certs {
         std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
     }
+    // Span recording and metric export are opt-in: the atomic stays off —
+    // and the span! sites stay near-free — unless one of the flags asks.
+    if opts.trace_out.is_some() || opts.metrics_out.is_some() {
+        cycleq::trace::set_enabled(true);
+    }
+    if opts.trace_out.is_some() {
+        cycleq::trace::start_collect();
+    }
     // JSON output always goes through the batch path: one object per goal
     // plus the summary object, whatever the worker count.
-    if opts.jobs.is_some() || opts.format == Format::Json {
-        return run_batch(opts, &session, &goals, &hints);
-    }
-    let mut tally = Tally::default();
-    for goal in &goals {
-        let verdict = session
-            .prove_with_hints(goal, &hints)
-            .map_err(|e| e.to_string())?;
-        if verdict.is_refuted() {
-            tally.refuted = true;
-        } else if !verdict.is_proved() {
-            // Exhausted, Timeout, NodeBudget, Cancelled or HintFailed.
-            tally.gave_up = true;
+    let tally = if opts.jobs.is_some() || opts.format == Format::Json {
+        run_batch(opts, &session, &goals, &hints)?
+    } else {
+        let mut tally = Tally::default();
+        for goal in &goals {
+            let verdict = session
+                .prove_with_hints(goal, &hints)
+                .map_err(|e| e.to_string())?;
+            if verdict.is_refuted() {
+                tally.refuted = true;
+            } else if !verdict.is_proved() {
+                // Exhausted, Timeout, NodeBudget, Cancelled or HintFailed.
+                tally.gave_up = true;
+            }
+            print_verdict(opts, &verdict);
+            if let Some(dir) = &opts.emit_certs {
+                emit_certificate(dir, &session, &verdict)?;
+            }
         }
-        print_verdict(opts, &verdict);
-        if let Some(dir) = &opts.emit_certs {
-            emit_certificate(dir, &session, &verdict)?;
-        }
-    }
+        tally
+    };
+    write_observability(opts)?;
     Ok(tally)
+}
+
+/// Writes the `--trace-out` (Chrome trace-event JSON) and `--metrics-out`
+/// (Prometheus text) artifacts, when requested.
+fn write_observability(opts: &Options) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        let trace = cycleq::trace::finish_collect();
+        std::fs::write(path, trace.to_chrome_json())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, cycleq::trace::metrics().snapshot().to_prometheus())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    Ok(())
 }
 
 /// Writes the verdict's certificate to `<dir>/<goal>.cqc`; unproved goals
@@ -619,12 +643,23 @@ fn run_lint(args: &[String]) -> ExitCode {
             }
         }
     }
+    // Per-file timing flows through the span machinery into the process
+    // registry (`cycleq_phase_seconds{phase="lint_file"}`); the summary
+    // below reads it back from there rather than keeping bespoke timers.
+    cycleq::trace::set_enabled(true);
+    let before = cycleq::trace::metrics().snapshot();
     let start = std::time::Instant::now();
     let tasks: Vec<_> = texts
         .iter()
-        .map(|text| move |_worker: usize| lint_source(text))
+        .map(|text| {
+            move |_worker: usize| {
+                let _span = cycleq::trace::span!("lint_file");
+                lint_source(text)
+            }
+        })
         .collect();
     let results = BatchScheduler::new(jobs).run(tasks);
+    let (file_total_ms, file_max_ms) = phase_ms(&before, "lint_file");
     let mut errors = 0usize;
     let mut warnings = 0usize;
     for (file, diagnostics) in files.iter().zip(&results) {
@@ -642,13 +677,15 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
     match format {
         Format::Text => println!(
-            "lint: files={} errors={errors} warnings={warnings} | jobs={jobs} | elapsed={:?}",
+            "lint: files={} errors={errors} warnings={warnings} | jobs={jobs} | \
+             file total={file_total_ms:.1}ms max={file_max_ms:.1}ms | elapsed={:?}",
             files.len(),
             start.elapsed(),
         ),
         Format::Json => println!(
             "{{\"type\":\"lint\",\"files\":{},\"errors\":{errors},\"warnings\":{warnings},\
-             \"jobs\":{jobs},\"elapsed_ms\":{:.3}}}",
+             \"jobs\":{jobs},\"file_total_ms\":{file_total_ms:.3},\
+             \"file_max_ms\":{file_max_ms:.3},\"elapsed_ms\":{:.3}}}",
             files.len(),
             start.elapsed().as_secs_f64() * 1000.0,
         ),
@@ -660,6 +697,18 @@ fn run_lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Total and maximum per-file time of a span phase, in milliseconds, read
+/// back from the registry delta since `before`.
+fn phase_ms(before: &cycleq::MetricsSnapshot, phase: &str) -> (f64, f64) {
+    let after = cycleq::trace::metrics().snapshot();
+    let delta = after.delta(before);
+    let profile = delta.profile();
+    profile
+        .phase(phase)
+        .map(|p| (p.total_seconds * 1000.0, p.max_seconds * 1000.0))
+        .unwrap_or((0.0, 0.0))
 }
 
 /// `cycleq check <FILES>... [--jobs N]`: re-validates certificate files in
@@ -703,12 +752,22 @@ fn run_check(args: &[String]) -> ExitCode {
             }
         }
     }
+    // As in `run_lint`: per-file timing comes back out of the registry's
+    // `cycleq_phase_seconds{phase="check_file"}` histogram.
+    cycleq::trace::set_enabled(true);
+    let before = cycleq::trace::metrics().snapshot();
     let start = std::time::Instant::now();
     let tasks: Vec<_> = texts
         .iter()
-        .map(|text| move |_worker: usize| check_certificate(text))
+        .map(|text| {
+            move |_worker: usize| {
+                let _span = cycleq::trace::span!("check_file");
+                check_certificate(text)
+            }
+        })
         .collect();
     let results = BatchScheduler::new(jobs).run(tasks);
+    let (file_total_ms, file_max_ms) = phase_ms(&before, "check_file");
     let mut valid = 0usize;
     for (file, result) in files.iter().zip(&results) {
         match result {
@@ -727,7 +786,8 @@ fn run_check(args: &[String]) -> ExitCode {
         }
     }
     println!(
-        "check: valid {}/{} | jobs={} | elapsed={:?}",
+        "check: valid {}/{} | jobs={} | file total={file_total_ms:.1}ms \
+         max={file_max_ms:.1}ms | elapsed={:?}",
         valid,
         files.len(),
         jobs,
@@ -748,7 +808,14 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("lint") {
         return run_lint(&args[1..]);
     }
-    let opts = match parse_args(&args) {
+    // `cycleq prove FILE` spells out the default mode like the other
+    // subcommands do; both forms take the same options.
+    let args: &[String] = if args.first().map(String::as_str) == Some("prove") {
+        &args[1..]
+    } else {
+        &args
+    };
+    let opts = match parse_args(args) {
         Ok(Some(opts)) => opts,
         Ok(None) => return ExitCode::SUCCESS,
         Err(msg) => {

@@ -40,7 +40,10 @@ fn proves_quickstart_goals_with_proof_and_stats() {
         stdout.contains("[Subst]"),
         "no back edge rendered:\n{stdout}"
     );
-    assert!(stdout.contains("stats: nodes="), "no stats line:\n{stdout}");
+    assert!(
+        stdout.contains("stats: nodes_created="),
+        "no stats line:\n{stdout}"
+    );
 }
 
 #[test]
@@ -271,7 +274,7 @@ fn json_format_emits_one_object_per_goal_plus_batch_summary() {
         assert_eq!(json_value(line, "verdict"), Some("proved"), "in {line}");
         let ms: f64 = json_value(line, "time_ms").unwrap().parse().unwrap();
         assert!(ms >= 0.0);
-        let nodes: u64 = json_value(line, "nodes").unwrap().parse().unwrap();
+        let nodes: u64 = json_value(line, "nodes_created").unwrap().parse().unwrap();
         assert!(nodes > 0, "in {line}");
         // Size-change engine counters: present and numeric in every goal
         // object (schema pinned).
@@ -684,6 +687,67 @@ fn prove_on_clean_programs_prints_no_diagnostics() {
         !stderr.contains("warning[") && !stderr.contains("error["),
         "clean program produced diagnostics:\n{stderr}"
     );
+}
+
+#[test]
+fn prove_alias_and_trace_out_write_perfetto_loadable_json() {
+    // `cycleq prove FILE --trace-out T --metrics-out M` is the documented
+    // observability invocation; the trace must be Chrome trace-event JSON
+    // with one complete (`ph:"X"`) prove_goal span per goal and per-thread
+    // name metadata, and the exact event shape is pinned here.
+    let file = quickstart();
+    let dir = std::env::temp_dir().join("cycleq-cli-test-trace");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join(format!("t_{}.json", std::process::id()));
+    let prom = dir.join(format!("m_{}.prom", std::process::id()));
+    let out = run(&[
+        "prove",
+        file.to_str().unwrap(),
+        "--no-proof",
+        "--jobs",
+        "2",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        prom.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("batch: proved 3/3"), "{stdout}");
+    let text = std::fs::read_to_string(&trace).unwrap();
+    assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+    assert!(text.trim_end().ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    // Complete-event shape, key order pinned.
+    assert!(
+        text.contains("\"cat\":\"cycleq\",\"ph\":\"X\",\"ts\":"),
+        "no complete events: {text}"
+    );
+    assert_eq!(
+        text.matches("\"name\":\"prove_goal\"").count(),
+        3,
+        "one complete prove_goal span per goal: {text}"
+    );
+    for phase in ["round", "expand", "normalize", "check"] {
+        assert!(
+            text.contains(&format!("\"name\":\"{phase}\"")),
+            "phase {phase} missing from trace"
+        );
+    }
+    // Per-process and per-thread track metadata for Perfetto.
+    assert!(text.contains(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"cycleq\"}}"
+    ));
+    assert!(text.contains("\"name\":\"thread_name\""), "{text}");
+    assert!(text.contains("worker-0"), "worker track missing: {text}");
+    let metrics = std::fs::read_to_string(&prom).unwrap();
+    assert!(metrics.contains("# TYPE cycleq_phase_seconds histogram"));
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(&prom).ok();
 }
 
 #[test]

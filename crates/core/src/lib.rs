@@ -100,6 +100,12 @@ mod engine;
 
 pub use engine::{Engine, EngineBuilder, EventSink, GoalStatus, ProveEvent};
 
+/// Re-export of the observability crate: spans, the metrics registry,
+/// Chrome-trace collection, and Prometheus rendering. See the README's
+/// *Observability* section.
+pub use cycleq_trace as trace;
+pub use cycleq_trace::{MetricsSnapshot, PhaseStat, Profile};
+
 pub use cycleq_analysis::{analyze, lang_error_diagnostic, Code, Diagnostic, Severity};
 pub use cycleq_batch::{available_parallelism, BatchScheduler};
 pub use cycleq_lang::{parse_module, GoalDef, LangError, Module};
@@ -116,6 +122,8 @@ pub use cycleq_search::{
 pub use cycleq_term::{Equation, Signature, Term, Type, VarStore};
 
 use engine::Settings;
+
+mod metrics;
 
 /// Errors surfaced by a [`Session`].
 #[derive(Clone, Debug)]
@@ -241,6 +249,9 @@ pub struct Session {
     /// ([`Session::with_cost_hints`]); goals missing here fall back to
     /// goal-size prediction.
     cost_hints: HashMap<String, u64>,
+    /// Phase-time profile of the most recent top-level prove call (single
+    /// or batch), shared across clones. See [`Session::profile`].
+    last_profile: Arc<std::sync::Mutex<Option<Profile>>>,
 }
 
 impl Session {
@@ -266,6 +277,7 @@ impl Session {
             source,
             cache,
             cost_hints: HashMap::new(),
+            last_profile: Arc::new(std::sync::Mutex::new(None)),
         }
     }
 
@@ -328,6 +340,35 @@ impl Session {
         self
     }
 
+    /// The per-phase time breakdown of the most recent top-level prove
+    /// call through this session (single goal or batch; clones share it).
+    ///
+    /// Phase timings come from the `cycleq_trace` span machinery, which is
+    /// disabled by default: enable it with
+    /// [`trace::set_enabled`](cycleq_trace::set_enabled)`(true)` (the CLI's
+    /// `--trace-out`/`--metrics-out` and `suite --profile` do) — otherwise
+    /// the returned profile has no phases. Returns `None` before the first
+    /// prove call.
+    ///
+    /// The underlying registry is process-global, so with *other* sessions
+    /// proving concurrently their phase time is attributed here too; for
+    /// exact attribution, profile one session at a time.
+    pub fn profile(&self) -> Option<Profile> {
+        self.last_profile
+            .lock()
+            .expect("profile lock poisoned")
+            .clone()
+    }
+
+    /// Captures the registry delta of `f` as this session's last profile.
+    fn with_profile<T>(&self, f: impl FnOnce() -> T) -> T {
+        let before = cycleq_trace::metrics().snapshot();
+        let out = f();
+        let profile = cycleq_trace::metrics().snapshot().delta(&before).profile();
+        *self.last_profile.lock().expect("profile lock poisoned") = Some(profile);
+        out
+    }
+
     /// Hit/miss/size/eviction counters of the shared normal-form cache
     /// (all zero when the cache is disabled).
     pub fn shared_cache_stats(&self) -> CacheStats {
@@ -385,7 +426,7 @@ impl Session {
     ///
     /// As [`Session::prove`]; hints must also name declared goals.
     pub fn prove_with_hints(&self, goal: &str, hints: &[&str]) -> Result<Verdict, Error> {
-        self.prove_goal(goal, hints, &Budget::unlimited(), None, None)
+        self.with_profile(|| self.prove_goal(goal, hints, &Budget::unlimited(), None, None))
     }
 
     /// Attempts to prove the named goal under an external [`Budget`] and
@@ -407,7 +448,7 @@ impl Session {
         budget: &Budget,
         cancel: &CancelToken,
     ) -> Result<Verdict, Error> {
-        self.prove_goal(goal, hints, budget, Some(cancel), None)
+        self.with_profile(|| self.prove_goal(goal, hints, budget, Some(cancel), None))
     }
 
     /// The one prove path every public entry point funnels through.
@@ -452,16 +493,30 @@ impl Session {
                     &self.module.program,
                     GlobalCheck::VariableTraces,
                 )
-                .map_err(Error::Check)?;
+                .map_err(|e| {
+                    metrics::record_goal_error();
+                    Error::Check(e)
+                })?;
                 recheck = Some(report);
             }
         }
-        Ok(Verdict {
+        let outcome: Result<Verdict, Error> = Ok(Verdict {
             goal: goal.to_string(),
             result,
             recheck,
             sig: self.module.program.sig.clone(),
-        })
+        });
+        if let Ok(v) = &outcome {
+            // Absorb the goal into the process-wide registry here — the one
+            // funnel every prove path passes through — so each goal counts
+            // exactly once regardless of entry point or worker.
+            metrics::record_goal(
+                GoalStatus::of(&outcome),
+                &v.result.stats,
+                v.recheck.as_ref(),
+            );
+        }
+        outcome
     }
 
     /// Serializes a proved verdict into a self-contained certificate: the
@@ -565,6 +620,7 @@ impl Session {
             .collect();
         let total = goals.len();
         let costs: Vec<u64> = goals.iter().map(|name| self.predicted_cost(name)).collect();
+        let metrics_before = cycleq_trace::metrics().snapshot();
         let start = Instant::now();
         let batch_deadline = budget.timeout.map(|d| start + d);
         let scheduler = BatchScheduler::new(self.settings.jobs);
@@ -605,11 +661,12 @@ impl Session {
                     let observer = sink.as_ref().map(|sink| {
                         let sink = sink.clone();
                         let goal = name.to_string();
-                        Arc::new(move |depth: usize| {
+                        Arc::new(move |depth: usize, elapsed: Duration| {
                             sink.event(&ProveEvent::RoundDeepened {
                                 index,
                                 goal: goal.clone(),
                                 depth,
+                                elapsed,
                             });
                         }) as cycleq_search::RoundObserver
                     });
@@ -660,6 +717,12 @@ impl Session {
                 elapsed: report.stats.elapsed,
             });
         }
+        *self.last_profile.lock().expect("profile lock poisoned") = Some(
+            cycleq_trace::metrics()
+                .snapshot()
+                .delta(&metrics_before)
+                .profile(),
+        );
         Ok(report)
     }
 
@@ -746,6 +809,7 @@ pub fn check_certificate(text: &str) -> Result<CertificateCheck, Error> {
     let cert = Certificate::parse(text).map_err(Error::Certificate)?;
     let module = cycleq_lang::parse_module(cert.program_src())?;
     let report = cert.verify(&module.program).map_err(Error::Certificate)?;
+    metrics::record_check(&report);
     Ok(CertificateCheck {
         goal: cert.goal().to_string(),
         report,

@@ -307,6 +307,7 @@ pub fn check_interned_with(
     mode: GlobalCheck,
     rw: &mut MemoRewriter<'_>,
 ) -> Result<CheckReport, CheckError> {
+    let _span = cycleq_trace::span!("check");
     let start = Instant::now();
     let hits_before = rw.memo_hits();
     // Intern every node equation up front. `Preproof::interned` ids (if any)

@@ -337,6 +337,7 @@ impl<'a> MemoRewriter<'a> {
         id: TermId,
         limits: &RunLimits,
     ) -> Result<NormalizedId, Interrupted> {
+        let _span = cycleq_trace::span!("normalize");
         let mut budget = RunBudget::new(self.fuel, limits.clone());
         match self.norm(id, &mut budget) {
             Ok(nf) => Ok(NormalizedId {

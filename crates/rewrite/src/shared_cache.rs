@@ -33,6 +33,41 @@ use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use cycleq_trace::{metrics, Counter, Gauge};
+
+/// Process-wide registry handles, shared by every cache instance (the
+/// metric families therefore aggregate across caches; `cycleq::Session`
+/// keeps one cache per program, so in practice they describe that one).
+#[derive(Debug, Clone)]
+struct CacheMetrics {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    entries: Gauge,
+}
+
+fn cache_metrics() -> &'static CacheMetrics {
+    static METRICS: std::sync::OnceLock<CacheMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| CacheMetrics {
+        hits: metrics().counter(
+            "cycleq_cache_hits_total",
+            "Shared normal-form cache lookups that found an entry.",
+        ),
+        misses: metrics().counter(
+            "cycleq_cache_misses_total",
+            "Shared normal-form cache lookups that found nothing.",
+        ),
+        evictions: metrics().counter(
+            "cycleq_cache_evictions_total",
+            "Entries evicted from bounded shared normal-form caches.",
+        ),
+        entries: metrics().gauge(
+            "cycleq_cache_entries",
+            "Entries currently stored across shared normal-form caches.",
+        ),
+    })
+}
+
 /// Number of independently locked shards. Workers normalising unrelated
 /// goals rarely contend on the same shard; 16 keeps the memory overhead
 /// trivial while making lock contention negligible for realistic `--jobs`.
@@ -157,6 +192,9 @@ impl SharedNormalFormCache {
     }
 
     fn bounded(shard_cap: Option<usize>) -> SharedNormalFormCache {
+        // Register the cache's metric families eagerly so snapshots taken
+        // before the first lookup already list them.
+        let _ = cache_metrics();
         SharedNormalFormCache {
             inner: Arc::new(Inner {
                 shards: (0..SHARDS)
@@ -194,8 +232,14 @@ impl SharedNormalFormCache {
         });
         drop(shard);
         match &found {
-            Some(_) => self.inner.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.inner.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => {
+                self.inner.hits.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().hits.inc();
+            }
+            None => {
+                self.inner.misses.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().misses.inc();
+            }
         };
         found
     }
@@ -220,10 +264,13 @@ impl SharedNormalFormCache {
                     referenced: false,
                 },
             );
+            cache_metrics().entries.add(1);
             if let Some(cap) = self.inner.shard_cap {
                 let evicted = shard.evict_to(cap);
                 if evicted > 0 {
                     self.inner.evictions.fetch_add(evicted, Ordering::Relaxed);
+                    cache_metrics().evictions.add(evicted);
+                    cache_metrics().entries.sub(evicted);
                 }
             }
         }

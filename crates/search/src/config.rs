@@ -65,6 +65,16 @@ impl Default for SearchConfig {
 pub struct SearchStats {
     /// Proof nodes created, including backtracked ones.
     pub nodes_created: usize,
+    /// Iterative-deepening rounds run (≥ 1 for any finished search).
+    pub rounds: usize,
+    /// `(Reduce)` applications committed (goal rewritten to normal form).
+    pub rule_reduce: u64,
+    /// `(Refl)` closures (goal discharged by syntactic identity).
+    pub rule_refl: u64,
+    /// `(Cong)` constructor decompositions committed.
+    pub rule_cong: u64,
+    /// `(FunExt)` applications committed on arrow-typed goals.
+    pub rule_funext: u64,
     /// `(Case)` applications attempted.
     pub case_splits: usize,
     /// `(Subst)` candidate instances tried.
@@ -112,6 +122,11 @@ impl SearchStats {
     /// added to this struct is aggregated everywhere automatically.
     pub fn absorb(&mut self, other: &SearchStats) {
         self.nodes_created += other.nodes_created;
+        self.rounds += other.rounds;
+        self.rule_reduce += other.rule_reduce;
+        self.rule_refl += other.rule_refl;
+        self.rule_cong += other.rule_cong;
+        self.rule_funext += other.rule_funext;
         self.case_splits += other.case_splits;
         self.subst_attempts += other.subst_attempts;
         self.unsound_cycles_pruned += other.unsound_cycles_pruned;
@@ -126,6 +141,45 @@ impl SearchStats {
         self.shared_cache_misses += other.shared_cache_misses;
         self.interned_nodes += other.interned_nodes;
         self.elapsed += other.elapsed;
+    }
+
+    /// Keys with gauge semantics: they describe end-of-search sizes rather
+    /// than monotone event counts (aggregators overwrite instead of sum,
+    /// and the metrics registry exposes them as gauges).
+    pub const GAUGE_KEYS: &'static [&'static str] =
+        &["closure_graphs", "interned_graphs", "interned_nodes"];
+
+    /// Every counter as a `(key, value)` list, in presentation order.
+    ///
+    /// This is the **single source of truth** for the stats surface: the
+    /// CLI `--stats` line, the NDJSON `stats` object, and the
+    /// `cycleq_search_*` metric families are all generated from it, so a
+    /// field added here (and to [`SearchStats::absorb`]) is surfaced
+    /// everywhere at once — `crates/cli/tests/stats_schema.rs` pins the
+    /// key set across all three. `elapsed` is deliberately excluded (it is
+    /// a duration, reported separately).
+    pub fn entries(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("nodes_created", self.nodes_created as u64),
+            ("rounds", self.rounds as u64),
+            ("rule_reduce", self.rule_reduce),
+            ("rule_refl", self.rule_refl),
+            ("rule_cong", self.rule_cong),
+            ("rule_funext", self.rule_funext),
+            ("case_splits", self.case_splits as u64),
+            ("subst_attempts", self.subst_attempts as u64),
+            ("unsound_cycles_pruned", self.unsound_cycles_pruned as u64),
+            ("depth_limit_hits", self.depth_limit_hits as u64),
+            ("closure_graphs", self.closure_graphs as u64),
+            ("closure_compositions", self.closure_compositions),
+            ("composition_memo_hits", self.composition_memo_hits),
+            ("graphs_subsumed", self.graphs_subsumed),
+            ("interned_graphs", self.interned_graphs as u64),
+            ("reduce_memo_hits", self.reduce_memo_hits),
+            ("shared_cache_hits", self.shared_cache_hits),
+            ("shared_cache_misses", self.shared_cache_misses),
+            ("interned_nodes", self.interned_nodes as u64),
+        ]
     }
 }
 

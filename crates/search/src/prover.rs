@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cycleq_proof::{edge_graph_id, CaseBranch, NodeId, Preproof, RuleApp, Side, SubstApp};
 use cycleq_rewrite::{
@@ -82,10 +82,12 @@ pub struct ProofResult {
     pub stats: SearchStats,
 }
 
-/// Called with the new depth bound whenever the iterative-deepening loop
-/// starts another round; lets embedders stream `RoundDeepened`-style
-/// progress events from a running search.
-pub type RoundObserver = Arc<dyn Fn(usize) + Send + Sync>;
+/// Called whenever the iterative-deepening loop starts another round, with
+/// the new depth bound and the monotonic time elapsed since the prove call
+/// began (covering every finished round); lets embedders stream
+/// `RoundDeepened`-style progress events from a running search without
+/// wall-clock bookkeeping of their own.
+pub type RoundObserver = Arc<dyn Fn(usize, Duration) + Send + Sync>;
 
 /// A cyclic equational prover for a fixed program.
 #[derive(Clone)]
@@ -189,6 +191,7 @@ impl<'a> Prover<'a> {
         budget: &Budget,
         cancel: Option<&CancelToken>,
     ) -> ProofResult {
+        let _span = cycleq_trace::span!("prove_goal");
         let start = Instant::now();
         let config_budget = Budget {
             timeout: self.config.timeout,
@@ -209,6 +212,7 @@ impl<'a> Prover<'a> {
             // earlier deepening rounds count against it, so deepening can
             // never multiply the requested bound.
             let nodes_before = total.nodes_created;
+            let round_span = cycleq_trace::span!("round");
             let (result, hit_depth_limit) = self.prove_round(
                 goal.clone(),
                 vars.clone(),
@@ -219,7 +223,9 @@ impl<'a> Prover<'a> {
                 fuel,
                 depth,
             );
+            drop(round_span);
             total.absorb(&result.stats);
+            total.rounds += 1;
             // Gauges, not counters: each deepening round re-interns into a
             // fresh store, so report the final round's sizes rather than
             // the sums `absorb` produced.
@@ -240,7 +246,7 @@ impl<'a> Prover<'a> {
             }
             depth = (depth + self.config.depth_step).min(self.config.max_depth);
             if let Some(observer) = &self.observer {
-                observer(depth);
+                observer(depth, start.elapsed());
             }
         }
     }
@@ -448,6 +454,7 @@ impl<'a> Search<'a> {
     /// memoised per `(node, premise)` justification for the lifetime of
     /// that justification.
     fn add_proof_edge(&mut self, v: NodeId, i: usize) -> Soundness {
+        let _span = cycleq_trace::span!("closure_update");
         let g = match self.edge_memo.get(&(v, i)) {
             Some(&g) => g,
             None => {
@@ -472,6 +479,7 @@ impl<'a> Search<'a> {
     }
 
     fn solve(&mut self, node: NodeId, depth: usize, pure_path: bool) -> SolveResult {
+        let _span = cycleq_trace::span!("expand");
         self.check_limits()?;
         let (lid, rid) = self.node_ids(node);
 
@@ -484,6 +492,7 @@ impl<'a> Search<'a> {
             return Ok(Solve::Failed);
         }
         if ln.id != lid || rn.id != rid {
+            self.stats.rule_reduce += 1;
             let child_eq = Equation::new(self.rw.resolve(ln.id), self.rw.resolve(rn.id));
             let child = self.push_node_ids(child_eq, (ln.id, rn.id));
             self.proof.justify(node, RuleApp::Reduce, vec![child]);
@@ -493,6 +502,7 @@ impl<'a> Search<'a> {
 
         // 2. (Refl): hash-consing makes triviality an id comparison.
         if lid == rid {
+            self.stats.rule_refl += 1;
             self.proof.justify(node, RuleApp::Refl, vec![]);
             return Ok(Solve::Solved);
         }
@@ -520,6 +530,7 @@ impl<'a> Search<'a> {
                 let sub_eq = Equation::new(eq.lhs().args()[i].clone(), eq.rhs().args()[i].clone());
                 premises.push(self.push_node_ids(sub_eq, (largs[i], rargs[i])));
             }
+            self.stats.rule_cong += 1;
             self.proof.justify(node, RuleApp::Cong, premises.clone());
             for i in 0..n {
                 self.add_proof_edge(node, i);
@@ -548,6 +559,7 @@ impl<'a> Search<'a> {
                 Term::app(eq.lhs().clone(), Term::var(x)),
                 Term::app(eq.rhs().clone(), Term::var(x)),
             );
+            self.stats.rule_funext += 1;
             let child = self.push_node(prem);
             self.proof
                 .justify(node, RuleApp::FunExt { fresh: x }, vec![child]);
@@ -1183,13 +1195,19 @@ mod tests {
         };
         let rounds = Arc::new(AtomicUsize::new(0));
         let seen = rounds.clone();
-        let prover =
-            Prover::with_config(&p.prog, config).with_round_observer(Arc::new(move |_depth| {
+        let prover = Prover::with_config(&p.prog, config).with_round_observer(Arc::new(
+            move |_depth, _elapsed| {
                 seen.fetch_add(1, Ordering::Relaxed);
-            }));
+            },
+        ));
         let res = prover.prove(goal, vars);
         assert!(res.outcome.is_proved(), "{:?}", res.outcome);
         assert!(rounds.load(Ordering::Relaxed) >= 1, "no deepening observed");
+        assert_eq!(
+            res.stats.rounds,
+            rounds.load(Ordering::Relaxed) + 1,
+            "every deepening adds a round on top of the first"
+        );
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod closure;
 mod graph;
 mod idvec;
 pub mod incremental;
+mod metrics;
 pub mod store;
 
 pub use closure::{Closure, Soundness};

@@ -1,0 +1,35 @@
+//! Process-wide registry handles for size-change closure activity.
+//!
+//! These aggregate across every [`crate::GraphStore`] in the process (each
+//! prover owns its own store), unlike the per-goal `SearchStats` mirror
+//! counters: the lint CQ004 pre-screen and certificate re-checks show up
+//! here too.
+
+use std::sync::OnceLock;
+
+use cycleq_trace::{metrics, Counter};
+
+#[derive(Debug, Clone)]
+pub(crate) struct StoreMetrics {
+    pub(crate) compositions: Counter,
+    pub(crate) memo_hits: Counter,
+    pub(crate) subsumed: Counter,
+}
+
+pub(crate) fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| StoreMetrics {
+        compositions: metrics().counter(
+            "cycleq_sizechange_compositions_total",
+            "Cold size-change graph compositions (memo misses) across all graph stores.",
+        ),
+        memo_hits: metrics().counter(
+            "cycleq_sizechange_memo_hits_total",
+            "Size-change graph compositions served from store memo tables.",
+        ),
+        subsumed: metrics().counter(
+            "cycleq_sizechange_subsumed_total",
+            "Size-change graphs dropped by cross-pair subsumption pruning.",
+        ),
+    })
+}
