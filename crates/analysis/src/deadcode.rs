@@ -24,8 +24,9 @@ pub(crate) fn check(module: &Module) -> Vec<Diagnostic> {
 }
 
 /// Defined symbols reachable from the goals, transitively through the
-/// right-hand sides of their rules.
-fn reachable_defined(module: &Module) -> BTreeSet<SymId> {
+/// right-hand sides of their rules. Shared with fix synthesis: deleting a
+/// symbol outside this set cannot change any goal's verdict.
+pub(crate) fn reachable_defined(module: &Module) -> BTreeSet<SymId> {
     let sig = &module.program.sig;
     let trs = &module.program.trs;
     let mut reach: BTreeSet<SymId> = BTreeSet::new();

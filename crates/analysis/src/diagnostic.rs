@@ -51,10 +51,13 @@ pub enum Code {
     /// `CQ008`: a frontend (parse, resolution or type) failure reported
     /// through the lint pipeline.
     Frontend,
+    /// `CQ009`: two clauses overlap with a critical pair whose reducts do
+    /// not rewrite to a common normal form (definitely non-confluent).
+    NonJoinable,
 }
 
 impl Code {
-    /// The stable wire form, `CQ001`..`CQ008`.
+    /// The stable wire form, `CQ001`..`CQ009`.
     pub fn as_str(self) -> &'static str {
         match self {
             Code::NonExhaustive => "CQ001",
@@ -65,6 +68,7 @@ impl Code {
             Code::Unused => "CQ006",
             Code::Shadowed => "CQ007",
             Code::Frontend => "CQ008",
+            Code::NonJoinable => "CQ009",
         }
     }
 
@@ -79,7 +83,9 @@ impl Code {
     /// programs outright.
     pub fn severity(self) -> Severity {
         match self {
-            Code::Overlap | Code::NonLeftLinear | Code::Frontend => Severity::Error,
+            Code::Overlap | Code::NonLeftLinear | Code::Frontend | Code::NonJoinable => {
+                Severity::Error
+            }
             Code::NonExhaustive
             | Code::SizeChange
             | Code::Unreachable
@@ -93,6 +99,57 @@ impl fmt::Display for Code {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
     }
+}
+
+/// What a single [`Edit`] does to its target line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EditKind {
+    /// Insert the edit's text as new lines *before* the target line (a
+    /// target one past the last line appends at the end of the file).
+    Insert,
+    /// Replace the target line with the edit's text (which may span
+    /// several lines).
+    Replace,
+    /// Delete the target line; the text is unused and empty.
+    Delete,
+}
+
+impl EditKind {
+    /// The stable wire form used in NDJSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EditKind::Insert => "insert",
+            EditKind::Replace => "replace",
+            EditKind::Delete => "delete",
+        }
+    }
+}
+
+/// One line-based source edit.
+///
+/// Lines are 1-based and always refer to the *original* source the fix was
+/// computed against; appliers must process edits bottom-up (or otherwise
+/// account for line shifts) when applying several at once.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Edit {
+    /// The 1-based line in the original source this edit targets.
+    pub line: u32,
+    /// Insert, replace or delete.
+    pub kind: EditKind,
+    /// The new text (without a trailing newline); empty for deletions.
+    pub text: String,
+}
+
+/// A machine-applicable repair attached to a [`Diagnostic`].
+///
+/// The edits are ordered by ascending line and target pairwise-distinct
+/// lines, so a fix is internally conflict-free by construction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fix {
+    /// A short human-readable description of the repair.
+    pub title: String,
+    /// The line edits making up the repair.
+    pub edits: Vec<Edit>,
 }
 
 /// One analysis finding.
@@ -109,6 +166,8 @@ pub struct Diagnostic {
     pub message: String,
     /// Supplementary notes (context, consequences, suggested fixes).
     pub notes: Vec<String>,
+    /// A machine-applicable repair, when the analyzer can synthesize one.
+    pub fix: Option<Fix>,
 }
 
 impl Diagnostic {
@@ -120,6 +179,7 @@ impl Diagnostic {
             line,
             message: message.into(),
             notes: Vec::new(),
+            fix: None,
         }
     }
 
@@ -127,6 +187,22 @@ impl Diagnostic {
     #[must_use]
     pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
         self.notes.push(note.into());
+        self
+    }
+
+    /// Overrides the code's default severity, builder-style. Used to
+    /// downgrade joinable overlaps (`CQ002`) to warnings: the code keeps
+    /// its meaning but the instance is known benign.
+    #[must_use]
+    pub fn with_severity(mut self, severity: Severity) -> Diagnostic {
+        self.severity = severity;
+        self
+    }
+
+    /// Attaches a machine-applicable fix, builder-style.
+    #[must_use]
+    pub fn with_fix(mut self, fix: Fix) -> Diagnostic {
+        self.fix = Some(fix);
         self
     }
 
@@ -159,14 +235,41 @@ mod tests {
         assert_eq!(Code::Unused.as_str(), "CQ006");
         assert_eq!(Code::Shadowed.as_str(), "CQ007");
         assert_eq!(Code::Frontend.as_str(), "CQ008");
+        assert_eq!(Code::NonJoinable.as_str(), "CQ009");
     }
 
     #[test]
     fn severities_follow_remark_2_1() {
         assert_eq!(Code::Overlap.severity(), Severity::Error);
         assert_eq!(Code::NonLeftLinear.severity(), Severity::Error);
+        assert_eq!(Code::NonJoinable.severity(), Severity::Error);
         assert_eq!(Code::NonExhaustive.severity(), Severity::Warning);
         assert_eq!(Code::SizeChange.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn with_severity_downgrades_an_instance() {
+        let d = Diagnostic::new(Code::Overlap, Some(3), "joinable overlap")
+            .with_severity(Severity::Warning);
+        assert_eq!(d.to_string(), "warning[CQ002]: joinable overlap");
+        assert!(!d.is_error());
+    }
+
+    #[test]
+    fn with_fix_attaches_the_repair() {
+        let fix = Fix {
+            title: "delete the clause".into(),
+            edits: vec![Edit {
+                line: 4,
+                kind: EditKind::Delete,
+                text: String::new(),
+            }],
+        };
+        let d = Diagnostic::new(Code::Unreachable, Some(4), "dead").with_fix(fix);
+        assert_eq!(d.fix.as_ref().map(|f| f.edits.len()), Some(1));
+        assert_eq!(EditKind::Insert.as_str(), "insert");
+        assert_eq!(EditKind::Replace.as_str(), "replace");
+        assert_eq!(EditKind::Delete.as_str(), "delete");
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //! | `CQ006` | warning  | declared symbol or constructor never used      |
 //! | `CQ007` | warning  | pattern variable shadows a defined function    |
 //! | `CQ008` | error    | frontend failure surfaced through the linter   |
+//! | `CQ009` | error    | non-joinable critical pair (order-sensitive)   |
+//!
+//! Overlaps are classified by joinability of their critical pairs:
+//! `CQ002` instances whose critical pairs all converge are downgraded to
+//! warnings (the system is weakly orthogonal), while diverging pairs are
+//! promoted to the hard error `CQ009`. Several diagnostics carry a
+//! machine-applicable [`Fix`]; [`analyze_with_fixes`] applies them to a
+//! fixed point.
 //!
 //! The individual analyses reuse the engines the prover already trusts:
 //! the pattern-matrix usefulness algorithm and the unification-based
@@ -26,12 +34,17 @@
 //! that lints clean is exactly one the paper's metatheory covers.
 
 mod coverage;
+mod critical_pairs;
 mod deadcode;
 mod diagnostic;
+mod fix;
 mod overlap;
 mod termination;
 
-pub use diagnostic::{Code, Diagnostic, Severity};
+pub use diagnostic::{Code, Diagnostic, Edit, EditKind, Fix, Severity};
+pub use fix::{
+    analyze_source, analyze_with_fixes, apply_fixes, attach_fixes, unified_diff, FixOutcome,
+};
 
 use cycleq_lang::{LangError, LangErrorKind, Module};
 use cycleq_term::SymId;
@@ -44,6 +57,7 @@ pub fn analyze(module: &Module) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     out.extend(coverage::check(module));
     out.extend(overlap::check(module));
+    out.extend(critical_pairs::check(module));
     out.extend(termination::check(module));
     out.extend(deadcode::check(module));
     out.sort_by(|a, b| {

@@ -1,15 +1,16 @@
-//! `CQ002`/`CQ003`: orthogonality.
+//! `CQ003`: left-linearity.
 //!
 //! Remark 2.1 assumes the rewrite system is orthogonal — left-linear and
-//! non-overlapping — which guarantees the confluence the prover relies on.
-//! [`cycleq_rewrite::check_orthogonality`] reports the violating rules;
-//! this pass names the repeated variables, computes the critical instance
-//! both overlapping clauses match (by unifying their freshened left-hand
-//! sides), and points both findings at their clause lines.
+//! non-overlapping. [`cycleq_rewrite::check_orthogonality`] reports the
+//! violating rules; this pass names the repeated variables and points the
+//! finding at its clause line. (The overlap half of orthogonality is
+//! handled by the critical-pair classifier in
+//! [`crate::critical_pairs`], which distinguishes joinable `CQ002` from
+//! non-joinable `CQ009` overlaps.)
 
 use cycleq_lang::Module;
 use cycleq_rewrite::check_orthogonality;
-use cycleq_term::{unify, Term, VarStore};
+use cycleq_term::{Term, VarStore};
 
 use crate::diagnostic::{Code, Diagnostic};
 
@@ -35,38 +36,6 @@ pub(crate) fn check(module: &Module) -> Vec<Diagnostic> {
             "a repeated pattern variable demands an equality test the rewrite \
              system cannot perform; orthogonality (Remark 2.1) requires each \
              variable to occur at most once",
-        );
-        out.push(d);
-    }
-    for (a, b) in report.overlaps {
-        let name = sig.sym(trs.rule(a).head()).name();
-        let la = module.rule_line(a);
-        let lb = module.rule_line(b);
-        let position = match (la, lb) {
-            (Some(la), Some(lb)) => format!("the clauses at lines {la} and {lb}"),
-            _ => format!("clauses #{} and #{}", a.index(), b.index()),
-        };
-        let mut d = Diagnostic::new(
-            Code::Overlap,
-            la.or(lb),
-            format!("clauses for `{name}` overlap: {position} match the same terms"),
-        );
-        // Reconstruct the critical instance the report is about.
-        let mut scratch = VarStore::new();
-        let (pa, _) = trs.freshen_rule(a, &mut scratch);
-        let (pb, _) = trs.freshen_rule(b, &mut scratch);
-        let ta = Term::apps(trs.rule(a).head(), pa);
-        let tb = Term::apps(trs.rule(b).head(), pb);
-        if let Ok(theta) = unify(&ta, &tb) {
-            let instance = theta.apply(&ta);
-            d = d.with_note(format!(
-                "both clauses rewrite `{}`, so results depend on clause order",
-                instance.display(sig, &scratch)
-            ));
-        }
-        d = d.with_note(
-            "overlapping left-hand sides break the orthogonality assumption \
-             (Remark 2.1): the system is no longer obviously confluent",
         );
         out.push(d);
     }
@@ -116,24 +85,14 @@ mod tests {
     }
 
     #[test]
-    fn weak_overlap_is_reported_with_both_lines() {
-        // The paper's fig. 2 `sub`: `sub Z y` and `sub x Z` both match
-        // `sub Z Z` (a weak overlap — both rules return Z there, but the
-        // system is still not orthogonal).
+    fn overlapping_but_left_linear_clauses_are_not_cq003() {
+        // Overlaps are the critical-pair pass's business; this pass must
+        // stay quiet on them.
         let m = parse_module(
             "data Nat = Z | S Nat\nsub :: Nat -> Nat -> Nat\nsub Z y = Z\nsub x Z = x\nsub (S x) (S y) = sub x y\n",
         )
         .unwrap();
-        let ds = check(&m);
-        assert_eq!(ds.len(), 1);
-        assert_eq!(ds[0].code, Code::Overlap);
-        assert_eq!(ds[0].line, Some(3));
-        assert!(ds[0].message.contains("lines 3 and 4"), "{}", ds[0].message);
-        assert!(
-            ds[0].notes.iter().any(|n| n.contains("sub Z Z")),
-            "critical instance missing from notes: {:?}",
-            ds[0].notes
-        );
+        assert!(check(&m).is_empty());
     }
 
     #[test]
@@ -164,5 +123,59 @@ mod tests {
         assert_eq!(ds[0].code, Code::NonLeftLinear);
         assert_eq!(ds[0].line, None);
         assert!(ds[0].message.contains("`x`"), "{}", ds[0].message);
+    }
+
+    #[test]
+    fn repeated_vars_names_same_and_cross_parameter_repetition_deduplicated() {
+        // `g (Cons x x) y y x = Z`: `x` repeats *within* the first
+        // parameter (and again across parameters), `y` repeats *across*
+        // parameters. Both must be named, each exactly once, in
+        // first-repetition order.
+        use cycleq_term::{fixtures::NatList, Term, Type, TypeScheme};
+        let f = NatList::new();
+        let mut sig = f.sig.clone();
+        let nat = f.nat_ty();
+        let g = sig
+            .add_defined(
+                "g",
+                TypeScheme::mono(Type::arrows(vec![nat.clone(); 4], nat.clone())),
+            )
+            .unwrap();
+        let mut trs = cycleq_rewrite::Trs::new();
+        let x = trs.vars_mut().fresh("x", nat.clone());
+        let y = trs.vars_mut().fresh("y", nat);
+        trs.add_rule(
+            &sig,
+            g,
+            vec![
+                Term::apps(f.cons, vec![Term::var(x), Term::var(x)]),
+                Term::var(y),
+                Term::var(y),
+                Term::var(x),
+            ],
+            Term::sym(f.zero),
+        )
+        .unwrap();
+        let module = Module {
+            program: cycleq_rewrite::Program::new(sig, trs),
+            goals: Vec::new(),
+            rule_lines: Vec::new(),
+            decl_lines: std::collections::HashMap::new(),
+        };
+        let ds = check(&module);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code, Code::NonLeftLinear);
+        assert!(
+            ds[0].message.contains("`x`, `y`"),
+            "both variables, in first-repetition order: {}",
+            ds[0].message
+        );
+        assert_eq!(
+            ds[0].message.matches("`x`").count(),
+            1,
+            "`x` repeats three times but must be named once: {}",
+            ds[0].message
+        );
+        assert_eq!(ds[0].message.matches("`y`").count(), 1, "{}", ds[0].message);
     }
 }

@@ -146,3 +146,70 @@ fn coverage_witness_is_itself_uncovered() {
         }
     });
 }
+
+/// Overlap classification (`CQ002` vs `CQ009`) differenced against a
+/// brute-force oracle: enumerate the critical pairs at the rewrite layer,
+/// normalize both reducts of every pair with the plain (unmemoized)
+/// rewriter, and require (a) exactly one finding per overlapping clause
+/// pair and (b) `CQ009` exactly when some pair's reducts fail to meet.
+/// Programs are a fixed orthogonal `Nat` base plus one overlapping clause
+/// with randomized patterns and right-hand sides.
+#[test]
+fn overlap_classification_matches_brute_force_reduct_normalization() {
+    use cycleq_rewrite::{critical_pairs, Rewriter, RuleId};
+    use std::collections::BTreeMap;
+
+    const R1: &[&str] = &["Z", "y", "S y"];
+    const R2: &[&str] = &["Z", "f x y", "S (f x y)"];
+    // (extra clause left-hand side, candidate right-hand sides over the
+    // variables that left-hand side binds)
+    const EXTRA: &[(&str, &[&str])] = &[
+        ("f x Z", &["x", "Z", "S x", "S Z"]),
+        ("f x y", &["Z", "y", "x", "S y"]),
+        ("f Z y", &["Z", "y", "S y"]),
+        ("f (S x) y", &["Z", "S x", "f x y"]),
+    ];
+    proptest!(cfg(), |(
+        r1 in 0..R1.len(),
+        r2 in 0..R2.len(),
+        e in 0..EXTRA.len(),
+        re in 0usize..4,
+    )| {
+        let (pat, rhss) = EXTRA[e];
+        let src = format!(
+            "data Nat = Z | S Nat\nf :: Nat -> Nat -> Nat\nf Z y = {}\nf (S x) (S y) = {}\n{} = {}\n",
+            R1[r1],
+            R2[r2],
+            pat,
+            rhss[re % rhss.len()],
+        );
+        let module = parse_module(&src).unwrap();
+        let sig = &module.program.sig;
+        let trs = &module.program.trs;
+        let rewriter = Rewriter::new(sig, trs).with_fuel(100_000);
+        let mut pair_joinable: BTreeMap<(RuleId, RuleId), bool> = BTreeMap::new();
+        for cp in &critical_pairs(trs).pairs {
+            let key = (cp.inner.min(cp.outer), cp.inner.max(cp.outer));
+            let l = rewriter.normalize(&cp.left);
+            let r = rewriter.normalize(&cp.right);
+            let joinable = l.in_normal_form && r.in_normal_form && l.term == r.term;
+            *pair_joinable.entry(key).or_insert(true) &= joinable;
+        }
+        let diags = analyze(&module);
+        let cq002 = diags.iter().filter(|d| d.code == Code::Overlap).count();
+        let cq009 = diags.iter().filter(|d| d.code == Code::NonJoinable).count();
+        prop_assert_eq!(
+            cq002 + cq009,
+            pair_joinable.len(),
+            "one finding per overlapping clause pair:\n{}",
+            src
+        );
+        let oracle_non_joinable = pair_joinable.values().filter(|j| !**j).count();
+        prop_assert_eq!(
+            cq009,
+            oracle_non_joinable,
+            "CQ009 must match the brute-force reduct verdict:\n{}",
+            src
+        );
+    });
+}

@@ -16,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cycleq::{
-    analyze, available_parallelism, check_certificate, lang_error_diagnostic, parse_module,
+    analyze_source, analyze_with_fixes, available_parallelism, check_certificate, unified_diff,
     BatchReport, BatchScheduler, Diagnostic, Engine, Outcome, ProveEvent, SearchConfig,
     SearchStats, Session, Verdict,
 };
@@ -35,7 +35,7 @@ cycleq — cyclic equational prover (CycleQ, PLDI 2022)
 USAGE:
     cycleq [prove] [OPTIONS] <FILE> [GOAL]...
     cycleq check [--jobs N] <FILE>...
-    cycleq lint [--format json] [--deny-warnings] [--jobs N] <FILE>...
+    cycleq lint [--format json] [--deny-warnings] [--fix [--dry-run]] [--jobs N] <FILE>...
 
 ARGS:
     <FILE>      Program in the CycleQ input language (data decls,
@@ -52,15 +52,20 @@ SUBCOMMANDS:
                 with `--jobs`. Exits 0 when every certificate is valid,
                 3 when any is invalid, 2 on usage or read errors.
     lint        Statically analyse programs without proving: pattern
-                coverage (CQ001), clause overlaps (CQ002),
-                left-linearity (CQ003), the size-change termination
-                pre-screen (CQ004) and a dead-code sweep (CQ005-CQ007),
-                each diagnostic with a stable code and source line.
+                coverage (CQ001), clause overlaps classified by critical-
+                pair joinability (joinable CQ002 warnings, non-joinable
+                CQ009 errors), left-linearity (CQ003), the size-change
+                termination pre-screen (CQ004) and a dead-code sweep
+                (CQ005-CQ007), each diagnostic with a stable code and
+                source line. Some diagnostics carry a machine-applicable
+                fix: `--fix` applies them in place to a fixed point
+                (`--dry-run` prints unified diffs instead of writing).
                 Files lint in parallel with `--jobs`; `--format json`
-                emits one NDJSON object per diagnostic plus a summary.
-                Exits 0 when clean, 1 when only warnings were found and
-                `--deny-warnings` is set, 3 when any file has errors,
-                2 on usage or read errors.
+                emits one NDJSON object per diagnostic (including its
+                fix, if any) plus a summary. Exits 0 when clean, 1 when
+                only warnings were found and `--deny-warnings` is set,
+                3 when any file has errors — `--fix` does not mask
+                unfixable errors — and 2 on usage or read errors.
 
 OPTIONS:
     --dot               Render proofs as Graphviz DOT instead of text
@@ -547,16 +552,6 @@ fn run_batch(
     Ok(tally)
 }
 
-/// Lints one program source: frontend failures become a single
-/// structured diagnostic, everything that lowers goes through the full
-/// analysis.
-fn lint_source(src: &str) -> Vec<Diagnostic> {
-    match parse_module(src) {
-        Ok(module) => analyze(&module),
-        Err(e) => vec![lang_error_diagnostic(&e)],
-    }
-}
-
 /// Renders one diagnostic as `FILE:LINE: severity[CODE]: message` plus
 /// indented notes.
 fn print_diagnostic_text(file: &str, d: &Diagnostic) {
@@ -569,7 +564,8 @@ fn print_diagnostic_text(file: &str, d: &Diagnostic) {
     }
 }
 
-/// One NDJSON object per diagnostic.
+/// One NDJSON object per diagnostic. `fix` is `null` or
+/// `{"title": …, "edits": [{"line": …, "kind": …, "text": …}, …]}`.
 fn print_diagnostic_json(file: &str, d: &Diagnostic) {
     let line = d.line.map_or_else(|| "null".to_string(), |l| l.to_string());
     let notes: Vec<String> = d
@@ -577,9 +573,31 @@ fn print_diagnostic_json(file: &str, d: &Diagnostic) {
         .iter()
         .map(|n| format!("\"{}\"", json_escape(n)))
         .collect();
+    let fix = match &d.fix {
+        None => "null".to_string(),
+        Some(f) => {
+            let edits: Vec<String> = f
+                .edits
+                .iter()
+                .map(|e| {
+                    format!(
+                        "{{\"line\":{},\"kind\":\"{}\",\"text\":\"{}\"}}",
+                        e.line,
+                        e.kind.as_str(),
+                        json_escape(&e.text),
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"title\":\"{}\",\"edits\":[{}]}}",
+                json_escape(&f.title),
+                edits.join(","),
+            )
+        }
+    };
     println!(
         "{{\"type\":\"diagnostic\",\"file\":\"{}\",\"line\":{line},\"code\":\"{}\",\
-         \"severity\":\"{}\",\"message\":\"{}\",\"notes\":[{}]}}",
+         \"severity\":\"{}\",\"message\":\"{}\",\"notes\":[{}],\"fix\":{fix}}}",
         json_escape(file),
         d.code,
         d.severity,
@@ -594,6 +612,8 @@ fn run_lint(args: &[String]) -> ExitCode {
     let mut files = Vec::new();
     let mut jobs = 1usize;
     let mut deny_warnings = false;
+    let mut fix = false;
+    let mut dry_run = false;
     let mut format = Format::Text;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -603,6 +623,8 @@ fn run_lint(args: &[String]) -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--deny-warnings" => deny_warnings = true,
+            "--fix" => fix = true,
+            "--dry-run" => dry_run = true,
             "--jobs" => {
                 let n = it.next().and_then(|v| v.parse::<usize>().ok());
                 let Some(n) = n else {
@@ -629,6 +651,10 @@ fn run_lint(args: &[String]) -> ExitCode {
             _ => files.push(arg.clone()),
         }
     }
+    if dry_run && !fix {
+        eprintln!("error: --dry-run requires --fix\n\n{USAGE}");
+        return ExitCode::from(EXIT_USAGE);
+    }
     if files.is_empty() {
         eprintln!("error: cycleq lint requires at least one program file\n\n{USAGE}");
         return ExitCode::from(EXIT_USAGE);
@@ -654,39 +680,86 @@ fn run_lint(args: &[String]) -> ExitCode {
         .map(|text| {
             move |_worker: usize| {
                 let _span = cycleq::trace::span!("lint_file");
-                lint_source(text)
+                if fix {
+                    let out = analyze_with_fixes(text);
+                    (out.diagnostics, out.applied, Some(out.source))
+                } else {
+                    (analyze_source(text), 0, None)
+                }
             }
         })
         .collect();
     let results = BatchScheduler::new(jobs).run(tasks);
     let (file_total_ms, file_max_ms) = phase_ms(&before, "lint_file");
-    let mut errors = 0usize;
-    let mut warnings = 0usize;
-    for (file, diagnostics) in files.iter().zip(&results) {
-        for d in diagnostics {
-            if d.is_error() {
-                errors += 1;
-            } else {
-                warnings += 1;
-            }
-            match format {
-                Format::Text => print_diagnostic_text(file, d),
-                Format::Json => print_diagnostic_json(file, d),
-            }
+    // Write repaired sources back (or collect diffs), then report.
+    let mut fixed = 0usize;
+    let mut diffs = String::new();
+    for ((file, text), (_, applied, repaired)) in files.iter().zip(&texts).zip(&results) {
+        fixed += applied;
+        let Some(repaired) = repaired else { continue };
+        if repaired == text {
+            continue;
+        }
+        if dry_run {
+            diffs.push_str(&unified_diff(text, repaired, file));
+        } else if let Err(e) = std::fs::write(file, repaired) {
+            eprintln!("error: cannot write `{file}`: {e}");
+            return ExitCode::from(EXIT_USAGE);
         }
     }
+    // Flatten and sort all diagnostics by (file, line, code) so output is
+    // stable regardless of how files were scheduled across workers.
+    let mut flat: Vec<(&String, &Diagnostic)> = Vec::new();
+    for (file, (diagnostics, _, _)) in files.iter().zip(&results) {
+        for d in diagnostics {
+            flat.push((file, d));
+        }
+    }
+    flat.sort_by(|(fa, da), (fb, db)| {
+        (fa.as_str(), da.line.unwrap_or(u32::MAX), da.code).cmp(&(
+            fb.as_str(),
+            db.line.unwrap_or(u32::MAX),
+            db.code,
+        ))
+    });
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for (file, d) in &flat {
+        if d.is_error() {
+            errors += 1;
+        } else {
+            warnings += 1;
+        }
+        match format {
+            Format::Text => print_diagnostic_text(file, d),
+            Format::Json => print_diagnostic_json(file, d),
+        }
+    }
+    if dry_run && !diffs.is_empty() {
+        print!("{diffs}");
+    }
+    let fixed_field = if fix {
+        format!("fixed={fixed} ")
+    } else {
+        String::new()
+    };
     match format {
         Format::Text => println!(
-            "lint: files={} errors={errors} warnings={warnings} | jobs={jobs} | \
+            "lint: files={} {fixed_field}errors={errors} warnings={warnings} | jobs={jobs} | \
              file total={file_total_ms:.1}ms max={file_max_ms:.1}ms | elapsed={:?}",
             files.len(),
             start.elapsed(),
         ),
         Format::Json => println!(
-            "{{\"type\":\"lint\",\"files\":{},\"errors\":{errors},\"warnings\":{warnings},\
+            "{{\"type\":\"lint\",\"files\":{},{}\"errors\":{errors},\"warnings\":{warnings},\
              \"jobs\":{jobs},\"file_total_ms\":{file_total_ms:.3},\
              \"file_max_ms\":{file_max_ms:.3},\"elapsed_ms\":{:.3}}}",
             files.len(),
+            if fix {
+                format!("\"fixed\":{fixed},")
+            } else {
+                String::new()
+            },
             start.elapsed().as_secs_f64() * 1000.0,
         ),
     }

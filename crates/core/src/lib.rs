@@ -106,7 +106,10 @@ pub use engine::{Engine, EngineBuilder, EventSink, GoalStatus, ProveEvent};
 pub use cycleq_trace as trace;
 pub use cycleq_trace::{MetricsSnapshot, PhaseStat, Profile};
 
-pub use cycleq_analysis::{analyze, lang_error_diagnostic, Code, Diagnostic, Severity};
+pub use cycleq_analysis::{
+    analyze, analyze_source, analyze_with_fixes, apply_fixes, lang_error_diagnostic, unified_diff,
+    Code, Diagnostic, Edit, EditKind, Fix, FixOutcome, Severity,
+};
 pub use cycleq_batch::{available_parallelism, BatchScheduler};
 pub use cycleq_lang::{parse_module, GoalDef, LangError, Module};
 pub use cycleq_proof::{
@@ -401,7 +404,21 @@ impl Session {
     /// and source lines. The structured counterpart of
     /// [`Session::validate`]; surfaced on the CLI as `cycleq lint`.
     pub fn analyze(&self) -> Vec<Diagnostic> {
-        cycleq_analysis::analyze(&self.module)
+        let mut diags = cycleq_analysis::analyze(&self.module);
+        cycleq_analysis::attach_fixes(&self.module, &self.source, &mut diags);
+        diags
+    }
+
+    /// Analyzes the loaded source and applies every machine-applicable fix
+    /// to a fixed point: joinable overlaps (`CQ002`) are completed into
+    /// orthogonal systems, derivable missing clauses (`CQ001`) inserted,
+    /// and unreachable equations (`CQ005`) deleted. Returns the repaired
+    /// source, how many fixes were applied, and the diagnostics remaining
+    /// against it. The session itself is not mutated — load the returned
+    /// source to prove against the repaired program. Surfaced on the CLI
+    /// as `cycleq lint --fix`.
+    pub fn analyze_with_fixes(&self) -> FixOutcome {
+        cycleq_analysis::analyze_with_fixes(&self.source)
     }
 
     /// Goal names in declaration order.

@@ -28,12 +28,14 @@ mod error;
 mod lexer;
 mod lower;
 mod parser;
+mod printer;
 mod token;
 
 pub use ast::{Decl, RawCon, RawTerm, RawType};
 pub use error::{LangError, LangErrorKind};
 pub use lower::{lower, GoalDef, Module};
 pub use parser::parse;
+pub use printer::{print_clause, print_module, print_program};
 
 /// Parses and lowers a complete module in one step.
 ///

@@ -1,0 +1,55 @@
+//! Property test for the source printer: printing is a fixed point of the
+//! parse → print loop (`print(parse(print(m))) == print(m)`), so any
+//! clause the fix synthesizer emits through the printer re-parses to the
+//! same module it printed.
+
+use cycleq_lang::{parse_module, print_module};
+use proptest::prelude::*;
+use proptest::test_runner::Config;
+
+fn cfg() -> Config {
+    Config {
+        cases: 128,
+        ..Config::default()
+    }
+}
+
+const PATS: &[&str] = &["Z", "(S x)", "(S (S x))", "x"];
+
+#[test]
+fn printing_is_a_fixed_point_of_parse() {
+    proptest!(cfg(), |(
+        clauses in proptest::collection::vec((0..PATS.len(), 0usize..4), 1..5),
+        with_list in 0usize..2,
+        with_goal in 0usize..2,
+    )| {
+        let mut src = String::from("data Nat = Z | S Nat\n");
+        if with_list == 1 {
+            src.push_str(
+                "data List a = Nil | Cons a (List a)\n\
+                 len :: List a -> Nat\n\
+                 len Nil = Z\n\
+                 len (Cons x xs) = S (len xs)\n",
+            );
+        }
+        src.push_str("f :: Nat -> Nat\n");
+        for (p, r) in &clauses {
+            let pat = PATS[*p];
+            // Right-hand sides only over the variables the pattern binds.
+            let rhs: &[&str] = if pat.contains('x') {
+                &["Z", "x", "S x", "f x"]
+            } else {
+                &["Z", "S Z", "f Z"]
+            };
+            src.push_str(&format!("f {} = {}\n", pat, rhs[r % rhs.len()]));
+        }
+        if with_goal == 1 {
+            src.push_str("goal g: f x === Z\n");
+        }
+        let m = parse_module(&src).unwrap();
+        let p1 = print_module(&m);
+        let m2 = parse_module(&p1).expect("printed source re-parses");
+        let p2 = print_module(&m2);
+        prop_assert_eq!(p1, p2, "printing is not a fixed point for:\n{}", src);
+    });
+}

@@ -1,0 +1,313 @@
+//! Critical pairs: the local divergences of an overlapping rewrite system.
+//!
+//! Orthogonality (Remark 2.1) forbids overlaps outright, but when a system
+//! *does* overlap the interesting question is whether each overlap is
+//! harmless. A critical pair captures one overlap concretely: for rules
+//! `a : l_a → r_a` and `b : l_b → r_b` (renamed apart) and a non-variable
+//! position `p` of `l_b` where `l_a` unifies with `l_b|_p` under mgu `θ`,
+//! the *peak* `θ(l_b)` rewrites in one step two different ways —
+//!
+//! - the **inner** step contracts the `a`-redex at `p`: `θ(l_b[r_a]_p)`,
+//! - the **outer** step contracts the whole term with `b`: `θ(r_b)`.
+//!
+//! The pair of reducts is joinable iff both rewrite to a common term; a
+//! system all of whose critical pairs are joinable is locally confluent
+//! (Knuth–Bendix). For the constructor-based systems of §2 only *root*
+//! overlaps between clauses of the same function can occur (proper subterms
+//! of a clause LHS are constructor patterns, which never unify with a
+//! defined-function LHS), but the enumeration below is written for the
+//! general case so the analyzer's verdicts do not bake in that assumption.
+//!
+//! Variable handling is chosen for downstream diagnostics: the *outer* rule
+//! keeps its original variables (so rendered peaks use source names), while
+//! the inner rule is renamed apart with primes (`x` → `x'`) only where its
+//! names would collide.
+
+use std::collections::BTreeSet;
+
+use cycleq_term::{unify, Position, Subst, Term, VarStore};
+
+use crate::rule::RuleId;
+use crate::trs::Trs;
+
+/// One critical pair: a peak together with its two one-step reducts.
+#[derive(Clone, Debug)]
+pub struct CriticalPair {
+    /// The rule contracted at `pos` (the inner step), renamed apart.
+    pub inner: RuleId,
+    /// The rule contracted at the root (the outer step), kept with its
+    /// original variables.
+    pub outer: RuleId,
+    /// The overlap position inside `outer`'s left-hand side.
+    pub pos: Position,
+    /// The overlapped instance `θ(l_outer)` both rules rewrite.
+    pub peak: Term,
+    /// The reduct of the inner step, `θ(l_outer[r_inner]_pos)`.
+    pub left: Term,
+    /// The reduct of the outer step, `θ(r_outer)`.
+    pub right: Term,
+}
+
+impl CriticalPair {
+    /// Whether the overlap is at the root of `outer`'s left-hand side.
+    pub fn at_root(&self) -> bool {
+        self.pos.is_root()
+    }
+}
+
+/// All critical pairs of a system, with the variable store their terms
+/// live in (the rule store extended with the renamed-apart copies).
+#[derive(Debug)]
+pub struct CriticalPairs {
+    /// Store resolving every variable in the pairs' terms. Outer-rule
+    /// variables keep their original ids and names.
+    pub vars: VarStore,
+    /// The pairs, in (outer, inner) rule order.
+    pub pairs: Vec<CriticalPair>,
+}
+
+/// Enumerates every critical pair of the system.
+///
+/// Root overlaps between distinct rules are produced once per unordered
+/// pair (with the earlier rule as the outer one); proper-subterm overlaps
+/// are produced for every ordered pair, including a rule overlapped into
+/// itself. Trivial root self-overlaps (`a` with `a`) are skipped, as is
+/// conventional.
+pub fn critical_pairs(trs: &Trs) -> CriticalPairs {
+    let mut vars = trs.vars().clone();
+    let mut pairs = Vec::new();
+    let ids: Vec<RuleId> = trs.rules().map(|(id, _)| id).collect();
+    for &outer in &ids {
+        let outer_rule = trs.rule(outer);
+        let lhs_outer = outer_rule.lhs_term();
+        let taken: BTreeSet<&str> = outer_rule
+            .lhs_vars()
+            .iter()
+            .map(|v| trs.vars().name(*v))
+            .collect();
+        for &inner in &ids {
+            let (inner_params, inner_rhs) = rename_apart(trs, inner, &taken, &mut vars);
+            let lhs_inner = Term::apps(trs.rule(inner).head(), inner_params);
+            for (pos, sub) in lhs_outer.positions() {
+                // Overlap only at non-variable positions; the root
+                // self-overlap is the trivial pair.
+                if sub.head_var().is_some() || (inner == outer && pos.is_root()) {
+                    continue;
+                }
+                // Count each root overlap once per unordered pair.
+                if pos.is_root() && inner < outer {
+                    continue;
+                }
+                let Ok(theta) = unify(&lhs_inner, sub) else {
+                    continue;
+                };
+                pairs.push(make_pair(
+                    inner,
+                    outer,
+                    pos,
+                    &lhs_outer,
+                    &inner_rhs,
+                    outer_rule.rhs(),
+                    &theta,
+                ));
+            }
+        }
+    }
+    CriticalPairs { vars, pairs }
+}
+
+fn make_pair(
+    inner: RuleId,
+    outer: RuleId,
+    pos: Position,
+    lhs_outer: &Term,
+    inner_rhs: &Term,
+    outer_rhs: &Term,
+    theta: &Subst,
+) -> CriticalPair {
+    let peak = theta.apply(lhs_outer);
+    let contracted = lhs_outer
+        .replace_at(&pos, inner_rhs.clone())
+        .expect("overlap position comes from lhs_outer.positions()");
+    CriticalPair {
+        inner,
+        outer,
+        pos,
+        peak,
+        left: theta.apply(&contracted),
+        right: theta.apply(outer_rhs),
+    }
+}
+
+/// Renames `rule`'s variables apart from `taken`, priming colliding names
+/// (`x` → `x'` → `x''`) so rendered pairs stay readable.
+fn rename_apart(
+    trs: &Trs,
+    rule: RuleId,
+    taken: &BTreeSet<&str>,
+    vars: &mut VarStore,
+) -> (Vec<Term>, Term) {
+    let r = trs.rule(rule);
+    let mut rule_vars = BTreeSet::new();
+    for p in r.params() {
+        p.collect_vars(&mut rule_vars);
+    }
+    r.rhs().collect_vars(&mut rule_vars);
+    let mut renaming = Subst::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    for v in rule_vars {
+        let mut name = trs.vars().name(v).to_string();
+        while taken.contains(name.as_str()) || used.contains(&name) {
+            name.push('\'');
+        }
+        used.insert(name.clone());
+        let ty = trs.vars().ty(v).clone();
+        let fresh = vars.fresh(&name, ty);
+        renaming.insert(v, Term::var(fresh));
+    }
+    let params = r.params().iter().map(|p| renaming.apply(p)).collect();
+    (params, renaming.apply(r.rhs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cycleq_term::fixtures::NatList;
+    use cycleq_term::{SymId, Term, Type, TypeScheme};
+
+    use crate::trs::Trs;
+
+    fn defined(f: &mut NatList, name: &str, arity: usize) -> SymId {
+        let nat = Type::data0(f.nat);
+        let body = Type::arrows(vec![nat.clone(); arity], nat);
+        f.sig
+            .add_defined(name, TypeScheme::mono(body))
+            .expect("fresh symbol")
+    }
+
+    /// The paper's fig. 2 `sub`: `sub Z y = Z` / `sub x Z = x` /
+    /// `sub (S x) (S y) = sub x y`. One weak root overlap.
+    fn fig2_sub() -> (NatList, SymId, Trs) {
+        let mut f = NatList::new();
+        let sub = defined(&mut f, "sub", 2);
+        let mut trs = Trs::new();
+        let y = trs.vars_mut().fresh("y", f.nat_ty());
+        trs.add_rule(
+            &f.sig,
+            sub,
+            vec![Term::sym(f.zero), Term::var(y)],
+            Term::sym(f.zero),
+        )
+        .unwrap();
+        let x = trs.vars_mut().fresh("x", f.nat_ty());
+        trs.add_rule(
+            &f.sig,
+            sub,
+            vec![Term::var(x), Term::sym(f.zero)],
+            Term::var(x),
+        )
+        .unwrap();
+        let x2 = trs.vars_mut().fresh("x", f.nat_ty());
+        let y2 = trs.vars_mut().fresh("y", f.nat_ty());
+        trs.add_rule(
+            &f.sig,
+            sub,
+            vec![f.s(Term::var(x2)), f.s(Term::var(y2))],
+            Term::apps(sub, vec![Term::var(x2), Term::var(y2)]),
+        )
+        .unwrap();
+        (f, sub, trs)
+    }
+
+    #[test]
+    fn fig2_sub_has_one_root_pair_with_joinable_reducts() {
+        let (f, _sub, trs) = fig2_sub();
+        let cps = critical_pairs(&trs);
+        assert_eq!(cps.pairs.len(), 1, "exactly one overlap in fig. 2 sub");
+        let cp = &cps.pairs[0];
+        assert!(cp.at_root());
+        assert_ne!(cp.inner, cp.outer);
+        // Peak is `sub Z Z`; both reducts are already `Z`.
+        assert_eq!(cp.peak.display(&f.sig, &cps.vars).to_string(), "sub Z Z");
+        assert_eq!(cp.left, Term::sym(f.zero));
+        assert_eq!(cp.right, Term::sym(f.zero));
+    }
+
+    #[test]
+    fn outer_rule_keeps_original_variable_names() {
+        let mut f = NatList::new();
+        let g = defined(&mut f, "g", 2);
+        let mut trs = Trs::new();
+        // g m Z = m  /  g Z n = n: root overlap whose peak is `g Z Z`.
+        let m = trs.vars_mut().fresh("m", f.nat_ty());
+        trs.add_rule(
+            &f.sig,
+            g,
+            vec![Term::var(m), Term::sym(f.zero)],
+            Term::var(m),
+        )
+        .unwrap();
+        let n = trs.vars_mut().fresh("n", f.nat_ty());
+        trs.add_rule(
+            &f.sig,
+            g,
+            vec![Term::sym(f.zero), Term::var(n)],
+            Term::var(n),
+        )
+        .unwrap();
+        let cps = critical_pairs(&trs);
+        assert_eq!(cps.pairs.len(), 1);
+        let cp = &cps.pairs[0];
+        assert_eq!(cp.peak.display(&f.sig, &cps.vars).to_string(), "g Z Z");
+        assert_eq!(cp.left, Term::sym(f.zero));
+        assert_eq!(cp.right, Term::sym(f.zero));
+    }
+
+    #[test]
+    fn same_name_across_rules_is_primed_apart() {
+        let mut f = NatList::new();
+        let h = defined(&mut f, "h", 1);
+        let mut trs = Trs::new();
+        // h x = x  and  h (S x) = x: overlap at root; the inner copy of
+        // `x` must be renamed `x'` so the peak renders unambiguously.
+        let x1 = trs.vars_mut().fresh("x", f.nat_ty());
+        trs.add_rule(&f.sig, h, vec![Term::var(x1)], Term::var(x1))
+            .unwrap();
+        let x2 = trs.vars_mut().fresh("x", f.nat_ty());
+        trs.add_rule(&f.sig, h, vec![f.s(Term::var(x2))], Term::var(x2))
+            .unwrap();
+        let cps = critical_pairs(&trs);
+        assert_eq!(cps.pairs.len(), 1);
+        let cp = &cps.pairs[0];
+        let peak = cp.peak.display(&f.sig, &cps.vars).to_string();
+        // Outer rule is the first (`h x = x`): its var keeps the name `x`,
+        // the inner rule's `x` is primed.
+        assert_eq!(peak, "h (S x')");
+    }
+
+    #[test]
+    fn orthogonal_system_has_no_pairs() {
+        let f = NatList::new();
+        let mut trs = Trs::new();
+        // add Z y = y  /  add (S x) y = S (add x y): orthogonal.
+        let y = trs.vars_mut().fresh("y", f.nat_ty());
+        trs.add_rule(
+            &f.sig,
+            f.add,
+            vec![Term::sym(f.zero), Term::var(y)],
+            Term::var(y),
+        )
+        .unwrap();
+        let x2 = trs.vars_mut().fresh("x", f.nat_ty());
+        let y2 = trs.vars_mut().fresh("y", f.nat_ty());
+        trs.add_rule(
+            &f.sig,
+            f.add,
+            vec![f.s(Term::var(x2)), Term::var(y2)],
+            f.s(Term::apps(f.add, vec![Term::var(x2), Term::var(y2)])),
+        )
+        .unwrap();
+        let cps = critical_pairs(&trs);
+        assert!(cps.pairs.is_empty());
+    }
+}

@@ -32,6 +32,7 @@
 
 mod blocked;
 mod completeness;
+mod critical_pairs;
 mod limits;
 mod memo;
 mod narrow;
@@ -47,6 +48,7 @@ pub mod fixtures;
 
 pub use blocked::{case_candidates, root_case_candidates};
 pub use completeness::{check_program, check_symbol, Completeness, WitnessPat};
+pub use critical_pairs::{critical_pairs, CriticalPair, CriticalPairs};
 pub use limits::{CancelToken, Interrupted, RunLimits};
 pub use memo::{MemoRewriter, NormalizedId};
 pub use narrow::{narrow_at, NarrowingStep};

@@ -1,0 +1,62 @@
+//! Differential test for `lint --fix`: completing fig. 2's overlapping
+//! `sub` into an orthogonal system must not change any goal's verdict.
+//!
+//! The repair is only sound because the critical pair converges — on the
+//! shared instance `sub Z Z` both clauses already produced `Z` — so the
+//! repaired program rewrites every term to the same normal form and the
+//! prover must reach byte-identical verdicts on every goal.
+
+use cycleq::Session;
+
+const FIG2: &str = "data Nat = Z | S Nat
+sub :: Nat -> Nat -> Nat
+sub Z y = Z
+sub x Z = x
+sub (S x) (S y) = sub x y
+goal subSelf: sub x x === Z
+goal subZ: sub x Z === x
+goal subS: sub (S x) (S y) === sub x y
+";
+
+#[test]
+fn repaired_fig2_program_proves_the_same_goals_with_identical_verdicts() {
+    let original = Session::from_source(FIG2).unwrap();
+    let out = original.analyze_with_fixes();
+    assert!(out.applied >= 1, "the overlap fix must apply: {out:?}");
+    assert!(
+        out.source.contains("sub (S x) Z = S x"),
+        "the catch-all is narrowed to the S case:\n{}",
+        out.source
+    );
+    assert!(
+        !out.source.contains("sub x Z = x"),
+        "the overlapping catch-all is gone:\n{}",
+        out.source
+    );
+    assert!(
+        out.diagnostics.is_empty(),
+        "the repaired program re-lints clean: {:?}",
+        out.diagnostics
+    );
+
+    let repaired = Session::from_source(&out.source).unwrap();
+    assert_eq!(
+        original.goal_names(),
+        repaired.goal_names(),
+        "repair must not touch goals"
+    );
+
+    let mut before = String::new();
+    let mut after = String::new();
+    for goal in original.goal_names() {
+        let a = original.prove(goal).unwrap();
+        let b = repaired.prove(goal).unwrap();
+        before.push_str(&format!("{goal}: {:?}\n", a.result.outcome));
+        after.push_str(&format!("{goal}: {:?}\n", b.result.outcome));
+    }
+    assert_eq!(before, after, "verdicts must be byte-identical");
+    assert!(
+        before.contains("Proved"),
+        "the suite is not vacuous:\n{before}"
+    );
+}
