@@ -24,4 +24,4 @@
 mod scheduler;
 
 pub use cycleq_rewrite::{CacheStats, SharedNormalFormCache};
-pub use scheduler::{available_parallelism, BatchScheduler};
+pub use scheduler::{available_parallelism, panic_message, BatchScheduler, TaskPanic};

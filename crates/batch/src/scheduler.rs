@@ -18,10 +18,12 @@
 //! own input. Proof search satisfies this: goals are independent.
 
 use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, OnceLock};
 use std::thread;
 
-use cycleq_trace::{metrics, Counter, Gauge};
+use cycleq_trace::{lock_recover, metrics, Counter, Gauge};
 
 /// Process-wide registry handles for scheduler activity.
 #[derive(Debug, Clone)]
@@ -32,6 +34,8 @@ struct SchedulerMetrics {
     tasks: Counter,
     /// Tasks currently queued across all live batch runs.
     queue_depth: Gauge,
+    /// Tasks whose panic was caught and isolated into a [`TaskPanic`].
+    task_panics: Counter,
 }
 
 fn scheduler_metrics() -> &'static SchedulerMetrics {
@@ -49,7 +53,60 @@ fn scheduler_metrics() -> &'static SchedulerMetrics {
             "cycleq_batch_queue_depth",
             "Batch tasks currently queued and not yet started, across live runs.",
         ),
+        task_panics: metrics().counter(
+            "cycleq_batch_task_panics_total",
+            "Batch tasks that panicked and were isolated into per-task failures.",
+        ),
     })
+}
+
+/// A task that panicked instead of returning; the scheduler's catching
+/// entry points turn the unwind into this structured per-task failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// The panic payload, if it was a string (the common case for both
+    /// `panic!` and assertion failures); a placeholder otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Extracts a human-readable message from a caught panic payload.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one task under `catch_unwind`, counting caught panics.
+///
+/// `AssertUnwindSafe` is sound here because a panicking task's result slot
+/// is overwritten with the `Err` — no caller observes state the task left
+/// half-updated through the scheduler, and shared state reached through
+/// captured references is itself poison-recovering.
+fn run_task<T, F>(task: F, worker: usize, m: &SchedulerMetrics) -> Result<T, TaskPanic>
+where
+    F: FnOnce(usize) -> T,
+{
+    match catch_unwind(AssertUnwindSafe(|| task(worker))) {
+        Ok(v) => Ok(v),
+        Err(payload) => {
+            m.task_panics.inc();
+            Err(TaskPanic {
+                message: panic_message(payload.as_ref()),
+            })
+        }
+    }
 }
 
 /// Stack size for worker threads. Reduction and proof search recurse on
@@ -99,8 +156,10 @@ impl BatchScheduler {
     ///
     /// # Panics
     ///
-    /// If a task panics, the panic is propagated to the caller once the
-    /// remaining workers have drained their queues.
+    /// If a task panics, the panic is caught and isolated (every other task
+    /// still runs to completion), then re-raised to the caller after the
+    /// batch finishes. Use [`BatchScheduler::run_catching`] to receive
+    /// per-task failures instead.
     pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
     where
         T: Send,
@@ -108,6 +167,18 @@ impl BatchScheduler {
     {
         let costs = vec![1u64; tasks.len()];
         self.run_with_costs(tasks, &costs)
+    }
+
+    /// Like [`BatchScheduler::run`], but a panicking task yields
+    /// `Err(TaskPanic)` in its slot instead of re-raising: the batch always
+    /// completes, and the caller decides how a faulted task degrades.
+    pub fn run_catching<T, F>(&self, tasks: Vec<F>) -> Vec<Result<T, TaskPanic>>
+    where
+        T: Send,
+        F: FnOnce(usize) -> T + Send,
+    {
+        let costs = vec![1u64; tasks.len()];
+        self.run_with_costs_catching(tasks, &costs)
     }
 
     /// Runs every task and returns the results **in task order**, seeding
@@ -126,18 +197,43 @@ impl BatchScheduler {
     ///
     /// # Panics
     ///
-    /// Panics if `costs.len() != tasks.len()`, and propagates task panics
-    /// like [`BatchScheduler::run`].
+    /// Propagates task panics like [`BatchScheduler::run`]. A cost-length
+    /// mismatch is a caller bug flagged by a `debug_assert`; release builds
+    /// degrade gracefully (missing costs default to 1, extras are ignored)
+    /// rather than killing a long-lived batch over a mispredicted hint.
     pub fn run_with_costs<T, F>(&self, tasks: Vec<F>, costs: &[u64]) -> Vec<T>
     where
         T: Send,
         F: FnOnce(usize) -> T + Send,
     {
-        assert_eq!(
+        self.run_with_costs_catching(tasks, costs)
+            .into_iter()
+            .map(|r| match r {
+                Ok(v) => v,
+                Err(p) => panic!("batch {p}"),
+            })
+            .collect()
+    }
+
+    /// Like [`BatchScheduler::run_with_costs`], but with per-task panic
+    /// isolation (see [`BatchScheduler::run_catching`]).
+    pub fn run_with_costs_catching<T, F>(
+        &self,
+        tasks: Vec<F>,
+        costs: &[u64],
+    ) -> Vec<Result<T, TaskPanic>>
+    where
+        T: Send,
+        F: FnOnce(usize) -> T + Send,
+    {
+        debug_assert_eq!(
             costs.len(),
             tasks.len(),
             "one predicted cost per task required"
         );
+        // Costs are a scheduling *hint*: pad a short slice with the uniform
+        // weight and ignore extras, rather than panicking in release.
+        let cost_of = |i: usize| costs.get(i).copied().unwrap_or(1);
         let n = tasks.len();
         let workers = self.jobs.min(n).max(1);
         let sched_metrics = scheduler_metrics();
@@ -148,7 +244,7 @@ impl BatchScheduler {
                 .map(|t| {
                     sched_metrics.queue_depth.sub(1);
                     sched_metrics.tasks.inc();
-                    t(0)
+                    run_task(t, 0, sched_metrics)
                 })
                 .collect();
         }
@@ -156,7 +252,7 @@ impl BatchScheduler {
         // (ties broken by queue index, so uniform costs reproduce the
         // historical round-robin order exactly).
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+        order.sort_by_key(|&i| std::cmp::Reverse(cost_of(i)));
         let queues: Vec<Mutex<VecDeque<(usize, F)>>> =
             (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
         let mut load = vec![0u64; workers];
@@ -165,13 +261,12 @@ impl BatchScheduler {
             let w = (0..workers)
                 .min_by_key(|&w| (load[w], w))
                 .expect("workers >= 1");
-            load[w] = load[w].saturating_add(costs[i].max(1));
-            queues[w]
-                .lock()
-                .expect("queue poisoned")
+            load[w] = load[w].saturating_add(cost_of(i).max(1));
+            lock_recover(&queues[w])
                 .push_back((i, slots_of[i].take().expect("each task seeded once")));
         }
-        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
         sched_metrics.queue_depth.add(n as u64);
         thread::scope(|scope| {
             for w in 0..workers {
@@ -184,15 +279,12 @@ impl BatchScheduler {
                         cycleq_trace::set_thread_label(&format!("worker-{w}"));
                         loop {
                             let (job, stolen) = {
-                                let own = queues[w].lock().expect("queue poisoned").pop_front();
+                                let own = lock_recover(&queues[w]).pop_front();
                                 match own {
                                     Some(job) => (Some(job), false),
                                     None => (
                                         (1..workers).find_map(|off| {
-                                            queues[(w + off) % workers]
-                                                .lock()
-                                                .expect("queue poisoned")
-                                                .pop_back()
+                                            lock_recover(&queues[(w + off) % workers]).pop_back()
                                         }),
                                         true,
                                     ),
@@ -205,8 +297,8 @@ impl BatchScheduler {
                                     if stolen {
                                         sched_metrics.steals.inc();
                                     }
-                                    let out = task(w);
-                                    *slots[i].lock().expect("slot poisoned") = Some(out);
+                                    let out = run_task(task, w, sched_metrics);
+                                    *lock_recover(&slots[i]) = Some(out);
                                 }
                                 // Every deque empty and tasks never spawn
                                 // tasks: nothing left to do.
@@ -221,7 +313,7 @@ impl BatchScheduler {
             .into_iter()
             .map(|s| {
                 s.into_inner()
-                    .expect("slot poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .expect("scope joined, so every task ran")
             })
             .collect()
@@ -363,11 +455,74 @@ mod tests {
         assert_eq!(out, (0..8).collect::<Vec<_>>());
     }
 
+    /// A cost-length mismatch is a caller bug: debug builds assert.
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "one predicted cost per task")]
-    fn mismatched_costs_panic() {
+    fn mismatched_costs_panic_in_debug() {
         let _ = BatchScheduler::new(2)
             .run_with_costs((0..4).map(|i| move |_w: usize| i).collect(), &[1, 2]);
+    }
+
+    /// Release builds degrade gracefully on a cost-length mismatch: the
+    /// short slice is padded with uniform weights and every task still runs
+    /// to completion, in task order.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn mismatched_costs_pad_in_release() {
+        let out = BatchScheduler::new(2)
+            .run_with_costs((0..4).map(|i| move |_w: usize| i).collect(), &[1, 2]);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        let out = BatchScheduler::new(2)
+            .run_with_costs((0..2).map(|i| move |_w: usize| i).collect(), &[1, 2, 3, 4]);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn panicking_task_is_isolated() {
+        for jobs in [1, 4] {
+            let results = BatchScheduler::new(jobs).run_catching(
+                (0..8)
+                    .map(|i| {
+                        move |_w: usize| {
+                            assert!(i != 3, "task 3 exploded");
+                            i * 2
+                        }
+                    })
+                    .collect(),
+            );
+            assert_eq!(results.len(), 8, "jobs={jobs}");
+            for (i, r) in results.iter().enumerate() {
+                if i == 3 {
+                    let p = r.as_ref().expect_err("task 3 must fail");
+                    assert!(p.message.contains("task 3 exploded"), "{p}");
+                } else {
+                    assert_eq!(*r.as_ref().expect("healthy task"), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_repanics_after_the_batch_completes() {
+        // The re-raise happens only after every other task ran: the counter
+        // must reach 7 even though one task panicked.
+        let done = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            BatchScheduler::new(2).run(
+                (0..8)
+                    .map(|i| {
+                        let done = &done;
+                        move |_w: usize| {
+                            assert!(i != 0, "first task exploded");
+                            done.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                    .collect(),
+            )
+        }));
+        assert!(caught.is_err());
+        assert_eq!(done.load(Ordering::SeqCst), 7);
     }
 
     #[test]

@@ -159,6 +159,7 @@ pub fn run_problem(problem: &'static Problem, config: &RunConfig) -> RunOutcome 
         Outcome::NodeBudget => RunStatus::NodeBudget,
         Outcome::Cancelled => RunStatus::Cancelled,
         Outcome::HintFailed { .. } => RunStatus::HintFailed,
+        Outcome::Panicked { ref message } => RunStatus::Error(format!("panicked: {message}")),
     };
     if status.is_proved() {
         if let Some(dir) = &config.emit_certs {

@@ -17,8 +17,8 @@ use std::time::Duration;
 
 use cycleq::{
     analyze_source, analyze_with_fixes, available_parallelism, check_certificate, unified_diff,
-    BatchReport, BatchScheduler, Diagnostic, Engine, Outcome, ProveEvent, SearchConfig,
-    SearchStats, Session, Verdict,
+    BatchReport, BatchScheduler, Diagnostic, Engine, Outcome, ProveEvent, RetryPolicy,
+    SearchConfig, SearchStats, Session, Verdict,
 };
 
 /// Some goal was not proved, but none was refuted (exhausted / timeout /
@@ -50,7 +50,8 @@ SUBCOMMANDS:
                 re-elaborated, and the proof re-run through the
                 independent checker; files are validated in parallel
                 with `--jobs`. Exits 0 when every certificate is valid,
-                3 when any is invalid, 2 on usage or read errors.
+                3 when any is invalid or unreadable (reported per file,
+                never aborting the rest), 2 on usage errors.
     lint        Statically analyse programs without proving: pattern
                 coverage (CQ001), clause overlaps classified by critical-
                 pair joinability (joinable CQ002 warnings, non-joinable
@@ -64,8 +65,9 @@ SUBCOMMANDS:
                 emits one NDJSON object per diagnostic (including its
                 fix, if any) plus a summary. Exits 0 when clean, 1 when
                 only warnings were found and `--deny-warnings` is set,
-                3 when any file has errors — `--fix` does not mask
-                unfixable errors — and 2 on usage or read errors.
+                3 when any file has errors or is unreadable (reported
+                per file, never aborting the rest) — `--fix` does not
+                mask unfixable errors — and 2 on usage errors.
 
 OPTIONS:
     --dot               Render proofs as Graphviz DOT instead of text
@@ -90,6 +92,12 @@ OPTIONS:
     --max-nodes N       Cap proof nodes created during search
     --max-depth N       Cap DFS depth (rule applications per branch)
     --timeout-ms N      Wall-clock budget per goal; 0 means unbounded
+    --retry N           Re-run each goal that times out, exhausts its node
+                        budget, or panics up to N more times, escalating
+                        its budgets per attempt (default 0: one attempt)
+    --retry-escalation F
+                        Budget growth factor per retry (default 2.0):
+                        attempt k runs with limits scaled by F^(k-1)
     --trace-out FILE    Record hierarchical spans (prove_goal > round >
                         expand / normalize / closure_update / check) and
                         write them as Chrome trace-event JSON — loadable
@@ -104,9 +112,19 @@ OPTIONS:
 EXIT STATUS:
     0   every attempted goal was proved
     1   the search gave up on a goal (exhausted, timeout, node budget,
-        or a hint failed) and no goal was refuted
+        a hint failed, or the search panicked and was isolated) and no
+        goal was refuted
     2   usage or load error
     3   a goal was refuted (a ground counterexample exists)
+
+ENVIRONMENT:
+    CYCLEQ_FAULTS       Deterministic fault-injection plan, e.g.
+                        `panic@expand/addComm#1,delay:50ms@normalize`
+                        (rules `ACTION@SITE[/SCOPE][#N|#every|%P]`, comma-
+                        separated; actions panic, delay:<N>ms, cancel).
+                        Injected panics are isolated into per-goal
+                        `panicked` verdicts — for testing fault tolerance
+    CYCLEQ_FAULT_SEED   Seed for probabilistic (%P) fault rules
 ";
 
 /// Output format for verdicts and summaries.
@@ -133,6 +151,10 @@ struct Options {
     /// help text promises.
     jobs: Option<usize>,
     config: SearchConfig,
+    /// Retries per goal (`--retry N`): total attempts is `N + 1`.
+    retries: u32,
+    /// Budget growth factor per retry (`--retry-escalation F`).
+    retry_escalation: f64,
 }
 
 /// Parses the command line; `Ok(None)` means help/version was printed and
@@ -152,6 +174,8 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
         format: Format::Text,
         jobs: None,
         config: SearchConfig::default(),
+        retries: 0,
+        retry_escalation: 2.0,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -199,6 +223,20 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                     "json" => Format::Json,
                     other => return Err(format!("unknown format `{other}` (text|json)")),
                 };
+            }
+            "--retry" => {
+                let n = numeric("--retry")?;
+                opts.retries = u32::try_from(n).map_err(|_| "--retry value too large")?;
+            }
+            "--retry-escalation" => {
+                let v = it.next().ok_or("--retry-escalation requires a value")?;
+                let f: f64 = v
+                    .parse()
+                    .map_err(|_| "--retry-escalation requires a number")?;
+                if !f.is_finite() || f < 1.0 {
+                    return Err("--retry-escalation must be a finite factor >= 1.0".to_string());
+                }
+                opts.retry_escalation = f;
             }
             "--max-nodes" => opts.config.max_nodes = numeric("--max-nodes")?,
             "--max-depth" => opts.config.max_depth = numeric("--max-depth")?,
@@ -248,6 +286,7 @@ fn verdict_word(outcome: &Outcome) -> &'static str {
         Outcome::NodeBudget => "node-budget",
         Outcome::Cancelled => "cancelled",
         Outcome::HintFailed { .. } => "hint-failed",
+        Outcome::Panicked { .. } => "panicked",
     }
 }
 
@@ -264,16 +303,18 @@ fn json_stats(s: &SearchStats) -> String {
     format!("{{{}}}", fields.join(","))
 }
 
-/// One NDJSON object per goal: verdict, stats, recheck counters, elapsed.
-/// The `recheck_*` keys are always present; they are zero when re-checking
-/// did not run (unproved goals, or rechecking disabled).
+/// One NDJSON object per goal: verdict, attempts, stats, recheck counters,
+/// elapsed. The `recheck_*` keys are always present; they are zero when
+/// re-checking did not run (unproved goals, or rechecking disabled).
 fn print_goal_json(verdict: &Verdict, time: Duration) {
     let recheck = verdict.recheck.unwrap_or_default();
     println!(
-        "{{\"type\":\"goal\",\"goal\":\"{}\",\"verdict\":\"{}\",\"time_ms\":{:.3},\
+        "{{\"type\":\"goal\",\"goal\":\"{}\",\"verdict\":\"{}\",\"attempts\":{},\
+         \"time_ms\":{:.3},\
          \"recheck_ms\":{:.3},\"recheck_reducts\":{},\"recheck_memo_hits\":{},\"stats\":{}}}",
         json_escape(&verdict.goal),
         verdict_word(&verdict.result.outcome),
+        verdict.attempts,
         time.as_secs_f64() * 1000.0,
         recheck.elapsed.as_secs_f64() * 1000.0,
         recheck.reducts_checked,
@@ -285,12 +326,13 @@ fn print_goal_json(verdict: &Verdict, time: Duration) {
 /// The NDJSON batch summary object.
 fn print_batch_json(report: &BatchReport) {
     println!(
-        "{{\"type\":\"batch\",\"proved\":{},\"total\":{},\"jobs\":{},\
+        "{{\"type\":\"batch\",\"proved\":{},\"total\":{},\"jobs\":{},\"panicked\":{},\
          \"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{},\"evictions\":{}}},\
          \"recheck_ms\":{:.3},\"elapsed_ms\":{:.3}}}",
         report.proved(),
         report.goals.len(),
         report.jobs,
+        report.panicked(),
         report.cache.hits,
         report.cache.misses,
         report.cache.entries,
@@ -305,6 +347,8 @@ fn print_verdict(opts: &Options, verdict: &Verdict) {
         "Proved"
     } else if verdict.is_refuted() {
         "Refuted"
+    } else if matches!(verdict.result.outcome, Outcome::Panicked { .. }) {
+        "Panicked"
     } else {
         "GaveUp"
     };
@@ -377,7 +421,10 @@ fn run(opts: &Options) -> Result<Tally, String> {
         .map_err(|e| format!("cannot read `{}`: {e}", opts.file))?;
     let mut builder = Engine::builder()
         .config(opts.config.clone())
-        .jobs(opts.jobs.unwrap_or(1));
+        .jobs(opts.jobs.unwrap_or(1))
+        .retry(
+            RetryPolicy::new(opts.retries.saturating_add(1)).with_escalation(opts.retry_escalation),
+        );
     if opts.jobs.is_some() {
         // Live per-goal progress to stderr, streamed in completion order
         // while stdout keeps the declaration-ordered verdicts.
@@ -447,7 +494,8 @@ fn run(opts: &Options) -> Result<Tally, String> {
             if verdict.is_refuted() {
                 tally.refuted = true;
             } else if !verdict.is_proved() {
-                // Exhausted, Timeout, NodeBudget, Cancelled or HintFailed.
+                // Exhausted, Timeout, NodeBudget, Cancelled, HintFailed
+                // or Panicked (isolated by the fault boundary).
                 tally.gave_up = true;
             }
             print_verdict(opts, &verdict);
@@ -531,11 +579,13 @@ fn run_batch(
         Format::Json => print_batch_json(&report),
         Format::Text => {
             let summary = format!(
-                "batch: proved {}/{} | jobs={} | cache hits={} misses={} entries={} | \
+                "batch: proved {}/{} | jobs={} | panicked={} | \
+                 cache hits={} misses={} entries={} | \
                  elapsed={:?} | recheck={:?}",
                 report.proved(),
                 report.goals.len(),
                 report.jobs,
+                report.panicked(),
                 report.cache.hits,
                 report.cache.misses,
                 report.cache.entries,
@@ -659,16 +709,25 @@ fn run_lint(args: &[String]) -> ExitCode {
         eprintln!("error: cycleq lint requires at least one program file\n\n{USAGE}");
         return ExitCode::from(EXIT_USAGE);
     }
+    // An unreadable file gets a per-file error line and the error exit
+    // code, but never aborts the rest of the batch: the readable files are
+    // still linted (and fixed) normally.
+    let mut io_errors = 0usize;
+    let mut readable = Vec::with_capacity(files.len());
     let mut texts = Vec::with_capacity(files.len());
-    for f in &files {
-        match std::fs::read_to_string(f) {
-            Ok(text) => texts.push(text),
+    for f in files {
+        match std::fs::read_to_string(&f) {
+            Ok(text) => {
+                readable.push(f);
+                texts.push(text);
+            }
             Err(e) => {
                 eprintln!("error: cannot read `{f}`: {e}");
-                return ExitCode::from(EXIT_USAGE);
+                io_errors += 1;
             }
         }
     }
+    let files = readable;
     // Per-file timing flows through the span machinery into the process
     // registry (`cycleq_phase_seconds{phase="lint_file"}`); the summary
     // below reads it back from there rather than keeping bespoke timers.
@@ -704,7 +763,7 @@ fn run_lint(args: &[String]) -> ExitCode {
             diffs.push_str(&unified_diff(text, repaired, file));
         } else if let Err(e) = std::fs::write(file, repaired) {
             eprintln!("error: cannot write `{file}`: {e}");
-            return ExitCode::from(EXIT_USAGE);
+            io_errors += 1;
         }
     }
     // Flatten and sort all diagnostics by (file, line, code) so output is
@@ -763,7 +822,7 @@ fn run_lint(args: &[String]) -> ExitCode {
             start.elapsed().as_secs_f64() * 1000.0,
         ),
     }
-    if errors > 0 {
+    if errors > 0 || io_errors > 0 {
         ExitCode::from(EXIT_REFUTED)
     } else if deny_warnings && warnings > 0 {
         ExitCode::from(EXIT_GAVE_UP)
@@ -815,16 +874,12 @@ fn run_check(args: &[String]) -> ExitCode {
         eprintln!("error: cycleq check requires at least one certificate file\n\n{USAGE}");
         return ExitCode::from(EXIT_USAGE);
     }
-    let mut texts = Vec::with_capacity(files.len());
-    for f in &files {
-        match std::fs::read_to_string(f) {
-            Ok(text) => texts.push(text),
-            Err(e) => {
-                eprintln!("error: cannot read `{f}`: {e}");
-                return ExitCode::from(EXIT_USAGE);
-            }
-        }
-    }
+    // An unreadable certificate is reported per-file as invalid (so the
+    // exit code reflects it) and never aborts the rest of the batch.
+    let texts: Vec<Result<String, String>> = files
+        .iter()
+        .map(|f| std::fs::read_to_string(f).map_err(|e| format!("cannot read: {e}")))
+        .collect();
     // As in `run_lint`: per-file timing comes back out of the registry's
     // `cycleq_phase_seconds{phase="check_file"}` histogram.
     cycleq::trace::set_enabled(true);
@@ -833,9 +888,12 @@ fn run_check(args: &[String]) -> ExitCode {
     let tasks: Vec<_> = texts
         .iter()
         .map(|text| {
-            move |_worker: usize| {
-                let _span = cycleq::trace::span!("check_file");
-                check_certificate(text)
+            move |_worker: usize| match text {
+                Ok(text) => {
+                    let _span = cycleq::trace::span!("check_file");
+                    check_certificate(text).map_err(|e| e.to_string())
+                }
+                Err(e) => Err(e.clone()),
             }
         })
         .collect();
@@ -874,6 +932,18 @@ fn run_check(args: &[String]) -> ExitCode {
 }
 
 fn main() -> ExitCode {
+    // Deterministic fault injection, for testing fault tolerance: a plan in
+    // `CYCLEQ_FAULTS` arms panic/delay/cancel rules at the span sites before
+    // any work starts. Absent the variable this is a no-op and every span
+    // site stays on its fast path.
+    match cycleq::trace::FaultPlan::from_env() {
+        Ok(Some(plan)) => cycleq::trace::install_fault_plan(plan),
+        Ok(None) => {}
+        Err(msg) => {
+            eprintln!("error: invalid CYCLEQ_FAULTS: {msg}\n\n{USAGE}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("check") {
         return run_check(&args[1..]);

@@ -462,9 +462,63 @@ fn tampered_certificate_fails_check_with_exit_code_three() {
 fn check_without_files_is_a_usage_error() {
     let out = run(&["check"]);
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn check_reports_unreadable_file_per_file_and_exits_three() {
     let out = run(&["check", "/nonexistent/nope.cqc"]);
-    assert_eq!(out.status.code(), Some(2));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "unreadable cert = worst verdict"
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("INVALID") && stdout.contains("cannot read"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("check: valid 0/1"), "{stdout}");
+}
+
+#[test]
+fn check_batch_survives_one_unreadable_file_among_good_ones() {
+    // One bogus path mixed into a good parallel batch: the good files are
+    // still validated (never aborted), and the exit code is the worst
+    // verdict.
+    let file = quickstart();
+    let dir = cert_dir("mixed_batch");
+    let out = run(&[
+        "--no-proof",
+        "--emit-certs",
+        dir.to_str().unwrap(),
+        file.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let mut certs: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path().to_str().unwrap().to_string())
+        .collect();
+    certs.sort();
+    assert_eq!(certs.len(), 3);
+    let mut args = vec!["check", "--jobs", "2"];
+    args.extend(certs.iter().map(String::as_str));
+    args.push("/nonexistent/nope.cqc");
+    let out = run(&args);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("check: valid 3/4 | jobs=2"),
+        "good files must still validate:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("cert /nonexistent/nope.cqc: INVALID"),
+        "{stdout}"
+    );
 }
 
 /// Writes a lint fixture to the temp dir, returning its path.
@@ -771,12 +825,54 @@ fn lint_frontend_failure_is_a_cq008_error() {
 }
 
 #[test]
-fn lint_without_files_or_with_unreadable_file_is_a_usage_error() {
+fn lint_without_files_is_a_usage_error() {
     let out = run(&["lint"]);
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn lint_reports_unreadable_file_per_file_and_exits_three() {
     let out = run(&["lint", "/nonexistent/nope.hs"]);
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "unreadable file = worst verdict"
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn lint_batch_survives_one_unreadable_file_among_good_ones() {
+    // One bogus path mixed into a good parallel batch: the readable files
+    // are still linted (their diagnostics printed as usual) and only the
+    // exit code reflects the failure.
+    let partial = lint_file(
+        "mixed_partial.hs",
+        "data Nat = Z | S Nat\npred :: Nat -> Nat\npred (S x) = x\ngoal p: pred (S Z) === Z\n",
+    );
+    let clean = lint_file(
+        "mixed_clean.hs",
+        "data Nat = Z | S Nat\nadd :: Nat -> Nat -> Nat\nadd Z y = y\nadd (S x) y = S (add x y)\ngoal zr: add x Z === x\n",
+    );
+    let out = run(&[
+        "lint",
+        "--jobs",
+        "2",
+        clean.to_str().unwrap(),
+        "/nonexistent/nope.hs",
+        partial.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(3));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read `/nonexistent/nope.hs`"));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("mixed_partial.hs:3: warning[CQ001]:"),
+        "readable files must still lint:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("lint: files=2 errors=0 warnings=1 | jobs=2"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -874,6 +970,79 @@ fn prove_alias_and_trace_out_write_perfetto_loadable_json() {
     assert!(metrics.contains("# TYPE cycleq_phase_seconds histogram"));
     std::fs::remove_file(&trace).ok();
     std::fs::remove_file(&prom).ok();
+}
+
+fn run_with_env(args: &[&str], env: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_cycleq"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("binary runs")
+}
+
+#[test]
+fn injected_panic_is_isolated_into_a_per_goal_verdict() {
+    // A fault plan panics the first `expand` under addComm; the other two
+    // goals must keep their verdicts and the batch must complete with the
+    // gave-up exit code, not a crash.
+    let file = quickstart();
+    let out = run_with_env(
+        &["--no-proof", "--jobs", "2", file.to_str().unwrap()],
+        &[("CYCLEQ_FAULTS", "panic@expand/addComm#1")],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("goal addComm: Panicked"), "{stdout}");
+    assert!(stdout.contains("goal addZeroRight: Proved"), "{stdout}");
+    assert!(stdout.contains("goal addSuccRight: Proved"), "{stdout}");
+    assert!(
+        stdout.contains("batch: proved 2/3 | jobs=2 | panicked=1"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn retry_recovers_an_injected_panic_on_the_second_attempt() {
+    // With `--retry 1` the panicked first attempt is re-run; the fault
+    // rule's `#1` occurrence is spent, so the retry proves the goal and the
+    // NDJSON records two attempts.
+    let file = quickstart();
+    let out = run_with_env(
+        &["--format", "json", "--retry", "1", file.to_str().unwrap()],
+        &[("CYCLEQ_FAULTS", "panic@expand/addComm#1")],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let comm = stdout
+        .lines()
+        .find(|l| l.contains("\"goal\":\"addComm\""))
+        .unwrap_or_else(|| panic!("no addComm object in:\n{stdout}"));
+    assert_eq!(json_value(comm, "verdict"), Some("proved"), "{comm}");
+    assert_eq!(json_value(comm, "attempts"), Some("2"), "{comm}");
+    let batch = stdout.lines().last().unwrap();
+    assert_eq!(json_value(batch, "panicked"), Some("0"), "{batch}");
+}
+
+#[test]
+fn malformed_fault_plan_is_a_usage_error() {
+    let file = quickstart();
+    let out = run_with_env(
+        &[file.to_str().unwrap()],
+        &[("CYCLEQ_FAULTS", "detonate@expand")],
+    );
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("CYCLEQ_FAULTS"));
 }
 
 #[test]

@@ -58,7 +58,7 @@ use std::time::Duration;
 
 use cycleq_batch::available_parallelism;
 use cycleq_rewrite::SharedNormalFormCache;
-use cycleq_search::{Budget, CancelToken, SearchConfig};
+use cycleq_search::{Budget, CancelToken, RetryPolicy, SearchConfig};
 
 use crate::{Error, Session, Verdict};
 
@@ -74,6 +74,9 @@ pub enum GoalStatus {
     GaveUp,
     /// The search was cancelled through its [`CancelToken`].
     Cancelled,
+    /// The search panicked; the engine's fault boundary isolated it into a
+    /// per-goal failure (see [`Outcome::Panicked`](cycleq_search::Outcome)).
+    Panicked,
     /// A per-goal error (e.g. a proof that failed re-checking).
     Error,
 }
@@ -85,6 +88,9 @@ impl GoalStatus {
             Ok(v) if v.is_refuted() => GoalStatus::Refuted,
             Ok(v) if matches!(v.result.outcome, cycleq_search::Outcome::Cancelled) => {
                 GoalStatus::Cancelled
+            }
+            Ok(v) if matches!(v.result.outcome, cycleq_search::Outcome::Panicked { .. }) => {
+                GoalStatus::Panicked
             }
             Ok(_) => GoalStatus::GaveUp,
             Err(_) => GoalStatus::Error,
@@ -99,6 +105,7 @@ impl fmt::Display for GoalStatus {
             GoalStatus::Refuted => "refuted",
             GoalStatus::GaveUp => "gave-up",
             GoalStatus::Cancelled => "cancelled",
+            GoalStatus::Panicked => "panicked",
             GoalStatus::Error => "error",
         })
     }
@@ -198,6 +205,7 @@ pub(crate) struct Settings {
     pub(crate) shared_cache: bool,
     pub(crate) cache_capacity: Option<usize>,
     pub(crate) sink: Option<Arc<dyn EventSink>>,
+    pub(crate) retry: RetryPolicy,
 }
 
 impl fmt::Debug for Settings {
@@ -209,6 +217,7 @@ impl fmt::Debug for Settings {
             .field("shared_cache", &self.shared_cache)
             .field("cache_capacity", &self.cache_capacity)
             .field("sink", &self.sink.is_some())
+            .field("retry", &self.retry)
             .finish()
     }
 }
@@ -222,6 +231,7 @@ impl Default for Settings {
             shared_cache: true,
             cache_capacity: None,
             sink: None,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -296,6 +306,24 @@ impl EngineBuilder {
     /// entries, evicting second-chance once full (unbounded by default).
     pub fn cache_capacity(mut self, capacity: usize) -> EngineBuilder {
         self.settings.cache_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the retry policy applied to every goal this engine's sessions
+    /// prove: resource failures (timeout, node budget, isolated panic) are
+    /// re-run with budgets escalated by the policy's factor, up to its
+    /// attempt cap. Off by default ([`RetryPolicy::none`]).
+    ///
+    /// ```
+    /// use cycleq::{Engine, RetryPolicy};
+    ///
+    /// let engine = Engine::builder()
+    ///     .retry(RetryPolicy::new(3).with_escalation(4.0))
+    ///     .build();
+    /// # let _ = engine;
+    /// ```
+    pub fn retry(mut self, retry: RetryPolicy) -> EngineBuilder {
+        self.settings.retry = retry;
         self
     }
 

@@ -120,7 +120,7 @@ pub use cycleq_proof::{
 };
 pub use cycleq_rewrite::{CacheStats, CancelToken, Program, SharedNormalFormCache};
 pub use cycleq_search::{
-    Budget, LemmaPolicy, Outcome, ProofResult, Prover, SearchConfig, SearchStats,
+    Budget, LemmaPolicy, Outcome, ProofResult, Prover, RetryPolicy, SearchConfig, SearchStats,
 };
 pub use cycleq_term::{Equation, Signature, Term, Type, VarStore};
 
@@ -176,6 +176,10 @@ pub struct Verdict {
     /// (the default) and the goal was proved. Carries the recheck's
     /// wall-clock time and reduct/memo counters.
     pub recheck: Option<CheckReport>,
+    /// Search attempts this verdict took (1 unless the engine's
+    /// [`RetryPolicy`] re-ran a timeout, node-budget, or panicked attempt
+    /// with escalated budgets). The stats describe the final attempt only.
+    pub attempts: u32,
     /// Signature snapshot for rendering.
     sig: Signature,
 }
@@ -357,10 +361,7 @@ impl Session {
     /// proving concurrently their phase time is attributed here too; for
     /// exact attribution, profile one session at a time.
     pub fn profile(&self) -> Option<Profile> {
-        self.last_profile
-            .lock()
-            .expect("profile lock poisoned")
-            .clone()
+        cycleq_trace::lock_recover(&self.last_profile).clone()
     }
 
     /// Captures the registry delta of `f` as this session's last profile.
@@ -368,7 +369,7 @@ impl Session {
         let before = cycleq_trace::metrics().snapshot();
         let out = f();
         let profile = cycleq_trace::metrics().snapshot().delta(&before).profile();
-        *self.last_profile.lock().expect("profile lock poisoned") = Some(profile);
+        *cycleq_trace::lock_recover(&self.last_profile) = Some(profile);
         out
     }
 
@@ -468,12 +469,121 @@ impl Session {
         self.with_profile(|| self.prove_goal(goal, hints, budget, Some(cancel), None))
     }
 
-    /// The one prove path every public entry point funnels through.
+    /// The one prove path every public entry point funnels through: the
+    /// fault boundary around [`Session::prove_goal_attempt`]. Each attempt
+    /// runs under `catch_unwind`, so a panicking search (a prover bug, or a
+    /// deterministic fault injected via `CYCLEQ_FAULTS`) becomes a
+    /// structured [`Outcome::Panicked`] verdict instead of tearing down the
+    /// caller; the engine's [`RetryPolicy`] then re-runs resource failures
+    /// (timeout, node budget, panic) with budgets escalated per attempt.
+    ///
+    /// Metrics are recorded here — once per goal, on its **final** outcome —
+    /// so retried attempts are never double-counted.
     fn prove_goal(
         &self,
         goal: &str,
         hints: &[&str],
         budget: &Budget,
+        cancel: Option<&CancelToken>,
+        observer: Option<cycleq_search::RoundObserver>,
+    ) -> Result<Verdict, Error> {
+        let policy = &self.settings.retry;
+        // When a fault plan is installed, scope this thread to the goal's
+        // name so `panic@site/goal` rules target it, and give `cancel@site`
+        // rules a token to trip. An owned token backs the hook when the
+        // caller did not pass one.
+        let owned_cancel;
+        let (cancel, _scope) = if cycleq_trace::faults_active() {
+            owned_cancel = match cancel {
+                Some(token) => token.clone(),
+                None => CancelToken::new(),
+            };
+            let hook = {
+                let token = owned_cancel.clone();
+                Arc::new(move || token.cancel()) as Arc<dyn Fn() + Send + Sync>
+            };
+            (
+                Some(&owned_cancel),
+                Some(cycleq_trace::fault_scope_with_cancel(goal, hook)),
+            )
+        } else {
+            (cancel, None)
+        };
+        let mut attempt = 1u32;
+        loop {
+            let attempt_budget = policy.escalate_budget(budget, attempt);
+            let attempt_config = policy.escalate_config(&self.settings.config, attempt);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.prove_goal_attempt(
+                    goal,
+                    hints,
+                    &attempt_budget,
+                    &attempt_config,
+                    cancel,
+                    observer.clone(),
+                )
+            }))
+            .unwrap_or_else(|payload| {
+                metrics::record_goal_panic();
+                let message = cycleq_batch::panic_message(payload.as_ref());
+                Ok(self.panicked_verdict(goal, message, attempt))
+            });
+            let retryable = match &outcome {
+                Ok(v) => policy.should_retry(&v.result.outcome, attempt),
+                Err(_) => false,
+            };
+            if retryable {
+                metrics::record_goal_retry();
+                if let Some(backoff) = policy.backoff {
+                    std::thread::sleep(backoff);
+                }
+                attempt += 1;
+                continue;
+            }
+            // Absorb the goal into the process-wide registry here — the one
+            // funnel every prove path passes through — so each goal counts
+            // exactly once regardless of entry point, worker, or retry
+            // count.
+            let status = GoalStatus::of(&outcome);
+            return match outcome {
+                Ok(mut v) => {
+                    v.attempts = attempt;
+                    metrics::record_goal(status, &v.result.stats, v.recheck.as_ref());
+                    Ok(v)
+                }
+                Err(e) => {
+                    metrics::record_goal_error();
+                    Err(e)
+                }
+            };
+        }
+    }
+
+    /// A synthetic verdict for a goal whose search attempt panicked: the
+    /// structured failure the fault boundary substitutes for the unwind.
+    fn panicked_verdict(&self, goal: &str, message: String, attempts: u32) -> Verdict {
+        Verdict {
+            goal: goal.to_string(),
+            result: ProofResult {
+                outcome: Outcome::Panicked { message },
+                proof: Preproof::with_vars(VarStore::new()),
+                stats: SearchStats::default(),
+            },
+            recheck: None,
+            attempts,
+            sig: self.module.program.sig.clone(),
+        }
+    }
+
+    /// One search attempt, on explicit limits (the retry wrapper escalates
+    /// them per attempt). Records no metrics: the wrapper does, once, on the
+    /// goal's final outcome.
+    fn prove_goal_attempt(
+        &self,
+        goal: &str,
+        hints: &[&str],
+        budget: &Budget,
+        config: &SearchConfig,
         cancel: Option<&CancelToken>,
         observer: Option<cycleq_search::RoundObserver>,
     ) -> Result<Verdict, Error> {
@@ -490,7 +600,7 @@ impl Session {
                 .ok_or_else(|| Error::UnknownGoal(h.to_string()))?;
             hint_eqs.push(hd.rename_into(&mut vars));
         }
-        let mut prover = Prover::with_config(&self.module.program, self.settings.config.clone());
+        let mut prover = Prover::with_config(&self.module.program, config.clone());
         if let Some(cache) = &self.cache {
             prover = prover.with_shared_cache(cache.clone());
         }
@@ -510,30 +620,17 @@ impl Session {
                     &self.module.program,
                     GlobalCheck::VariableTraces,
                 )
-                .map_err(|e| {
-                    metrics::record_goal_error();
-                    Error::Check(e)
-                })?;
+                .map_err(Error::Check)?;
                 recheck = Some(report);
             }
         }
-        let outcome: Result<Verdict, Error> = Ok(Verdict {
+        Ok(Verdict {
             goal: goal.to_string(),
             result,
             recheck,
+            attempts: 1,
             sig: self.module.program.sig.clone(),
-        });
-        if let Ok(v) = &outcome {
-            // Absorb the goal into the process-wide registry here — the one
-            // funnel every prove path passes through — so each goal counts
-            // exactly once regardless of entry point or worker.
-            metrics::record_goal(
-                GoalStatus::of(&outcome),
-                &v.result.stats,
-                v.recheck.as_ref(),
-            );
-        }
-        outcome
+        })
     }
 
     /// Serializes a proved verdict into a self-contained certificate: the
@@ -689,9 +786,11 @@ impl Session {
                     });
                     let outcome =
                         self.prove_goal(name, hints, &goal_budget, Some(cancel), observer);
+                    let attempts = outcome.as_ref().map_or(1, |v| v.attempts);
                     let report = GoalReport {
                         goal: name.to_string(),
                         outcome,
+                        attempts,
                         time: goal_start.elapsed(),
                     };
                     if let Some(sink) = &sink {
@@ -706,7 +805,29 @@ impl Session {
                 }
             })
             .collect();
-        let reports = scheduler.run_with_costs(tasks, &costs);
+        // The catching variant is a second fault boundary: `prove_goal`
+        // already isolates panics inside the search, so a `TaskPanic` here
+        // means the panic escaped that inner boundary (e.g. inside an event
+        // sink). It still becomes a structured per-goal report rather than
+        // tearing down the batch.
+        let reports: Vec<GoalReport> = scheduler
+            .run_with_costs_catching(tasks, &costs)
+            .into_iter()
+            .zip(&goals)
+            .map(|(result, &name)| {
+                result.unwrap_or_else(|panic| {
+                    metrics::record_goal_panic();
+                    let verdict = self.panicked_verdict(name, panic.message, 1);
+                    metrics::record_goal(GoalStatus::Panicked, &verdict.result.stats, None);
+                    GoalReport {
+                        goal: name.to_string(),
+                        outcome: Ok(verdict),
+                        attempts: 1,
+                        time: Duration::ZERO,
+                    }
+                })
+            })
+            .collect();
         let mut stats = SearchStats::default();
         let mut recheck = Duration::ZERO;
         for r in &reports {
@@ -734,7 +855,7 @@ impl Session {
                 elapsed: report.stats.elapsed,
             });
         }
-        *self.last_profile.lock().expect("profile lock poisoned") = Some(
+        *cycleq_trace::lock_recover(&self.last_profile) = Some(
             cycleq_trace::metrics()
                 .snapshot()
                 .delta(&metrics_before)
@@ -776,6 +897,9 @@ pub struct GoalReport {
     /// The verdict, or the per-goal error (e.g. a proof that failed
     /// re-checking).
     pub outcome: Result<Verdict, Error>,
+    /// Search attempts this goal took (1 unless the engine's
+    /// [`RetryPolicy`] re-ran a resource failure with escalated budgets).
+    pub attempts: u32,
     /// Wall-clock time this goal occupied its worker (parse excluded,
     /// search and re-check included).
     pub time: Duration,
@@ -795,6 +919,13 @@ impl GoalReport {
     /// Whether the goal was refuted.
     pub fn is_refuted(&self) -> bool {
         self.verdict().is_some_and(Verdict::is_refuted)
+    }
+
+    /// Whether the goal's search panicked (final attempt included) and was
+    /// isolated by the fault boundary.
+    pub fn is_panicked(&self) -> bool {
+        self.verdict()
+            .is_some_and(|v| matches!(v.result.outcome, Outcome::Panicked { .. }))
     }
 
     /// The independent re-check's report, when one ran for this goal.
@@ -872,9 +1003,15 @@ impl BatchReport {
     }
 
     /// Whether any goal ended without a proof or refutation (exhausted,
-    /// timeout, node budget, failed hint, or a per-goal error).
+    /// timeout, node budget, failed hint, panicked, or a per-goal error).
     pub fn any_gave_up(&self) -> bool {
         self.goals.iter().any(|g| !g.is_proved() && !g.is_refuted())
+    }
+
+    /// Number of goals whose search panicked and was isolated by the fault
+    /// boundary (their reports carry [`Outcome::Panicked`] verdicts).
+    pub fn panicked(&self) -> usize {
+        self.goals.iter().filter(|g| g.is_panicked()).count()
     }
 }
 

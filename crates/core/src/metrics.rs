@@ -25,6 +25,8 @@ pub(crate) struct GoalMetrics {
     check_seconds: Histogram,
     check_reducts: Counter,
     check_memo_hits: Counter,
+    goal_panics: Counter,
+    goal_retries: Counter,
 }
 
 impl std::fmt::Debug for GoalMetrics {
@@ -44,7 +46,14 @@ pub(crate) fn goal_metrics() -> &'static GoalMetrics {
     static METRICS: OnceLock<GoalMetrics> = OnceLock::new();
     METRICS.get_or_init(|| {
         let registry = metrics();
-        let by_status = ["proved", "refuted", "gave-up", "cancelled", "error"]
+        let by_status = [
+            "proved",
+            "refuted",
+            "gave-up",
+            "cancelled",
+            "panicked",
+            "error",
+        ]
             .into_iter()
             .map(|status| {
                 (
@@ -98,6 +107,14 @@ pub(crate) fn goal_metrics() -> &'static GoalMetrics {
                 "cycleq_check_memo_hits_total",
                 "Checker reduct derivations served from its memo table.",
             ),
+            goal_panics: registry.counter(
+                "cycleq_goal_panics_total",
+                "Goal search attempts that panicked and were isolated by the fault boundary.",
+            ),
+            goal_retries: registry.counter(
+                "cycleq_goal_retries_total",
+                "Goal attempts re-run by the retry policy with escalated budgets.",
+            ),
         }
     })
 }
@@ -130,6 +147,18 @@ pub(crate) fn record_goal_error() {
     }
 }
 
+/// Records one goal search attempt that panicked and was isolated by the
+/// fault boundary (`catch_unwind` in `Session::prove_goal` or the batch
+/// scheduler's catching runner).
+pub(crate) fn record_goal_panic() {
+    goal_metrics().goal_panics.inc();
+}
+
+/// Records one attempt re-run by the retry policy.
+pub(crate) fn record_goal_retry() {
+    goal_metrics().goal_retries.inc();
+}
+
 /// Records one checker run (re-check or certificate validation).
 pub(crate) fn record_check(report: &CheckReport) {
     let m = goal_metrics();
@@ -144,6 +173,7 @@ fn status_key(status: GoalStatus) -> &'static str {
         GoalStatus::Refuted => "refuted",
         GoalStatus::GaveUp => "gave-up",
         GoalStatus::Cancelled => "cancelled",
+        GoalStatus::Panicked => "panicked",
         GoalStatus::Error => "error",
     }
 }

@@ -44,6 +44,7 @@ struct CacheMetrics {
     misses: Counter,
     evictions: Counter,
     entries: Gauge,
+    poison_recoveries: Counter,
 }
 
 fn cache_metrics() -> &'static CacheMetrics {
@@ -64,6 +65,10 @@ fn cache_metrics() -> &'static CacheMetrics {
         entries: metrics().gauge(
             "cycleq_cache_entries",
             "Entries currently stored across shared normal-form caches.",
+        ),
+        poison_recoveries: metrics().counter(
+            "cycleq_cache_poison_recoveries_total",
+            "Poisoned cache shards recovered by dropping their entries.",
         ),
     })
 }
@@ -91,6 +96,10 @@ pub struct CacheStats {
     /// Entries evicted to stay under the configured capacity (zero for
     /// unbounded caches).
     pub evictions: u64,
+    /// Poisoned shards recovered by dropping their entries (a panic while a
+    /// shard lock was held; the cache is a pure memo, so losing the shard
+    /// only costs warmth, never soundness).
+    pub poison_recoveries: u64,
 }
 
 /// Canonical flat term encoding, as produced by
@@ -158,6 +167,34 @@ struct Inner {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+impl Inner {
+    /// Locks a shard, recovering from poisoning by **dropping the shard's
+    /// entries**. A panic while the shard lock was held may have torn the
+    /// map/clock invariant (e.g. a key pushed to the clock but not yet
+    /// inserted), so unlike a generic recovering lock this one resets the
+    /// shard to empty. The cache is a pure memo over unique normal forms:
+    /// losing a shard costs re-derivation work, never correctness.
+    fn lock_shard<'a>(&self, shard: &'a Shard) -> std::sync::MutexGuard<'a, ShardMap> {
+        match shard.map.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                shard.map.clear_poison();
+                let mut guard = poisoned.into_inner();
+                let dropped = guard.map.len();
+                guard.map.clear();
+                guard.clock.clear();
+                if dropped > 0 {
+                    cache_metrics().entries.sub(dropped as u64);
+                }
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                cache_metrics().poison_recoveries.inc();
+                guard
+            }
+        }
+    }
 }
 
 /// A thread-safe map from canonical subject words to canonical normal-form
@@ -206,6 +243,7 @@ impl SharedNormalFormCache {
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
                 evictions: AtomicU64::new(0),
+                poison_recoveries: AtomicU64::new(0),
             }),
         }
     }
@@ -225,7 +263,7 @@ impl SharedNormalFormCache {
     /// The cached normal-form words for a subject, counting the hit/miss
     /// and marking the entry's second-chance bit.
     pub fn lookup(&self, key: &[u32]) -> Option<Words> {
-        let mut shard = self.shard(key).map.lock().expect("cache shard poisoned");
+        let mut shard = self.inner.lock_shard(self.shard(key));
         let found = shard.map.get_mut(key).map(|e| {
             e.referenced = true;
             e.nf.clone()
@@ -249,7 +287,7 @@ impl SharedNormalFormCache {
     /// oversized entries are silently dropped (see [`MAX_ENTRY_NODES`]),
     /// and on bounded caches the insert may evict the coldest entries.
     pub fn publish(&self, key: Words, nf: Words) {
-        let mut shard = self.shard(&key).map.lock().expect("cache shard poisoned");
+        let mut shard = self.inner.lock_shard(self.shard(&key));
         if !shard.map.contains_key(&key) {
             // The clock (a second copy of every key) only exists on bounded
             // caches; an unbounded cache never evicts, so feeding its clock
@@ -287,7 +325,7 @@ impl SharedNormalFormCache {
         self.inner
             .shards
             .iter()
-            .map(|s| s.map.lock().expect("cache shard poisoned").map.len())
+            .map(|s| self.inner.lock_shard(s).map.len())
             .sum()
     }
 
@@ -303,6 +341,7 @@ impl SharedNormalFormCache {
             misses: self.inner.misses.load(Ordering::Relaxed),
             entries: self.len(),
             evictions: self.inner.evictions.load(Ordering::Relaxed),
+            poison_recoveries: self.inner.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 }
@@ -408,6 +447,44 @@ mod tests {
             .map(|s| s.map.lock().unwrap().clock.len())
             .sum();
         assert_eq!(queued, 0);
+    }
+
+    #[test]
+    fn poisoned_shard_recovers_and_stays_correct() {
+        let cache = SharedNormalFormCache::new();
+        let key: Box<[u32]> = vec![11, 22].into();
+        let other: Box<[u32]> = vec![33].into();
+        cache.publish(key.clone(), vec![1].into());
+        cache.publish(other.clone(), vec![2].into());
+
+        // Poison the shard holding `key` by panicking while its lock is
+        // held — the failure mode a worker panic mid-publish would produce.
+        std::thread::scope(|s| {
+            let shard = cache.shard(&key);
+            let handle = s.spawn(move || {
+                let _guard = shard.map.lock().expect("fresh lock");
+                panic!("intentional test panic");
+            });
+            assert!(handle.join().is_err());
+        });
+        assert!(cache.shard(&key).map.is_poisoned());
+
+        // The next lookup recovers: the shard's entries are dropped (a pure
+        // memo, so this is only a warmth loss) and the poison is cleared.
+        assert_eq!(cache.lookup(&key), None);
+        assert!(!cache.shard(&key).map.is_poisoned());
+        assert!(cache.stats().poison_recoveries >= 1);
+
+        // Subsequent publishes and lookups behave normally again.
+        cache.publish(key.clone(), vec![9].into());
+        assert_eq!(cache.lookup(&key).as_deref(), Some(&[9u32][..]));
+        // Entries in *other* shards were untouched (distinct shard only if
+        // the hashes differ; if they collide the entry was legitimately
+        // dropped, so guard the assertion).
+        if !std::ptr::eq(cache.shard(&other), cache.shard(&key)) {
+            assert_eq!(cache.lookup(&other).as_deref(), Some(&[2u32][..]));
+        }
+        assert_eq!(cache.stats().entries, cache.len());
     }
 
     #[test]

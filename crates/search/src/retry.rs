@@ -1,0 +1,236 @@
+//! Budget-escalation retry for failed proof attempts.
+//!
+//! A [`RetryPolicy`] decides whether a finished attempt should be re-run
+//! and with how much more room. Only *resource* failures are retryable:
+//! [`Outcome::Timeout`] and [`Outcome::NodeBudget`] (the search ran out of
+//! ceiling, more might succeed) and [`Outcome::Panicked`] (the fault
+//! boundary isolated a crash; a re-run on a clean search state may well
+//! succeed, and deterministic fault plans consume their occurrence
+//! counters, so an injected fault does not re-fire). Semantic verdicts —
+//! proved, refuted, exhausted, cancelled, failed hint — are final and never
+//! retried.
+
+use std::time::Duration;
+
+use crate::budget::Budget;
+use crate::config::SearchConfig;
+use crate::prover::Outcome;
+
+/// How many times to attempt a goal and how much to grow its budget each
+/// time. The default policy performs no retries.
+///
+/// Escalation multiplies *both* limit sources by `escalation^(attempt-1)`:
+/// the external [`Budget`] and the limit-carrying fields of the
+/// [`SearchConfig`] (timeout, max nodes, reduction fuel). The effective
+/// limit of a run is the tighter of the two, so escalating only one would
+/// be a no-op whenever the other is binding.
+///
+/// ```
+/// use cycleq_search::{Outcome, RetryPolicy};
+///
+/// let policy = RetryPolicy::new(3).with_escalation(4.0);
+/// assert!(policy.should_retry(&Outcome::Timeout, 1));
+/// assert!(policy.should_retry(&Outcome::Timeout, 2));
+/// assert!(!policy.should_retry(&Outcome::Timeout, 3)); // attempts spent
+/// assert!(!policy.should_retry(&Outcome::Refuted, 1)); // final verdict
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per goal (1 = no retries).
+    pub max_attempts: u32,
+    /// Budget growth factor per retry (≥ 1.0).
+    pub escalation: f64,
+    /// Optional pause before each retry (a crash loop breaker for
+    /// long-lived services; tests leave it `None`).
+    pub backoff: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every goal gets exactly one attempt.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            escalation: 2.0,
+            backoff: None,
+        }
+    }
+
+    /// A policy allowing `max_attempts` total attempts (floored at 1) with
+    /// the default 2× budget escalation per retry.
+    pub fn new(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::none()
+        }
+    }
+
+    /// Sets the per-retry budget growth factor (floored at 1.0).
+    #[must_use]
+    pub fn with_escalation(mut self, escalation: f64) -> RetryPolicy {
+        self.escalation = if escalation.is_finite() {
+            escalation.max(1.0)
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// Sets a pause before each retry.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> RetryPolicy {
+        self.backoff = Some(backoff);
+        self
+    }
+
+    /// Whether `outcome` is a resource failure this policy would re-run
+    /// after `attempt` completed attempts.
+    pub fn should_retry(&self, outcome: &Outcome, attempt: u32) -> bool {
+        attempt < self.max_attempts
+            && matches!(
+                outcome,
+                Outcome::Timeout | Outcome::NodeBudget | Outcome::Panicked { .. }
+            )
+    }
+
+    /// The escalation factor applied to attempt number `attempt` (1-based):
+    /// `escalation^(attempt-1)`.
+    fn factor(&self, attempt: u32) -> f64 {
+        self.escalation
+            .powi(i32::try_from(attempt.saturating_sub(1)).unwrap_or(i32::MAX))
+    }
+
+    /// `budget` scaled up for the given attempt (attempt 1 is unchanged).
+    pub fn escalate_budget(&self, budget: &Budget, attempt: u32) -> Budget {
+        let f = self.factor(attempt);
+        Budget {
+            timeout: budget.timeout.map(|t| scale_duration(t, f)),
+            max_nodes: budget.max_nodes.map(|n| scale_count(n, f)),
+            fuel: budget.fuel.map(|n| scale_count(n, f)),
+        }
+    }
+
+    /// `config` with its limit fields scaled up for the given attempt
+    /// (search *strategy* fields — depths, lemma policy — are untouched).
+    pub fn escalate_config(&self, config: &SearchConfig, attempt: u32) -> SearchConfig {
+        let f = self.factor(attempt);
+        SearchConfig {
+            timeout: config.timeout.map(|t| scale_duration(t, f)),
+            max_nodes: scale_count(config.max_nodes, f),
+            reduction_fuel: scale_count(config.reduction_fuel, f),
+            ..config.clone()
+        }
+    }
+}
+
+fn scale_duration(d: Duration, factor: f64) -> Duration {
+    let secs = d.as_secs_f64() * factor;
+    if secs.is_finite() && (0.0..1e15).contains(&secs) {
+        Duration::from_secs_f64(secs)
+    } else {
+        Duration::MAX
+    }
+}
+
+#[allow(
+    clippy::cast_precision_loss,
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss
+)]
+fn scale_count(n: usize, factor: f64) -> usize {
+    let scaled = (n as f64) * factor;
+    if scaled >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        scaled as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_never_retries() {
+        let p = RetryPolicy::none();
+        assert!(!p.should_retry(&Outcome::Timeout, 1));
+        assert!(!p.should_retry(
+            &Outcome::Panicked {
+                message: "boom".into()
+            },
+            1
+        ));
+    }
+
+    #[test]
+    fn only_resource_failures_are_retryable() {
+        let p = RetryPolicy::new(2);
+        assert!(p.should_retry(&Outcome::Timeout, 1));
+        assert!(p.should_retry(&Outcome::NodeBudget, 1));
+        assert!(p.should_retry(
+            &Outcome::Panicked {
+                message: "boom".into()
+            },
+            1
+        ));
+        for final_outcome in [Outcome::Refuted, Outcome::Exhausted, Outcome::Cancelled] {
+            assert!(!p.should_retry(&final_outcome, 1), "{final_outcome:?}");
+        }
+        assert!(!p.should_retry(&Outcome::HintFailed { index: 0 }, 1));
+        // Attempts spent.
+        assert!(!p.should_retry(&Outcome::Timeout, 2));
+    }
+
+    #[test]
+    fn escalation_compounds_per_attempt() {
+        let p = RetryPolicy::new(3).with_escalation(2.0);
+        let b = Budget::unlimited()
+            .with_timeout(Duration::from_millis(100))
+            .with_max_nodes(1_000)
+            .with_fuel(50);
+        let a1 = p.escalate_budget(&b, 1);
+        assert_eq!(a1, b, "first attempt runs on the base budget");
+        let a3 = p.escalate_budget(&b, 3);
+        assert_eq!(a3.timeout, Some(Duration::from_millis(400)));
+        assert_eq!(a3.max_nodes, Some(4_000));
+        assert_eq!(a3.fuel, Some(200));
+    }
+
+    #[test]
+    fn config_limits_escalate_but_strategy_does_not() {
+        let p = RetryPolicy::new(2).with_escalation(3.0);
+        let c = SearchConfig::default();
+        let e = p.escalate_config(&c, 2);
+        assert_eq!(e.max_nodes, c.max_nodes * 3);
+        assert_eq!(e.reduction_fuel, c.reduction_fuel * 3);
+        assert_eq!(e.timeout, c.timeout.map(|t| t * 3));
+        assert_eq!(e.initial_depth, c.initial_depth);
+        assert_eq!(e.max_depth, c.max_depth);
+        assert_eq!(e.lemma_policy, c.lemma_policy);
+    }
+
+    #[test]
+    fn pathological_factors_are_clamped() {
+        let p = RetryPolicy::new(2).with_escalation(f64::INFINITY);
+        assert_eq!(p.escalation, 1.0);
+        let p = RetryPolicy::new(2).with_escalation(0.25);
+        assert_eq!(p.escalation, 1.0, "escalation never shrinks budgets");
+        assert_eq!(RetryPolicy::new(0).max_attempts, 1);
+        let huge = RetryPolicy {
+            max_attempts: 10,
+            escalation: 1e300,
+            backoff: None,
+        };
+        let b = Budget::unlimited()
+            .with_timeout(Duration::from_secs(1))
+            .with_max_nodes(10);
+        let e = huge.escalate_budget(&b, 10);
+        assert_eq!(e.max_nodes, Some(usize::MAX));
+        assert_eq!(e.timeout, Some(Duration::MAX));
+    }
+}

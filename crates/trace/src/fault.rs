@@ -1,0 +1,555 @@
+//! Deterministic fault injection at span sites.
+//!
+//! A [`FaultPlan`] is a list of [`FaultRule`]s, each naming a span site from
+//! the crate-level taxonomy (`expand`, `normalize`, `round`, ...) and an
+//! action to take when that site is entered: panic, sleep, or request
+//! cancellation. Rules can be scoped to a labelled region (typically one
+//! goal, via [`fault_scope`]) and restricted to the n-th matching occurrence
+//! or a seeded pseudo-random fraction of occurrences, so a fault fires at a
+//! reproducible point of the computation.
+//!
+//! Plans are installed process-wide with [`install_fault_plan`] (tests) or
+//! parsed from the `CYCLEQ_FAULTS` environment variable (CLI). When no plan
+//! is installed the hook in [`span`](crate::span) is a single relaxed atomic
+//! load — the same cost class as disabled tracing, so production code pays
+//! nothing for the capability.
+//!
+//! # Specification grammar (`CYCLEQ_FAULTS`)
+//!
+//! Comma-separated rules, each `ACTION@SITE[/SCOPE][SELECTOR]`:
+//!
+//! - `ACTION` — `panic`, `delay:<N>ms` (or `delay:<N>s`), or `cancel`;
+//! - `SITE` — a span name (`expand`, `normalize`, `round`, `prove_goal`,
+//!   `check`, `lint_file`, ...);
+//! - `/SCOPE` — only fire inside a matching [`fault_scope`] label (the
+//!   engine scopes each goal by name);
+//! - `SELECTOR` — `#N` fire on exactly the N-th matching entry (default
+//!   `#1`), `#every` fire on all of them, or `%P` fire on roughly P percent
+//!   of them, decided by a hash of the plan seed (`CYCLEQ_FAULT_SEED`) and
+//!   the occurrence index.
+//!
+//! Example: `panic@expand/addComm#1,delay:50ms@normalize%10`.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// What an armed [`FaultRule`] does when it fires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Panic with a recognizable message; the surrounding task isolation
+    /// turns this into a structured `Panicked` failure.
+    Panic,
+    /// Sleep for the given duration, simulating a slow phase (drives
+    /// timeout/retry paths deterministically).
+    Delay(Duration),
+    /// Invoke the innermost cancellation hook registered with
+    /// [`fault_scope_with_cancel`] (no-op if none is registered).
+    Cancel,
+}
+
+/// Which matching occurrences of a rule's site actually fire.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FireSpec {
+    /// Exactly the n-th matching occurrence (1-based).
+    Nth(u64),
+    /// Every matching occurrence.
+    Every,
+    /// Each matching occurrence independently, with this probability
+    /// (0.0..=1.0), decided deterministically from the plan seed and the
+    /// occurrence index.
+    Prob(f64),
+}
+
+/// One injection rule: where, when, and what.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultRule {
+    /// Span site name this rule watches (must match the `span!` name).
+    pub site: String,
+    /// Optional scope label; the rule only matches while a
+    /// [`fault_scope`] with this label is active on the current thread.
+    pub scope: Option<String>,
+    /// Occurrence selector (counted per rule, over matching entries only).
+    pub fire: FireSpec,
+    /// Action taken when the rule fires.
+    pub action: FaultAction,
+}
+
+impl FaultRule {
+    /// A rule that panics on the first entry of `site`.
+    pub fn panic_at(site: &str) -> FaultRule {
+        FaultRule {
+            site: site.to_owned(),
+            scope: None,
+            fire: FireSpec::Nth(1),
+            action: FaultAction::Panic,
+        }
+    }
+
+    /// A rule that sleeps for `delay` on the first entry of `site`.
+    pub fn delay_at(site: &str, delay: Duration) -> FaultRule {
+        FaultRule {
+            site: site.to_owned(),
+            scope: None,
+            fire: FireSpec::Nth(1),
+            action: FaultAction::Delay(delay),
+        }
+    }
+
+    /// A rule that requests cancellation on the first entry of `site`.
+    pub fn cancel_at(site: &str) -> FaultRule {
+        FaultRule {
+            site: site.to_owned(),
+            scope: None,
+            fire: FireSpec::Nth(1),
+            action: FaultAction::Cancel,
+        }
+    }
+
+    /// Restricts the rule to a [`fault_scope`] label (e.g. a goal name).
+    #[must_use]
+    pub fn scoped(mut self, scope: &str) -> FaultRule {
+        self.scope = Some(scope.to_owned());
+        self
+    }
+
+    /// Sets the occurrence selector.
+    #[must_use]
+    pub fn with_fire(mut self, fire: FireSpec) -> FaultRule {
+        self.fire = fire;
+        self
+    }
+}
+
+/// A set of fault rules plus the seed for probabilistic selectors.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Rules, checked in order on every matching site entry.
+    pub rules: Vec<FaultRule>,
+    /// Seed for [`FireSpec::Prob`] decisions.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (installing it disables injection, like
+    /// [`clear_fault_plan`]).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Appends a rule (builder style).
+    #[must_use]
+    pub fn rule(mut self, rule: FaultRule) -> FaultPlan {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Sets the seed used by probabilistic selectors.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Parses a comma-separated rule specification (see the module docs for
+    /// the grammar).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            plan.rules.push(parse_rule(part)?);
+        }
+        Ok(plan)
+    }
+
+    /// Reads a plan from `CYCLEQ_FAULTS` / `CYCLEQ_FAULT_SEED`. Returns
+    /// `Ok(None)` when the variable is unset or empty.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        let spec = match std::env::var("CYCLEQ_FAULTS") {
+            Ok(s) if !s.trim().is_empty() => s,
+            _ => return Ok(None),
+        };
+        let mut plan = FaultPlan::parse(&spec)?;
+        if let Ok(seed) = std::env::var("CYCLEQ_FAULT_SEED") {
+            plan.seed = seed
+                .trim()
+                .parse()
+                .map_err(|_| format!("CYCLEQ_FAULT_SEED: not a u64: `{seed}`"))?;
+        }
+        Ok(Some(plan))
+    }
+}
+
+fn parse_rule(part: &str) -> Result<FaultRule, String> {
+    let (action_str, rest) = part
+        .split_once('@')
+        .ok_or_else(|| format!("fault rule `{part}`: expected ACTION@SITE"))?;
+    let action = parse_action(action_str.trim())?;
+
+    // Split the trailing selector first so scopes may contain `#`-free text.
+    let (site_scope, fire) = if let Some((head, pct)) = rest.rsplit_once('%') {
+        let p: f64 = pct
+            .trim()
+            .parse()
+            .map_err(|_| format!("fault rule `{part}`: bad percentage `{pct}`"))?;
+        if !(0.0..=100.0).contains(&p) {
+            return Err(format!("fault rule `{part}`: percentage out of range"));
+        }
+        (head, FireSpec::Prob(p / 100.0))
+    } else if let Some((head, sel)) = rest.rsplit_once('#') {
+        let sel = sel.trim();
+        if sel == "every" || sel == "all" {
+            (head, FireSpec::Every)
+        } else {
+            let n: u64 = sel
+                .parse()
+                .map_err(|_| format!("fault rule `{part}`: bad occurrence `{sel}`"))?;
+            if n == 0 {
+                return Err(format!(
+                    "fault rule `{part}`: occurrences are 1-based (use #every for all)"
+                ));
+            }
+            (head, FireSpec::Nth(n))
+        }
+    } else {
+        (rest, FireSpec::Nth(1))
+    };
+
+    let (site, scope) = match site_scope.split_once('/') {
+        Some((site, scope)) => (site.trim(), Some(scope.trim().to_owned())),
+        None => (site_scope.trim(), None),
+    };
+    if site.is_empty() {
+        return Err(format!("fault rule `{part}`: empty site"));
+    }
+    Ok(FaultRule {
+        site: site.to_owned(),
+        scope,
+        fire,
+        action,
+    })
+}
+
+fn parse_action(s: &str) -> Result<FaultAction, String> {
+    if s == "panic" {
+        return Ok(FaultAction::Panic);
+    }
+    if s == "cancel" {
+        return Ok(FaultAction::Cancel);
+    }
+    if let Some(d) = s.strip_prefix("delay:") {
+        let d = d.trim();
+        let (num, unit_ms) = if let Some(n) = d.strip_suffix("ms") {
+            (n, 1.0)
+        } else if let Some(n) = d.strip_suffix('s') {
+            (n, 1000.0)
+        } else {
+            (d, 1.0)
+        };
+        let v: f64 = num
+            .trim()
+            .parse()
+            .map_err(|_| format!("fault action `{s}`: bad duration"))?;
+        if !v.is_finite() || v < 0.0 {
+            return Err(format!("fault action `{s}`: bad duration"));
+        }
+        return Ok(FaultAction::Delay(Duration::from_secs_f64(
+            v * unit_ms / 1000.0,
+        )));
+    }
+    Err(format!(
+        "fault action `{s}`: expected panic, delay:<N>ms, or cancel"
+    ))
+}
+
+struct ArmedRule {
+    rule: FaultRule,
+    /// Matching occurrences seen so far (across all threads).
+    hits: AtomicU64,
+}
+
+struct ArmedPlan {
+    seed: u64,
+    rules: Vec<ArmedRule>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static Mutex<Option<Arc<ArmedPlan>>> {
+    static PLAN: OnceLock<Mutex<Option<Arc<ArmedPlan>>>> = OnceLock::new();
+    PLAN.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs `plan` process-wide, replacing any previous plan and resetting
+/// its occurrence counters. An empty plan deactivates injection.
+pub fn install_fault_plan(plan: FaultPlan) {
+    let armed = ArmedPlan {
+        seed: plan.seed,
+        rules: plan
+            .rules
+            .into_iter()
+            .map(|rule| ArmedRule {
+                rule,
+                hits: AtomicU64::new(0),
+            })
+            .collect(),
+    };
+    let active = !armed.rules.is_empty();
+    *crate::sync::lock_recover(plan_slot()) = active.then(|| Arc::new(armed));
+    ACTIVE.store(active, Ordering::SeqCst);
+}
+
+/// Removes any installed fault plan.
+pub fn clear_fault_plan() {
+    *crate::sync::lock_recover(plan_slot()) = None;
+    ACTIVE.store(false, Ordering::SeqCst);
+}
+
+/// Whether a non-empty fault plan is currently installed.
+pub fn faults_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+type CancelHook = Arc<dyn Fn() + Send + Sync>;
+
+struct ScopeFrame {
+    label: String,
+    on_cancel: Option<CancelHook>,
+}
+
+thread_local! {
+    static SCOPES: RefCell<Vec<ScopeFrame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Guard returned by [`fault_scope`]; pops the scope label when dropped.
+#[must_use = "a fault scope ends when its guard is dropped"]
+#[derive(Debug)]
+pub struct FaultScope {
+    _private: (),
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        let _ = SCOPES.try_with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Labels the current thread's execution (e.g. with the goal name) so
+/// scoped fault rules can target it. Scopes nest.
+pub fn fault_scope(label: &str) -> FaultScope {
+    push_scope(label, None)
+}
+
+/// Like [`fault_scope`], additionally registering the hook a
+/// [`FaultAction::Cancel`] rule invokes while this scope is innermost.
+pub fn fault_scope_with_cancel(label: &str, on_cancel: CancelHook) -> FaultScope {
+    push_scope(label, Some(on_cancel))
+}
+
+fn push_scope(label: &str, on_cancel: Option<CancelHook>) -> FaultScope {
+    let _ = SCOPES.try_with(|s| {
+        s.borrow_mut().push(ScopeFrame {
+            label: label.to_owned(),
+            on_cancel,
+        });
+    });
+    FaultScope { _private: () }
+}
+
+/// Deterministic per-occurrence decision for [`FireSpec::Prob`]
+/// (splitmix64 of seed and occurrence index).
+fn prob_fires(seed: u64, occurrence: u64, p: f64) -> bool {
+    let mut z = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(occurrence);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    #[allow(clippy::cast_precision_loss)]
+    let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+    unit < p
+}
+
+/// Span-site hook: called from [`span`](crate::span) when a plan is active.
+/// Decides and executes at most one action per call (first matching rule
+/// that fires wins).
+pub(crate) fn hit(site: &'static str) {
+    let Some(plan) = crate::sync::lock_recover(plan_slot()).clone() else {
+        return;
+    };
+    // Decide while holding only the TLS borrow, act after releasing it:
+    // a panic or user cancel hook must not run inside the scope borrow.
+    let mut fired: Option<(FaultAction, Option<CancelHook>, String)> = None;
+    let _ = SCOPES.try_with(|scopes| {
+        let scopes = scopes.borrow();
+        for armed in &plan.rules {
+            if armed.rule.site != site {
+                continue;
+            }
+            if let Some(scope) = &armed.rule.scope {
+                if !scopes.iter().any(|f| &f.label == scope) {
+                    continue;
+                }
+            }
+            let occurrence = armed.hits.fetch_add(1, Ordering::Relaxed) + 1;
+            let fires = match armed.rule.fire {
+                FireSpec::Nth(n) => occurrence == n,
+                FireSpec::Every => true,
+                FireSpec::Prob(p) => prob_fires(plan.seed, occurrence, p),
+            };
+            if fires {
+                let hook = scopes.iter().rev().find_map(|f| f.on_cancel.clone());
+                let scope_label = scopes
+                    .last()
+                    .map_or_else(|| "<unscoped>".to_owned(), |f| f.label.clone());
+                fired = Some((armed.rule.action.clone(), hook, scope_label));
+                break;
+            }
+        }
+    });
+    let Some((action, hook, scope_label)) = fired else {
+        return;
+    };
+    match action {
+        FaultAction::Panic => {
+            panic!("cycleq fault injection: panic@{site} (scope {scope_label})")
+        }
+        FaultAction::Delay(d) => std::thread::sleep(d),
+        FaultAction::Cancel => {
+            if let Some(hook) = hook {
+                hook();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize;
+
+    use super::*;
+
+    /// Fault plans are process-global; every test that installs one takes
+    /// this lock.
+    fn plan_lock() -> &'static Mutex<()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        LOCK.get_or_init(|| Mutex::new(()))
+    }
+
+    #[test]
+    fn parse_full_grammar() {
+        let plan =
+            FaultPlan::parse("panic@expand/goal3#1, delay:50ms@normalize%10, cancel@round#2")
+                .expect("parse");
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(plan.rules[0].site, "expand");
+        assert_eq!(plan.rules[0].scope.as_deref(), Some("goal3"));
+        assert_eq!(plan.rules[0].fire, FireSpec::Nth(1));
+        assert_eq!(plan.rules[0].action, FaultAction::Panic);
+        assert_eq!(
+            plan.rules[1].action,
+            FaultAction::Delay(Duration::from_millis(50))
+        );
+        assert_eq!(plan.rules[1].fire, FireSpec::Prob(0.1));
+        assert!(plan.rules[1].scope.is_none());
+        assert_eq!(plan.rules[2].fire, FireSpec::Nth(2));
+        assert_eq!(plan.rules[2].action, FaultAction::Cancel);
+
+        assert_eq!(
+            FaultPlan::parse("delay:2s@check#every")
+                .expect("parse")
+                .rules[0]
+                .fire,
+            FireSpec::Every
+        );
+        assert!(FaultPlan::parse("explode@expand").is_err());
+        assert!(FaultPlan::parse("panic@").is_err());
+        assert!(FaultPlan::parse("panic@expand#0").is_err());
+        assert!(FaultPlan::parse("panic@expand%150").is_err());
+    }
+
+    #[test]
+    fn nth_rule_fires_once_at_the_right_site() {
+        let _guard = plan_lock().lock().expect("test lock");
+        install_fault_plan(FaultPlan::new().rule(FaultRule::panic_at("test_fault_site")));
+        // Wrong site: nothing happens.
+        hit("test_other_site");
+        // First matching occurrence panics...
+        let err = catch_unwind(AssertUnwindSafe(|| hit("test_fault_site")))
+            .expect_err("fault should panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("fault injection"), "message: {msg}");
+        assert!(msg.contains("panic@test_fault_site"), "message: {msg}");
+        // ...and the rule is spent.
+        hit("test_fault_site");
+        clear_fault_plan();
+        hit("test_fault_site");
+    }
+
+    #[test]
+    fn scoped_rule_only_fires_inside_its_scope() {
+        let _guard = plan_lock().lock().expect("test lock");
+        install_fault_plan(
+            FaultPlan::new().rule(FaultRule::panic_at("test_scoped_site").scoped("goalB")),
+        );
+        {
+            let _a = fault_scope("goalA");
+            hit("test_scoped_site"); // no match, does not consume the rule
+        }
+        {
+            let _b = fault_scope("goalB");
+            assert!(catch_unwind(AssertUnwindSafe(|| hit("test_scoped_site"))).is_err());
+        }
+        clear_fault_plan();
+    }
+
+    #[test]
+    fn cancel_rule_invokes_innermost_hook() {
+        let _guard = plan_lock().lock().expect("test lock");
+        let calls = Arc::new(AtomicUsize::new(0));
+        let calls2 = Arc::clone(&calls);
+        install_fault_plan(FaultPlan::new().rule(FaultRule::cancel_at("test_cancel_site")));
+        {
+            let _s = fault_scope_with_cancel(
+                "goalC",
+                Arc::new(move || {
+                    calls2.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+            hit("test_cancel_site");
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        clear_fault_plan();
+    }
+
+    #[test]
+    fn prob_is_deterministic_in_the_seed() {
+        let fires: Vec<bool> = (1..=64).map(|i| prob_fires(42, i, 0.5)).collect();
+        let again: Vec<bool> = (1..=64).map(|i| prob_fires(42, i, 0.5)).collect();
+        assert_eq!(fires, again);
+        assert!(fires.iter().any(|f| *f));
+        assert!(fires.iter().any(|f| !*f));
+        assert!((1..=64).all(|i| prob_fires(7, i, 1.0)));
+        assert!((1..=64).all(|i| !prob_fires(7, i, 0.0)));
+    }
+
+    #[test]
+    fn delay_rule_sleeps() {
+        let _guard = plan_lock().lock().expect("test lock");
+        install_fault_plan(FaultPlan::new().rule(FaultRule::delay_at(
+            "test_delay_site",
+            Duration::from_millis(30),
+        )));
+        let t0 = std::time::Instant::now();
+        hit("test_delay_site");
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        clear_fault_plan();
+    }
+}

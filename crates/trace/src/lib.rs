@@ -17,6 +17,18 @@
 //!    captures all of them at once and renders Prometheus text exposition
 //!    format — the payload a future `cycleq serve` daemon will expose.
 //!
+//! Two robustness primitives ride along because this crate sits at the
+//! bottom of the dependency graph:
+//!
+//! - [`lock_recover`] — poison-recovering mutex acquisition (counted in the
+//!   `cycleq_lock_poison_recoveries_total` family), used by every shared
+//!   lock in the stack instead of `.expect("poisoned")`;
+//! - [`FaultPlan`] — deterministic fault injection hooked at the span sites
+//!   (panic / delay / cancel at the n-th occurrence of a site, optionally
+//!   scoped to one goal), configured programmatically or via the
+//!   `CYCLEQ_FAULTS` environment variable. A single relaxed atomic load
+//!   when no plan is installed.
+//!
 //! The span taxonomy used by the prover stack:
 //!
 //! | span             | scope                                               |
@@ -45,10 +57,16 @@
 //! ```
 
 mod chrome;
+mod fault;
 mod registry;
 mod span;
+mod sync;
 
 pub use chrome::Trace;
+pub use fault::{
+    clear_fault_plan, fault_scope, fault_scope_with_cancel, faults_active, install_fault_plan,
+    FaultAction, FaultPlan, FaultRule, FaultScope, FireSpec,
+};
 pub use registry::{
     metrics, Counter, FamilySnapshot, Gauge, Histogram, HistogramSnapshot, MetricKind,
     MetricSample, MetricsSnapshot, PhaseStat, Profile, Registry, SampleValue,
@@ -57,6 +75,7 @@ pub use span::{
     collecting, enabled, finish_collect, set_enabled, set_thread_label, span, start_collect,
     SpanGuard, SpanRecord,
 };
+pub use sync::{lock_recover, poison_recoveries};
 
 /// Opens a timed span that ends when the returned guard is dropped.
 ///

@@ -223,7 +223,7 @@ impl Registry {
         kind: MetricKind,
         labels: &str,
     ) -> Handle {
-        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let mut families = crate::sync::lock_recover(&self.families);
         let fam = families.entry(family).or_insert_with(|| Family {
             help,
             kind,
@@ -298,9 +298,26 @@ impl Registry {
     /// Captures a consistent point-in-time snapshot of every registered
     /// family.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let families = self.families.lock().expect("metrics registry poisoned");
-        let mut out = Vec::with_capacity(families.len());
+        let families = crate::sync::lock_recover(&self.families);
+        let mut out = Vec::with_capacity(families.len() + 1);
+        // Synthetic family: the poison-recovery count lives in a plain
+        // atomic (see `crate::sync`) so that recovering the registry's own
+        // lock never re-enters the registry. Splice it in at its sorted
+        // position so the output stays ordered by family name.
+        let poison = FamilySnapshot {
+            name: crate::sync::POISON_FAMILY.to_owned(),
+            help: crate::sync::POISON_HELP.to_owned(),
+            kind: MetricKind::Counter,
+            samples: vec![MetricSample {
+                labels: String::new(),
+                value: SampleValue::Counter(crate::sync::poison_recoveries()),
+            }],
+        };
+        let mut poison = Some(poison);
         for (name, fam) in families.iter() {
+            if let Some(p) = poison.take_if(|p| p.name.as_str() <= *name) {
+                out.push(p);
+            }
             let samples = fam
                 .samples
                 .iter()
@@ -319,6 +336,9 @@ impl Registry {
                 kind: fam.kind,
                 samples,
             });
+        }
+        if let Some(p) = poison {
+            out.push(p);
         }
         MetricsSnapshot { families: out }
     }

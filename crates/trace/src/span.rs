@@ -1,7 +1,8 @@
 //! Hierarchical spans over thread-local buffers.
 //!
 //! Cost model:
-//! - disabled (default): one relaxed atomic load per [`span`] call;
+//! - disabled (default): two relaxed atomic loads per [`span`] call (span
+//!   timing plus the fault-injection hook, both off by default);
 //! - enabled: two `Instant` reads plus a lock-free histogram update per
 //!   span (per-thread handle cache, no registry lock on the hot path);
 //! - collecting: additionally one `Vec` push per span; buffers flush into
@@ -93,7 +94,7 @@ impl ThreadState {
         if self.buf.is_empty() {
             return;
         }
-        let mut sink = sink().lock().expect("trace sink poisoned");
+        let mut sink = crate::sync::lock_recover(sink());
         sink.threads
             .entry(self.tid)
             .or_insert_with(|| self.thread_name());
@@ -133,7 +134,7 @@ pub fn collecting() -> bool {
 pub fn start_collect() {
     let _ = epoch();
     {
-        let mut sink = sink().lock().expect("trace sink poisoned");
+        let mut sink = crate::sync::lock_recover(sink());
         sink.spans.clear();
         sink.threads.clear();
     }
@@ -148,7 +149,7 @@ pub fn finish_collect() -> Trace {
     // Flush the calling thread's buffer: worker threads flush when their
     // span stacks unwind, but the caller may still hold an open span.
     let _ = TLS.try_with(|s| s.borrow_mut().flush());
-    let mut sink = sink().lock().expect("trace sink poisoned");
+    let mut sink = crate::sync::lock_recover(sink());
     let mut spans = std::mem::take(&mut sink.spans);
     spans.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.dur_ns), s.tid));
     let threads = std::mem::take(&mut sink.threads).into_iter().collect();
@@ -164,7 +165,7 @@ pub fn set_thread_label(label: &str) {
         if collecting() {
             let name = st.thread_name();
             let tid = st.tid;
-            let mut sink = sink().lock().expect("trace sink poisoned");
+            let mut sink = crate::sync::lock_recover(sink());
             sink.threads.insert(tid, name);
         }
     });
@@ -180,7 +181,14 @@ pub struct SpanGuard {
 }
 
 /// Opens a span; prefer the [`span!`](crate::span!) macro.
+///
+/// Span sites double as fault-injection points: when a
+/// [`FaultPlan`](crate::FaultPlan) is installed (never in production), the
+/// matching rule's action runs here before the span opens.
 pub fn span(name: &'static str) -> SpanGuard {
+    if crate::fault::faults_active() {
+        crate::fault::hit(name);
+    }
     if !ENABLED.load(Ordering::Relaxed) {
         return SpanGuard { name, start: None };
     }

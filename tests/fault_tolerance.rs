@@ -1,0 +1,191 @@
+//! End-to-end fault tolerance: a panicking goal inside a parallel batch is
+//! isolated into a structured `Panicked` verdict without perturbing any
+//! other goal's verdict, and the engine's retry policy recovers injected
+//! resource failures on escalated budgets.
+//!
+//! Fault plans are process-global, so every test that installs one holds
+//! `PLAN_LOCK` for its whole body.
+
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use cycleq::trace::{clear_fault_plan, install_fault_plan, FaultPlan, FaultRule, FireSpec};
+use cycleq::{BatchReport, Engine, Outcome, RetryPolicy, SearchConfig};
+
+static PLAN_LOCK: Mutex<()> = Mutex::new(());
+
+/// Eight goals over one program; `g3` (commutativity) is the fault target.
+const SRC: &str = "data Nat = Z | S Nat
+add :: Nat -> Nat -> Nat
+add Z y = y
+add (S x) y = S (add x y)
+goal g0: add Z y === y
+goal g1: add x Z === x
+goal g2: add x (S y) === S (add x y)
+goal g3: add x y === add y x
+goal g4: add (S x) y === S (add x y)
+goal g5: add x Z === add Z x
+goal g6: add (add x y) Z === add x y
+goal g7: add Z Z === Z
+";
+
+fn prove_all(jobs: usize) -> BatchReport {
+    Engine::builder()
+        .jobs(jobs)
+        .build()
+        .load(SRC)
+        .expect("fixture elaborates")
+        .prove_all()
+}
+
+#[test]
+fn injected_panic_isolates_one_goal_and_preserves_the_rest() {
+    let _guard = PLAN_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    clear_fault_plan();
+    let baseline = prove_all(1);
+    assert!(baseline.all_proved(), "fixture must prove clean");
+    for jobs in [1, 4] {
+        install_fault_plan(
+            FaultPlan::new().rule(
+                FaultRule::panic_at("expand")
+                    .scoped("g3")
+                    .with_fire(FireSpec::Every),
+            ),
+        );
+        let report = prove_all(jobs);
+        clear_fault_plan();
+        assert_eq!(report.goals.len(), 8, "batch completed every goal");
+        assert_eq!(report.panicked(), 1, "exactly the faulted goal panicked");
+        assert!(report.any_gave_up() && !report.any_refuted());
+        for (b, g) in baseline.goals.iter().zip(&report.goals) {
+            assert_eq!(b.goal, g.goal, "order preserved at jobs={jobs}");
+            let verdict = g.verdict().expect("panic was isolated, not an error");
+            if g.goal == "g3" {
+                match &verdict.result.outcome {
+                    Outcome::Panicked { message } => assert!(
+                        message.contains("fault injection"),
+                        "panic message surfaced: {message}"
+                    ),
+                    other => panic!("faulted goal reported {other:?}"),
+                }
+            } else {
+                // Byte-identical outcome (including the proof root) to the
+                // fault-free baseline, whatever the worker count.
+                assert_eq!(
+                    format!("{:?}", b.verdict().unwrap().result.outcome),
+                    format!("{:?}", verdict.result.outcome),
+                    "goal {} drifted under a sibling's fault at jobs={jobs}",
+                    g.goal
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn retry_recovers_an_injected_timeout_on_an_escalated_budget() {
+    let _guard = PLAN_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    // A one-second delay injected into the first `normalize` under `g3`
+    // blows the 250ms first-attempt timeout; the occurrence is spent, so
+    // the second attempt (limits ×8 → 2s) proves the goal.
+    install_fault_plan(
+        FaultPlan::new()
+            .rule(FaultRule::delay_at("normalize", Duration::from_secs(1)).scoped("g3")),
+    );
+    let config = SearchConfig {
+        timeout: Some(Duration::from_millis(250)),
+        ..SearchConfig::default()
+    };
+    let verdict = Engine::builder()
+        .config(config)
+        .retry(RetryPolicy::new(2).with_escalation(8.0))
+        .build()
+        .load(SRC)
+        .expect("fixture elaborates")
+        .prove("g3")
+        .expect("retry path returns a verdict");
+    clear_fault_plan();
+    assert!(verdict.is_proved(), "second attempt succeeds");
+    assert_eq!(verdict.attempts, 2, "exactly one retry was spent");
+}
+
+#[test]
+fn retry_recovers_an_injected_panic() {
+    let _guard = PLAN_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    install_fault_plan(FaultPlan::new().rule(FaultRule::panic_at("expand").scoped("g3")));
+    let report = Engine::builder()
+        .retry(RetryPolicy::new(2))
+        .build()
+        .load(SRC)
+        .expect("fixture elaborates")
+        .prove_all();
+    clear_fault_plan();
+    assert!(report.all_proved(), "panicked attempt was retried");
+    let g3 = report.goals.iter().find(|g| g.goal == "g3").unwrap();
+    assert_eq!(g3.attempts, 2);
+    assert!(report
+        .goals
+        .iter()
+        .all(|g| g.goal == "g3" || g.attempts == 1));
+}
+
+#[test]
+fn without_retry_a_panicked_goal_keeps_its_panicked_verdict() {
+    let _guard = PLAN_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    install_fault_plan(FaultPlan::new().rule(FaultRule::panic_at("expand").scoped("g3")));
+    let report = prove_all(2);
+    clear_fault_plan();
+    assert_eq!(report.panicked(), 1);
+    let g3 = report.goals.iter().find(|g| g.goal == "g3").unwrap();
+    assert!(g3.is_panicked());
+    assert_eq!(g3.attempts, 1, "default policy performs no retries");
+}
+
+/// Grep-pin: every shared lock in the workspace goes through the
+/// poison-recovering helper, so no `.expect("... poisoned")` call site may
+/// remain in non-test source (a panic while holding such a lock would
+/// otherwise cascade into an abort on every later access).
+#[test]
+fn no_expect_poisoned_call_sites_remain_outside_tests() {
+    let crates = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates");
+    let mut offenders = Vec::new();
+    scan(&crates, &mut offenders);
+    assert!(
+        offenders.is_empty(),
+        "lock call sites must use cycleq_trace::lock_recover, found:\n{}",
+        offenders.join("\n")
+    );
+}
+
+fn scan(dir: &Path, offenders: &mut Vec<String>) {
+    for entry in std::fs::read_dir(dir).expect("workspace sources readable") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            // Integration-test sources may poison locks on purpose.
+            if path.file_name().is_some_and(|n| n == "tests") {
+                continue;
+            }
+            scan(&path, offenders);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text = std::fs::read_to_string(&path).expect("source readable");
+            for (i, line) in text.lines().enumerate() {
+                let code = line.trim_start();
+                if code.starts_with("//") {
+                    continue;
+                }
+                if code.contains(".expect(") && code.contains("poisoned") {
+                    offenders.push(format!("{}:{}: {}", path.display(), i + 1, code));
+                }
+            }
+        }
+    }
+}
